@@ -1,0 +1,161 @@
+package meshlayer
+
+// One benchmark per experiment in DESIGN.md's index. Benchmarks use
+// shortened measurement windows so `go test -bench=.` finishes in
+// minutes; cmd/meshbench runs the same experiments at paper scale.
+// Custom metrics carry the quantities the paper reports (milliseconds
+// and speedup ratios), so the bench output doubles as the reproduction
+// record.
+
+import (
+	"testing"
+	"time"
+)
+
+// benchWindow is the shortened measured window used by benchmarks.
+const benchWindow = 6 * time.Second
+
+func msf(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// BenchmarkFig4 reproduces E1 (Fig. 4): LS latency vs RPS with and
+// without cross-layer prioritization, at the sweep's endpoints.
+func BenchmarkFig4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points := RunSweep(SweepConfig{
+			RPSLevels: []float64{10, 50},
+			Opt:       PaperOptimizations(),
+			Seed:      1,
+			Warmup:    2 * time.Second,
+			Measure:   benchWindow,
+		})
+		lo, hi := points[0], points[1]
+		b.ReportMetric(msf(lo.Base.LS.P50), "rps10_base_p50_ms")
+		b.ReportMetric(msf(lo.Opt.LS.P50), "rps10_opt_p50_ms")
+		b.ReportMetric(msf(hi.Base.LS.P99), "rps50_base_p99_ms")
+		b.ReportMetric(msf(hi.Opt.LS.P99), "rps50_opt_p99_ms")
+		b.ReportMetric(float64(hi.Base.LS.P99)/float64(hi.Opt.LS.P99), "rps50_p99_speedup_x")
+	}
+}
+
+// BenchmarkLICost reproduces E2: the latency-insensitive workload's
+// p99 cost of prioritization at the top of the sweep.
+func BenchmarkLICost(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		mixed := MixedConfig{RPS: 50, Seed: 1, Warmup: 2 * time.Second, Measure: benchWindow}
+		base := RunMixedOnce(None(), mixed)
+		opt := RunMixedOnce(PaperOptimizations(), mixed)
+		b.ReportMetric(msf(base.LI.P99), "li_base_p99_ms")
+		b.ReportMetric(msf(opt.LI.P99), "li_opt_p99_ms")
+		b.ReportMetric(100*(float64(opt.LI.P99)/float64(base.LI.P99)-1), "li_p99_delta_pct")
+	}
+}
+
+// BenchmarkSidecarOverhead reproduces E4: latency added by the two
+// interposed sidecars on an unloaded call (§3.6).
+func BenchmarkSidecarOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := RunSidecarOverhead(1000, 1)
+		b.ReportMetric(msf(rows[0].P99), "noproxy_p99_ms")
+		b.ReportMetric(msf(rows[1].P99), "sidecars_p99_ms")
+		b.ReportMetric(msf(rows[1].OverheadP99), "added_p99_ms")
+	}
+}
+
+// BenchmarkAblation reproduces E5: each optimization's contribution at
+// 40 RPS per workload.
+func BenchmarkAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := RunAblation(40, 1, MixedConfig{Warmup: 2 * time.Second, Measure: benchWindow})
+		names := []string{"baseline", "routing", "routing_tc", "routing_tc_scav", "all"}
+		for j, r := range rows {
+			b.ReportMetric(msf(r.LSP99), names[j]+"_ls_p99_ms")
+		}
+	}
+}
+
+// BenchmarkScavenger reproduces E6: short-transfer FCT against a bulk
+// flow per congestion controller.
+func BenchmarkScavenger(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := RunScavenger(1)
+		for _, r := range rows {
+			b.ReportMetric(msf(r.LSP99), r.CC+"_ls_fct_p99_ms")
+		}
+	}
+}
+
+// BenchmarkAdaptiveLB reproduces E7: LB policies against a degraded
+// replica.
+func BenchmarkAdaptiveLB(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := RunAdaptiveLB(50, 1)
+		for _, r := range rows {
+			b.ReportMetric(msf(r.P99), string(r.Policy)+"_p99_ms")
+		}
+	}
+}
+
+// BenchmarkRedundant reproduces E8: hedged requests against a
+// heavy-tailed replica.
+func BenchmarkRedundant(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := RunRedundant(30, 1)
+		b.ReportMetric(msf(rows[0].P99), "nohedge_p99_ms")
+		b.ReportMetric(msf(rows[1].P99), "hedge_p99_ms")
+	}
+}
+
+// BenchmarkHopDepth reproduces E9: latency accumulation across chain
+// depth (§3.6 "tens of hops").
+func BenchmarkHopDepth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := RunHopDepth([]int{1, 8, 32}, 200, 1)
+		b.ReportMetric(msf(rows[0].P50), "depth1_p50_ms")
+		b.ReportMetric(msf(rows[1].P50), "depth8_p50_ms")
+		b.ReportMetric(msf(rows[2].P50), "depth32_p50_ms")
+	}
+}
+
+// BenchmarkBottleneckSweep runs E10: prioritization win vs bottleneck
+// capacity (extension experiment).
+func BenchmarkBottleneckSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := RunBottleneckSweep([]float64{0.5, 2}, 1, MixedConfig{Warmup: 2 * time.Second, Measure: benchWindow})
+		b.ReportMetric(float64(rows[0].BaseP99)/float64(rows[0].OptP99), "tight_p99_speedup_x")
+		b.ReportMetric(float64(rows[1].BaseP99)/float64(rows[1].OptP99), "loose_p99_speedup_x")
+	}
+}
+
+// BenchmarkSkewSweep runs E11: prioritization win vs workload skew
+// (extension experiment).
+func BenchmarkSkewSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := RunSkewSweep([]float64{0.5, 4}, 1, MixedConfig{Warmup: 2 * time.Second, Measure: benchWindow})
+		b.ReportMetric(float64(rows[0].BaseP99)/float64(rows[0].OptP99), "lowskew_p99_speedup_x")
+		b.ReportMetric(float64(rows[1].BaseP99)/float64(rows[1].OptP99), "highskew_p99_speedup_x")
+	}
+}
+
+// BenchmarkResilience runs E12: a replica partition masked (or not) by
+// the mesh's retries and circuit breaking.
+func BenchmarkResilience(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := RunResilience(30, 1)
+		// rows: [0..2] without resilience, [3..5] with.
+		b.ReportMetric(100*rows[1].ErrorRate, "norez_partition_err_pct")
+		b.ReportMetric(100*rows[4].ErrorRate, "rez_partition_err_pct")
+		b.ReportMetric(msf(rows[4].P99), "rez_partition_p99_ms")
+	}
+}
+
+// BenchmarkQdiscComparison runs E13: AQM vs class-aware scheduling at
+// the bottleneck.
+func BenchmarkQdiscComparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := RunQdiscComparison(40, 1, MixedConfig{Warmup: 2 * time.Second, Measure: benchWindow})
+		names := []string{"fifo", "red", "codel", "nearstrict"}
+		for j, r := range rows {
+			b.ReportMetric(msf(r.LSP99), names[j]+"_ls_p99_ms")
+		}
+	}
+}

@@ -1,0 +1,139 @@
+// Command meshbench reproduces every table and figure of the paper's
+// evaluation (and this repo's extensions) and prints them as text
+// tables. See DESIGN.md for the experiment index.
+//
+// Usage:
+//
+//	meshbench -exp fig4                # the paper's Fig. 4 sweep
+//	meshbench -exp all -measure 20s    # everything, paper-scale windows
+//	meshbench -exp ablation -rps 40
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"meshlayer"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment: fig4|licost|overhead|ablation|scavenger|adaptivelb|redundant|hops|bottleneck|skew|resilience|qdisc|all")
+		seed    = flag.Int64("seed", 1, "random seed (same seed = identical run)")
+		rps     = flag.Float64("rps", 40, "per-workload RPS for the ablation experiment")
+		levels  = flag.String("levels", "10,20,30,40,50", "comma-separated RPS levels for the fig4 sweep")
+		warmup  = flag.Duration("warmup", 2*time.Second, "warm-up excluded from measurement")
+		measure = flag.Duration("measure", 20*time.Second, "measured window per run")
+		opts    = flag.String("opts", "routing,tc", "optimizations for the fig4 sweep: routing,tc,scavenger,sdn")
+		chart   = flag.Bool("chart", false, "also render fig4 as an ASCII chart")
+		csv     = flag.Bool("csv", false, "emit fig4 as CSV instead of a table")
+	)
+	flag.Parse()
+
+	rpsLevels, err := parseLevels(*levels)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "meshbench:", err)
+		os.Exit(2)
+	}
+	opt, err := meshlayer.ParseOptimizations(*opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "meshbench:", err)
+		os.Exit(2)
+	}
+
+	mixed := meshlayer.MixedConfig{Warmup: *warmup, Measure: *measure}
+	want := func(name string) bool { return *exp == "all" || *exp == name }
+	ran := false
+
+	if want("fig4") || want("licost") {
+		ran = true
+		fmt.Printf("# sweep: opts=%s levels=%v measure=%v seed=%d\n\n", opt, rpsLevels, *measure, *seed)
+		points := meshlayer.RunSweep(meshlayer.SweepConfig{
+			RPSLevels: rpsLevels,
+			Opt:       opt,
+			Seed:      *seed,
+			Warmup:    *warmup,
+			Measure:   *measure,
+		})
+		if want("fig4") {
+			if *csv {
+				fmt.Print(meshlayer.CSVFig4(points))
+			} else {
+				fmt.Println(meshlayer.FormatFig4(points))
+			}
+			if *chart {
+				fmt.Println(meshlayer.ChartFig4(points))
+			}
+		}
+		if want("licost") && !*csv {
+			fmt.Println(meshlayer.FormatLICost(points))
+		}
+	}
+	if want("overhead") {
+		ran = true
+		fmt.Println(meshlayer.FormatOverhead(meshlayer.RunSidecarOverhead(2000, *seed)))
+	}
+	if want("ablation") {
+		ran = true
+		fmt.Println(meshlayer.FormatAblation(meshlayer.RunAblation(*rps, *seed, mixed), *rps))
+	}
+	if want("scavenger") {
+		ran = true
+		fmt.Println(meshlayer.FormatScavenger(meshlayer.RunScavenger(*seed)))
+	}
+	if want("adaptivelb") {
+		ran = true
+		fmt.Println(meshlayer.FormatAdaptiveLB(meshlayer.RunAdaptiveLB(50, *seed)))
+	}
+	if want("redundant") {
+		ran = true
+		fmt.Println(meshlayer.FormatRedundant(meshlayer.RunRedundant(30, *seed)))
+	}
+	if want("hops") {
+		ran = true
+		fmt.Println(meshlayer.FormatHopDepth(meshlayer.RunHopDepth(nil, 500, *seed)))
+	}
+	if want("bottleneck") {
+		ran = true
+		fmt.Println(meshlayer.FormatBottleneck(meshlayer.RunBottleneckSweep(nil, *seed, mixed)))
+	}
+	if want("skew") {
+		ran = true
+		fmt.Println(meshlayer.FormatSkew(meshlayer.RunSkewSweep(nil, *seed, mixed)))
+	}
+	if want("resilience") {
+		ran = true
+		fmt.Println(meshlayer.FormatResilience(meshlayer.RunResilience(30, *seed)))
+	}
+	if want("qdisc") {
+		ran = true
+		fmt.Println(meshlayer.FormatQdiscComparison(meshlayer.RunQdiscComparison(*rps, *seed, mixed), *rps))
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "meshbench: unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}
+
+func parseLevels(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(part, 64)
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("bad RPS level %q", part)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no RPS levels")
+	}
+	return out, nil
+}

@@ -1,0 +1,42 @@
+// E-library under mixed load: the paper's §4.3 experiment at one load
+// level, baseline vs cross-layer prioritization, side by side.
+//
+//	go run ./examples/elibrary
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"meshlayer"
+)
+
+func main() {
+	const rps = 40
+	mixed := meshlayer.MixedConfig{
+		RPS:     rps,
+		Seed:    7,
+		Warmup:  2 * time.Second,
+		Measure: 15 * time.Second,
+	}
+
+	fmt.Printf("mixed workload: %d RPS latency-sensitive + %d RPS analytics (responses ~200x larger)\n", rps, rps)
+	fmt.Println("bottleneck: 1 Gbps between reviews and ratings")
+	fmt.Println()
+
+	base := meshlayer.RunMixedOnce(meshlayer.None(), mixed)
+	opt := meshlayer.RunMixedOnce(meshlayer.PaperOptimizations(), mixed)
+
+	show := func(name string, r meshlayer.MixedResult) {
+		fmt.Printf("%-28s LS p50=%-10v p99=%-10v | LI p50=%-10v p99=%v\n",
+			name, r.LS.P50, r.LS.P99, r.LI.P50, r.LI.P99)
+	}
+	show("baseline", base)
+	show("with cross-layer priority", opt)
+
+	fmt.Printf("\nlatency-sensitive improvement: p50 %.2fx, p99 %.2fx\n",
+		float64(base.LS.P50)/float64(opt.LS.P50),
+		float64(base.LS.P99)/float64(opt.LS.P99))
+	fmt.Printf("latency-insensitive p99 change: %+.1f%%\n",
+		100*(float64(opt.LI.P99)/float64(base.LI.P99)-1))
+}

@@ -1,0 +1,50 @@
+// Social-network DAG + visibility tour (§3.2): build a 13-service
+// DeathStarBench-flavoured application, drive load, then use the mesh's
+// distributed tracing to find the slowest requests and decompose their
+// latency along the critical path — root-cause analysis from passive
+// observation alone.
+//
+//	go run ./examples/social
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"meshlayer/internal/app"
+	"meshlayer/internal/trace"
+	"meshlayer/internal/workload"
+)
+
+func main() {
+	d, err := app.BuildDAG(app.SocialNetworkSpec())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("social network: %d pods across %d services\n",
+		len(d.Cluster.Pods()), len(d.Cluster.Services()))
+
+	g := workload.Start(d.Sched, d.Gateway, workload.Spec{
+		Name: "compose", Rate: 100, Seed: 7,
+		NewRequest: d.NewDAGRequest,
+		Warmup:     time.Second, Measure: 10 * time.Second, Cooldown: time.Second,
+	})
+	d.Sched.RunFor(13 * time.Second)
+	r := g.Results()
+	fmt.Printf("drove %d requests: p50=%v p99=%v errors=%d\n\n", r.Measured, r.P50(), r.P99(), r.Errors)
+
+	tracer := d.Mesh.Tracer()
+	fmt.Println("slowest requests and where their time went:")
+	for _, id := range tracer.SlowestTraces(3) {
+		tree := tracer.Tree(id)
+		fmt.Printf("\n%s (total %v)\n", id, tree.Span.Duration())
+		fmt.Print(trace.FormatCriticalPath(trace.CriticalPath(tree)))
+	}
+
+	fmt.Println("\nbusiest services by total span time:")
+	totals := tracer.ServiceTotals()
+	for _, svc := range []string{"compose", "home-timeline", "post-storage", "graph-db", "post-db"} {
+		t := totals[svc]
+		fmt.Printf("  %-15s spans=%-6d busy=%v\n", svc, t.Spans, t.TotalTime)
+	}
+}

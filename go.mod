@@ -1,0 +1,3 @@
+module meshlayer
+
+go 1.22

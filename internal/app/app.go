@@ -1,0 +1,38 @@
+// Package app contains the sample microservice applications that run on
+// the mesh: the e-library of the paper's prototype (Istio's bookinfo
+// reshaped, §4.3), a linear chain for hop-depth studies, and a deeper
+// e-commerce tree used by the examples.
+//
+// Application handlers follow the paper's division of labour: they
+// propagate the trace headers (x-request-id / x-span-id) onto child
+// requests — "which is propagated to those requests by the application
+// to enable existing service mesh functionality" — while priority
+// propagation beyond the front end is the mesh's job (internal/core).
+package app
+
+import (
+	"meshlayer/internal/httpsim"
+	"meshlayer/internal/mesh"
+	"meshlayer/internal/trace"
+)
+
+// CopyTrace copies the distributed-tracing context headers from an
+// inbound request onto a child request, as the application must for
+// the mesh's tracing (and thus provenance) to work.
+func CopyTrace(parent, child *httpsim.Request) {
+	if v := parent.Headers.Get(trace.HeaderRequestID); v != "" {
+		child.Headers.Set(trace.HeaderRequestID, v)
+	}
+	if v := parent.Headers.Get(trace.HeaderSpanID); v != "" {
+		child.Headers.Set(trace.HeaderSpanID, v)
+	}
+}
+
+// childRequest builds a child request to a service, carrying the trace
+// context of the parent.
+func childRequest(parent *httpsim.Request, service, path string) *httpsim.Request {
+	r := httpsim.NewRequest("GET", path)
+	r.Headers.Set(mesh.HeaderHost, service)
+	CopyTrace(parent, r)
+	return r
+}

@@ -1,0 +1,287 @@
+package app
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"meshlayer/internal/cluster"
+	"meshlayer/internal/httpsim"
+	"meshlayer/internal/mesh"
+	"meshlayer/internal/simnet"
+)
+
+// ServiceSpec declares one service of a DAG application.
+type ServiceSpec struct {
+	// Name is the service (and "app" label) name.
+	Name string
+	// Replicas is the pod count (default 1).
+	Replicas int
+	// ServiceTime is the per-request compute time.
+	ServiceTime time.Duration
+	// ResponseBytes is the response body size.
+	ResponseBytes int
+	// Calls lists downstream services invoked in parallel per request.
+	Calls []string
+	// Workers bounds pod concurrency (default 16).
+	Workers int
+	// Link overrides the pods' uplink (zero = cluster default).
+	Link simnet.LinkConfig
+}
+
+// DAGSpec declares a whole application as a service DAG. Entry is the
+// service external requests address.
+type DAGSpec struct {
+	Services []ServiceSpec
+	Entry    string
+	Mesh     mesh.Config
+}
+
+// DAG is an assembled DAG application.
+type DAG struct {
+	Sched   *simnet.Scheduler
+	Cluster *cluster.Cluster
+	Mesh    *mesh.Mesh
+	Gateway *mesh.Gateway
+	Entry   string
+
+	specs    map[string]ServiceSpec
+	nextIdx  map[string]int
+	replicas map[string][]*cluster.Pod
+}
+
+// Validate checks the spec: unique names, known call targets, a known
+// entry, and acyclicity (requests must terminate).
+func (s DAGSpec) Validate() error {
+	if len(s.Services) == 0 {
+		return fmt.Errorf("app: DAG needs services")
+	}
+	byName := map[string]*ServiceSpec{}
+	for i := range s.Services {
+		svc := &s.Services[i]
+		if svc.Name == "" {
+			return fmt.Errorf("app: service %d has no name", i)
+		}
+		if _, dup := byName[svc.Name]; dup {
+			return fmt.Errorf("app: duplicate service %q", svc.Name)
+		}
+		byName[svc.Name] = svc
+	}
+	if _, ok := byName[s.Entry]; !ok {
+		return fmt.Errorf("app: entry service %q not declared", s.Entry)
+	}
+	for _, svc := range s.Services {
+		for _, c := range svc.Calls {
+			if _, ok := byName[c]; !ok {
+				return fmt.Errorf("app: %s calls unknown service %q", svc.Name, c)
+			}
+		}
+	}
+	// Cycle check via DFS colours.
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	colour := map[string]int{}
+	var visit func(name string) error
+	visit = func(name string) error {
+		switch colour[name] {
+		case grey:
+			return fmt.Errorf("app: call cycle through %q", name)
+		case black:
+			return nil
+		}
+		colour[name] = grey
+		for _, c := range byName[name].Calls {
+			if err := visit(c); err != nil {
+				return err
+			}
+		}
+		colour[name] = black
+		return nil
+	}
+	names := make([]string, 0, len(byName))
+	for n := range byName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if err := visit(n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// BuildDAG assembles the application on a fresh scheduler: one pod per
+// replica, one service per spec, sidecars everywhere, and handlers that
+// fan out to each service's Calls in parallel and respond when all
+// downstream responses are in.
+func BuildDAG(spec DAGSpec) (*DAG, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	sched := simnet.NewScheduler()
+	net := simnet.NewNetwork(sched)
+	cl := cluster.New(net)
+
+	gwPod := cl.AddPod(cluster.PodSpec{Name: "gateway", Labels: map[string]string{"app": "gateway"}})
+	m := mesh.New(cl, spec.Mesh)
+	gw := m.NewGateway(gwPod)
+
+	d := &DAG{
+		Sched: sched, Cluster: cl, Mesh: m, Gateway: gw, Entry: spec.Entry,
+		specs:    make(map[string]ServiceSpec),
+		nextIdx:  make(map[string]int),
+		replicas: make(map[string][]*cluster.Pod),
+	}
+	for _, svc := range spec.Services {
+		replicas := svc.Replicas
+		if replicas <= 0 {
+			replicas = 1
+		}
+		d.specs[svc.Name] = svc
+		for i := 0; i < replicas; i++ {
+			d.addReplica(svc.Name)
+		}
+		cl.AddService(svc.Name, 9080, map[string]string{"app": svc.Name})
+	}
+	return d, nil
+}
+
+func (d *DAG) addReplica(service string) *cluster.Pod {
+	svc := d.specs[service]
+	workers := svc.Workers
+	if workers <= 0 {
+		workers = 16
+	}
+	d.nextIdx[service]++
+	i := d.nextIdx[service]
+	pod := d.Cluster.AddPod(cluster.PodSpec{
+		Name:    fmt.Sprintf("%s-%d", service, i),
+		Labels:  map[string]string{"app": service, "version": fmt.Sprintf("v%d", i)},
+		Workers: workers,
+		Link:    svc.Link,
+	})
+	registerDAGHandler(d.Mesh, pod, svc)
+	d.replicas[service] = append(d.replicas[service], pod)
+	return pod
+}
+
+// ReadyReplicas returns the service's currently ready pod count.
+func (d *DAG) ReadyReplicas(service string) int {
+	n := 0
+	for _, p := range d.replicas[service] {
+		if p.Ready() {
+			n++
+		}
+	}
+	return n
+}
+
+// Scale adjusts a service's ready replica count at runtime: scaling up
+// creates new pods (with sidecars and handlers); scaling down marks the
+// newest pods unready, draining them Kubernetes-style without touching
+// in-flight work. Previously drained pods are reused before new ones
+// are created.
+func (d *DAG) Scale(service string, replicas int) error {
+	if _, ok := d.specs[service]; !ok {
+		return fmt.Errorf("app: unknown service %q", service)
+	}
+	if replicas < 1 {
+		return fmt.Errorf("app: replicas must be >= 1")
+	}
+	// Scale down: drain from the end.
+	for i := len(d.replicas[service]) - 1; i >= 0 && d.ReadyReplicas(service) > replicas; i-- {
+		if p := d.replicas[service][i]; p.Ready() {
+			p.SetReady(false)
+		}
+	}
+	// Scale up: first reactivate drained pods, then create.
+	for _, p := range d.replicas[service] {
+		if d.ReadyReplicas(service) >= replicas {
+			break
+		}
+		if !p.Ready() {
+			p.SetReady(true)
+		}
+	}
+	for d.ReadyReplicas(service) < replicas {
+		d.addReplica(service)
+	}
+	return nil
+}
+
+func registerDAGHandler(m *mesh.Mesh, pod *cluster.Pod, svc ServiceSpec) {
+	sc := m.InjectSidecar(pod)
+	sc.RegisterApp(func(req *httpsim.Request, respond func(*httpsim.Response)) {
+		pod.Exec(svc.ServiceTime, func() {
+			if len(svc.Calls) == 0 {
+				out := httpsim.NewResponse(httpsim.StatusOK)
+				out.BodyBytes = svc.ResponseBytes
+				respond(out)
+				return
+			}
+			remaining := len(svc.Calls)
+			worst := httpsim.StatusOK
+			finish := func(resp *httpsim.Response, err error) {
+				if err != nil {
+					worst = httpsim.StatusBadGateway
+				} else if resp.Status > worst {
+					worst = resp.Status
+				}
+				remaining--
+				if remaining > 0 {
+					return
+				}
+				out := httpsim.NewResponse(worst)
+				out.BodyBytes = svc.ResponseBytes
+				respond(out)
+			}
+			for _, target := range svc.Calls {
+				sc.Call(childRequest(req, target, req.Path), finish)
+			}
+		})
+	})
+}
+
+// NewDAGRequest builds an external request entering the DAG.
+func (d *DAG) NewDAGRequest() *httpsim.Request {
+	r := httpsim.NewRequest("GET", "/compose")
+	r.Headers.Set(mesh.HeaderHost, d.Entry)
+	return r
+}
+
+// SocialNetworkSpec is a DeathStarBench-flavoured topology: a compose
+// front tier fanning out through timeline, graph, and storage tiers —
+// the "fleets of microservices" of the paper's introduction.
+func SocialNetworkSpec() DAGSpec {
+	msec := func(n int) time.Duration { return time.Duration(n) * 100 * time.Microsecond }
+	return DAGSpec{
+		Entry: "compose",
+		Services: []ServiceSpec{
+			{Name: "compose", Replicas: 2, ServiceTime: msec(8), ResponseBytes: 16 << 10,
+				Calls: []string{"home-timeline", "user-timeline", "text", "media"}},
+			{Name: "home-timeline", Replicas: 2, ServiceTime: msec(5), ResponseBytes: 8 << 10,
+				Calls: []string{"social-graph", "post-storage"}},
+			{Name: "user-timeline", Replicas: 2, ServiceTime: msec(5), ResponseBytes: 8 << 10,
+				Calls: []string{"post-storage"}},
+			{Name: "social-graph", ServiceTime: msec(4), ResponseBytes: 4 << 10,
+				Calls: []string{"graph-cache"}},
+			{Name: "graph-cache", ServiceTime: msec(2), ResponseBytes: 2 << 10,
+				Calls: []string{"graph-db"}},
+			{Name: "graph-db", ServiceTime: msec(6), ResponseBytes: 4 << 10},
+			{Name: "post-storage", Replicas: 2, ServiceTime: msec(4), ResponseBytes: 8 << 10,
+				Calls: []string{"post-cache"}},
+			{Name: "post-cache", ServiceTime: msec(2), ResponseBytes: 8 << 10,
+				Calls: []string{"post-db"}},
+			{Name: "post-db", ServiceTime: msec(6), ResponseBytes: 8 << 10},
+			{Name: "text", ServiceTime: msec(3), ResponseBytes: 2 << 10,
+				Calls: []string{"url-shorten", "user-mention"}},
+			{Name: "url-shorten", ServiceTime: msec(2), ResponseBytes: 1 << 10},
+			{Name: "user-mention", ServiceTime: msec(2), ResponseBytes: 1 << 10},
+			{Name: "media", ServiceTime: msec(4), ResponseBytes: 32 << 10},
+		},
+	}
+}

@@ -1,0 +1,121 @@
+package app
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"meshlayer/internal/httpsim"
+	"meshlayer/internal/trace"
+)
+
+func TestDAGValidate(t *testing.T) {
+	cases := map[string]DAGSpec{
+		"empty":        {},
+		"no entry":     {Services: []ServiceSpec{{Name: "a"}}, Entry: "b"},
+		"unnamed":      {Services: []ServiceSpec{{}}, Entry: ""},
+		"duplicate":    {Services: []ServiceSpec{{Name: "a"}, {Name: "a"}}, Entry: "a"},
+		"unknown call": {Services: []ServiceSpec{{Name: "a", Calls: []string{"zz"}}}, Entry: "a"},
+		"self cycle":   {Services: []ServiceSpec{{Name: "a", Calls: []string{"a"}}}, Entry: "a"},
+		"longer cycle": {Services: []ServiceSpec{
+			{Name: "a", Calls: []string{"b"}},
+			{Name: "b", Calls: []string{"c"}},
+			{Name: "c", Calls: []string{"a"}},
+		}, Entry: "a"},
+	}
+	for name, spec := range cases {
+		if err := spec.Validate(); err == nil {
+			t.Fatalf("%s: invalid spec accepted", name)
+		}
+	}
+	if err := SocialNetworkSpec().Validate(); err != nil {
+		t.Fatalf("social spec invalid: %v", err)
+	}
+}
+
+func TestDAGBuildRejectsBadSpec(t *testing.T) {
+	if _, err := BuildDAG(DAGSpec{}); err == nil {
+		t.Fatal("bad spec built")
+	}
+}
+
+func TestSocialNetworkEndToEnd(t *testing.T) {
+	d, err := BuildDAG(SocialNetworkSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got *httpsim.Response
+	var lat time.Duration
+	start := d.Sched.Now()
+	d.Gateway.Serve(d.NewDAGRequest(), func(r *httpsim.Response, err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = r
+		lat = d.Sched.Now() - start
+	})
+	d.Sched.Run()
+	if got == nil || got.Status != httpsim.StatusOK {
+		t.Fatalf("response = %+v", got)
+	}
+	if lat == 0 || lat > 100*time.Millisecond {
+		t.Fatalf("latency = %v", lat)
+	}
+	// All 13 services participate in the trace.
+	ids := d.Mesh.Tracer().TraceIDs()
+	tree := d.Mesh.Tracer().Tree(ids[0])
+	seen := map[string]bool{}
+	tree.Walk(func(n *trace.TreeNode, _ int) { seen[n.Span.Service] = true })
+	for _, svc := range []string{"compose", "home-timeline", "graph-db", "post-db", "url-shorten", "media"} {
+		if !seen[svc] {
+			t.Fatalf("service %s missing from trace:\n%s", svc, tree.Format())
+		}
+	}
+	// The deepest chain (compose -> home-timeline -> social-graph ->
+	// graph-cache -> graph-db) gives 1 + 2*5 span levels.
+	if tree.Depth() != 11 {
+		t.Fatalf("trace depth = %d, want 11", tree.Depth())
+	}
+}
+
+func TestDAGCriticalPathDecomposes(t *testing.T) {
+	d, err := BuildDAG(SocialNetworkSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Gateway.Serve(d.NewDAGRequest(), func(*httpsim.Response, error) {})
+	d.Sched.Run()
+	ids := d.Mesh.Tracer().TraceIDs()
+	tree := d.Mesh.Tracer().Tree(ids[0])
+	steps := trace.CriticalPath(tree)
+	if len(steps) < 5 {
+		t.Fatalf("critical path too short: %d", len(steps))
+	}
+	var sum time.Duration
+	for _, s := range steps {
+		sum += s.SelfTime
+	}
+	if sum != tree.Span.Duration() {
+		t.Fatalf("self times %v != total %v", sum, tree.Span.Duration())
+	}
+	if !strings.Contains(trace.FormatCriticalPath(steps), "compose") {
+		t.Fatal("critical path missing root")
+	}
+}
+
+func TestDAGReplicasSpread(t *testing.T) {
+	d, err := BuildDAG(SocialNetworkSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		d.Gateway.Serve(d.NewDAGRequest(), func(*httpsim.Response, error) {})
+		d.Sched.RunFor(100 * time.Millisecond)
+	}
+	d.Sched.Run()
+	// compose has 2 replicas behind round robin: both must have worked.
+	if d.Cluster.Pod("compose-1").Workers().Executed() == 0 ||
+		d.Cluster.Pod("compose-2").Workers().Executed() == 0 {
+		t.Fatal("compose replicas not both used")
+	}
+}

@@ -1,0 +1,296 @@
+package app
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"meshlayer/internal/cluster"
+	"meshlayer/internal/httpsim"
+	"meshlayer/internal/mesh"
+	"meshlayer/internal/simnet"
+)
+
+// Paths served by the e-library.
+const (
+	// PathProduct is the latency-sensitive user-facing page (the
+	// bookinfo /productpage analogue).
+	PathProduct = "/productpage"
+	// PathAnalytics is the latency-insensitive batch scan whose
+	// responses are ~200x larger.
+	PathAnalytics = "/analytics"
+)
+
+// ELibraryConfig parameterizes the §4.3 testbed.
+type ELibraryConfig struct {
+	// LinkRate is the default inter-pod rate (paper: 15 Gbps).
+	LinkRate int64
+	// BottleneckRate throttles the ratings pod's uplink — the single
+	// 1 Gbps bottleneck between reviews and ratings.
+	BottleneckRate int64
+	// ReviewsReplicas is the reviews scale-out (paper: 2, one per
+	// priority pool under the optimization).
+	ReviewsReplicas int
+	// Workers bounds per-pod compute concurrency.
+	Workers int
+
+	// Latency-sensitive response sizes per component.
+	LSDetailsBytes, LSRatingsBytes, LSReviewsBytes, LSFrontendBytes int
+	// Latency-insensitive response sizes: the ratings scan dominates.
+	LIRatingsBytes, LIReviewsBytes, LIFrontendBytes int
+
+	// Service times (compute) per component.
+	FrontendTime, DetailsTime, ReviewsTime, RatingsTime time.Duration
+	// RatingsScanTime is the extra compute of the analytics scan.
+	RatingsScanTime time.Duration
+
+	// Mesh carries mesh-level settings (sidecar overhead, seed).
+	Mesh mesh.Config
+}
+
+// DefaultELibraryConfig mirrors the paper's setup, scaled to the
+// simulator: LS responses total ~10 KB, LI ratings responses are 2 MB
+// (~200x), and the ratings uplink is the 1 Gbps bottleneck.
+func DefaultELibraryConfig() ELibraryConfig {
+	return ELibraryConfig{
+		LinkRate:        15 * simnet.Gbps,
+		BottleneckRate:  1 * simnet.Gbps,
+		ReviewsReplicas: 2,
+		Workers:         32,
+		LSDetailsBytes:  2 << 10,
+		LSRatingsBytes:  1 << 10,
+		LSReviewsBytes:  4 << 10,
+		LSFrontendBytes: 8 << 10,
+		LIRatingsBytes:  2 << 20,
+		LIReviewsBytes:  32 << 10,
+		LIFrontendBytes: 32 << 10,
+		FrontendTime:    1 * time.Millisecond,
+		DetailsTime:     500 * time.Microsecond,
+		ReviewsTime:     1 * time.Millisecond,
+		RatingsTime:     500 * time.Microsecond,
+		RatingsScanTime: 3 * time.Millisecond,
+	}
+}
+
+// ELibrary is the assembled application: cluster, mesh, gateway, and
+// the pods by role.
+type ELibrary struct {
+	Sched   *simnet.Scheduler
+	Net     *simnet.Network
+	Cluster *cluster.Cluster
+	Mesh    *mesh.Mesh
+	Gateway *mesh.Gateway
+	Config  ELibraryConfig
+
+	Frontend *cluster.Pod
+	Details  *cluster.Pod
+	Reviews  []*cluster.Pod
+	Ratings  *cluster.Pod
+}
+
+// BuildELibrary constructs the full Fig. 3 topology on a fresh
+// scheduler: ingress gateway -> frontend -> {details, reviews[i] ->
+// ratings}, with the ratings uplink as the bottleneck.
+func BuildELibrary(cfg ELibraryConfig) *ELibrary {
+	if cfg.LinkRate == 0 {
+		cfg = fillDefaults(cfg)
+	}
+	sched := simnet.NewScheduler()
+	net := simnet.NewNetwork(sched)
+	cl := cluster.New(net)
+
+	link := simnet.LinkConfig{Rate: cfg.LinkRate, Delay: 20 * time.Microsecond}
+	bottleneck := simnet.LinkConfig{Rate: cfg.BottleneckRate, Delay: 20 * time.Microsecond}
+
+	gwPod := cl.AddPod(cluster.PodSpec{Name: "gateway", Labels: map[string]string{"app": "gateway"}, Link: link})
+	fePod := cl.AddPod(cluster.PodSpec{Name: "frontend-1", Labels: map[string]string{"app": "frontend"}, Link: link, Workers: cfg.Workers})
+	dtPod := cl.AddPod(cluster.PodSpec{Name: "details-1", Labels: map[string]string{"app": "details"}, Link: link, Workers: cfg.Workers})
+	var rvPods []*cluster.Pod
+	for i := 1; i <= cfg.ReviewsReplicas; i++ {
+		rvPods = append(rvPods, cl.AddPod(cluster.PodSpec{
+			Name:    fmt.Sprintf("reviews-%d", i),
+			Labels:  map[string]string{"app": "reviews", "version": fmt.Sprintf("v%d", i)},
+			Link:    link,
+			Workers: cfg.Workers,
+		}))
+	}
+	rtPod := cl.AddPod(cluster.PodSpec{Name: "ratings-1", Labels: map[string]string{"app": "ratings"}, Link: bottleneck, Workers: cfg.Workers})
+
+	cl.AddService("frontend", 9080, map[string]string{"app": "frontend"})
+	cl.AddService("details", 9080, map[string]string{"app": "details"})
+	cl.AddService("reviews", 9080, map[string]string{"app": "reviews"})
+	cl.AddService("ratings", 9080, map[string]string{"app": "ratings"})
+
+	m := mesh.New(cl, cfg.Mesh)
+	gw := m.NewGateway(gwPod)
+
+	e := &ELibrary{
+		Sched: sched, Net: net, Cluster: cl, Mesh: m, Gateway: gw, Config: cfg,
+		Frontend: fePod, Details: dtPod, Reviews: rvPods, Ratings: rtPod,
+	}
+	e.registerFrontend(fePod)
+	e.registerDetails(dtPod)
+	for _, p := range rvPods {
+		e.registerReviews(p)
+	}
+	e.registerRatings(rtPod)
+	return e
+}
+
+func fillDefaults(cfg ELibraryConfig) ELibraryConfig {
+	d := DefaultELibraryConfig()
+	d.Mesh = cfg.Mesh
+	if cfg.ReviewsReplicas > 0 {
+		d.ReviewsReplicas = cfg.ReviewsReplicas
+	}
+	if cfg.BottleneckRate > 0 {
+		d.BottleneckRate = cfg.BottleneckRate
+	}
+	if cfg.LIRatingsBytes > 0 {
+		d.LIRatingsBytes = cfg.LIRatingsBytes
+	}
+	return d
+}
+
+// isAnalytics classifies a path as the batch workload.
+func isAnalytics(path string) bool { return strings.HasPrefix(path, PathAnalytics) }
+
+// NewProductRequest builds a latency-sensitive external request.
+func NewProductRequest() *httpsim.Request {
+	r := httpsim.NewRequest("GET", PathProduct)
+	r.Headers.Set(mesh.HeaderHost, "frontend")
+	r.BodyBytes = 128
+	return r
+}
+
+// NewAnalyticsRequest builds a latency-insensitive external request.
+func NewAnalyticsRequest() *httpsim.Request {
+	r := httpsim.NewRequest("GET", PathAnalytics)
+	r.Headers.Set(mesh.HeaderHost, "frontend")
+	r.BodyBytes = 256
+	return r
+}
+
+// Classifier returns the ingress classifier for the e-library: user
+// paths are high priority, analytics paths low — design component (1).
+func Classifier() mesh.Classifier {
+	return mesh.PathClassifier(map[string]string{
+		PathProduct:   mesh.PriorityHigh,
+		PathAnalytics: mesh.PriorityLow,
+	}, mesh.PriorityHigh)
+}
+
+func (e *ELibrary) registerFrontend(pod *cluster.Pod) {
+	sc := e.Mesh.InjectSidecar(pod)
+	cfg := e.Config
+	sc.RegisterApp(func(req *httpsim.Request, respond func(*httpsim.Response)) {
+		pod.Exec(cfg.FrontendTime, func() {
+			if isAnalytics(req.Path) {
+				// Batch analytics: scan reviews (which consults
+				// ratings) and return an aggregate.
+				child := childRequest(req, "reviews", req.Path)
+				// The ingress-adjacent application attaches the
+				// priority bits to the requests it spawns (§4.3 (1)).
+				if p := req.Headers.Get(mesh.HeaderPriority); p != "" {
+					child.Headers.Set(mesh.HeaderPriority, p)
+				}
+				sc.Call(child, func(resp *httpsim.Response, err error) {
+					if err != nil {
+						respond(httpsim.NewResponse(httpsim.StatusBadGateway))
+						return
+					}
+					out := httpsim.NewResponse(httpsim.StatusOK)
+					out.BodyBytes = cfg.LIFrontendBytes
+					respond(out)
+				})
+				return
+			}
+			// Product page: details and reviews in parallel.
+			pendingOK := true
+			remaining := 2
+			finish := func(ok bool) {
+				if !ok {
+					pendingOK = false
+				}
+				remaining--
+				if remaining > 0 {
+					return
+				}
+				status := httpsim.StatusOK
+				if !pendingOK {
+					status = httpsim.StatusBadGateway
+				}
+				out := httpsim.NewResponse(status)
+				out.BodyBytes = cfg.LSFrontendBytes
+				respond(out)
+			}
+			details := childRequest(req, "details", req.Path)
+			reviews := childRequest(req, "reviews", req.Path)
+			for _, child := range []*httpsim.Request{details, reviews} {
+				if p := req.Headers.Get(mesh.HeaderPriority); p != "" {
+					child.Headers.Set(mesh.HeaderPriority, p)
+				}
+			}
+			sc.Call(details, func(resp *httpsim.Response, err error) { finish(err == nil && resp.Status < 500) })
+			sc.Call(reviews, func(resp *httpsim.Response, err error) { finish(err == nil && resp.Status < 500) })
+		})
+	})
+}
+
+func (e *ELibrary) registerDetails(pod *cluster.Pod) {
+	sc := e.Mesh.InjectSidecar(pod)
+	cfg := e.Config
+	sc.RegisterApp(func(req *httpsim.Request, respond func(*httpsim.Response)) {
+		pod.Exec(cfg.DetailsTime, func() {
+			out := httpsim.NewResponse(httpsim.StatusOK)
+			out.BodyBytes = cfg.LSDetailsBytes
+			respond(out)
+		})
+	})
+}
+
+func (e *ELibrary) registerReviews(pod *cluster.Pod) {
+	sc := e.Mesh.InjectSidecar(pod)
+	cfg := e.Config
+	sc.RegisterApp(func(req *httpsim.Request, respond func(*httpsim.Response)) {
+		pod.Exec(cfg.ReviewsTime, func() {
+			// NOTE: reviews does NOT copy the priority header — beyond
+			// the ingress-adjacent hop, priority propagation is the
+			// sidecar layer's provenance mechanism (§4.3 (2)).
+			child := childRequest(req, "ratings", req.Path)
+			sc.Call(child, func(resp *httpsim.Response, err error) {
+				if err != nil {
+					respond(httpsim.NewResponse(httpsim.StatusBadGateway))
+					return
+				}
+				out := httpsim.NewResponse(httpsim.StatusOK)
+				if isAnalytics(req.Path) {
+					out.BodyBytes = cfg.LIReviewsBytes
+				} else {
+					out.BodyBytes = cfg.LSReviewsBytes
+				}
+				respond(out)
+			})
+		})
+	})
+}
+
+func (e *ELibrary) registerRatings(pod *cluster.Pod) {
+	sc := e.Mesh.InjectSidecar(pod)
+	cfg := e.Config
+	sc.RegisterApp(func(req *httpsim.Request, respond func(*httpsim.Response)) {
+		t := cfg.RatingsTime
+		if isAnalytics(req.Path) {
+			t += cfg.RatingsScanTime
+		}
+		pod.Exec(t, func() {
+			out := httpsim.NewResponse(httpsim.StatusOK)
+			if isAnalytics(req.Path) {
+				out.BodyBytes = cfg.LIRatingsBytes
+			} else {
+				out.BodyBytes = cfg.LSRatingsBytes
+			}
+			respond(out)
+		})
+	})
+}

@@ -1,0 +1,162 @@
+// Package asciiplot renders multi-series line charts as text — enough
+// to regenerate the paper's Figure 4 in a terminal. Scales are linear,
+// axes auto-range, and each series gets a distinct glyph.
+package asciiplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one labelled curve.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// Chart is a renderable plot.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Width  int // plot-area columns (default 60)
+	Height int // plot-area rows (default 16)
+	Series []Series
+}
+
+// glyphs mark successive series' points.
+var glyphs = []byte{'o', '*', '+', 'x', '#', '@'}
+
+// Render draws the chart. Charts with no points render a placeholder.
+func (c *Chart) Render() string {
+	w, h := c.Width, c.Height
+	if w <= 0 {
+		w = 60
+	}
+	if h <= 0 {
+		h = 16
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	points := 0
+	for _, s := range c.Series {
+		for i := range s.X {
+			if i >= len(s.Y) {
+				break
+			}
+			points++
+			minX = math.Min(minX, s.X[i])
+			maxX = math.Max(maxX, s.X[i])
+			minY = math.Min(minY, s.Y[i])
+			maxY = math.Max(maxY, s.Y[i])
+		}
+	}
+	if points == 0 {
+		return "(no data)\n"
+	}
+	if minY > 0 && minY < maxY {
+		minY = 0 // anchor latency-style charts at zero
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]byte, h)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", w))
+	}
+	col := func(x float64) int {
+		return int(math.Round((x - minX) / (maxX - minX) * float64(w-1)))
+	}
+	rowOf := func(y float64) int {
+		return (h - 1) - int(math.Round((y-minY)/(maxY-minY)*float64(h-1)))
+	}
+	for si, s := range c.Series {
+		g := glyphs[si%len(glyphs)]
+		// Connect consecutive points with interpolated marks.
+		for i := 0; i+1 < len(s.X) && i+1 < len(s.Y); i++ {
+			x0, y0 := col(s.X[i]), rowOf(s.Y[i])
+			x1, y1 := col(s.X[i+1]), rowOf(s.Y[i+1])
+			steps := max(abs(x1-x0), abs(y1-y0))
+			if steps == 0 {
+				steps = 1
+			}
+			for t := 0; t <= steps; t++ {
+				x := x0 + (x1-x0)*t/steps
+				y := y0 + (y1-y0)*t/steps
+				if y >= 0 && y < h && x >= 0 && x < w {
+					grid[y][x] = '.'
+				}
+			}
+		}
+		for i := range s.X {
+			if i >= len(s.Y) {
+				break
+			}
+			x, y := col(s.X[i]), rowOf(s.Y[i])
+			if y >= 0 && y < h && x >= 0 && x < w {
+				grid[y][x] = g
+			}
+		}
+	}
+
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	yFmt := func(v float64) string { return trimFloat(v) }
+	labelW := 0
+	for _, v := range []float64{maxY, minY, (minY + maxY) / 2} {
+		if l := len(yFmt(v)); l > labelW {
+			labelW = l
+		}
+	}
+	for i, row := range grid {
+		label := strings.Repeat(" ", labelW)
+		switch i {
+		case 0:
+			label = fmt.Sprintf("%*s", labelW, yFmt(maxY))
+		case h / 2:
+			label = fmt.Sprintf("%*s", labelW, yFmt((minY+maxY)/2))
+		case h - 1:
+			label = fmt.Sprintf("%*s", labelW, yFmt(minY))
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, string(row))
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", labelW), strings.Repeat("-", w))
+	fmt.Fprintf(&b, "%s  %s%s%s\n",
+		strings.Repeat(" ", labelW),
+		trimFloat(minX),
+		strings.Repeat(" ", maxInt(1, w-len(trimFloat(minX))-len(trimFloat(maxX)))),
+		trimFloat(maxX))
+	if c.XLabel != "" || c.YLabel != "" {
+		fmt.Fprintf(&b, "%s  x: %s, y: %s\n", strings.Repeat(" ", labelW), c.XLabel, c.YLabel)
+	}
+	for si, s := range c.Series {
+		fmt.Fprintf(&b, "%s  %c %s\n", strings.Repeat(" ", labelW), glyphs[si%len(glyphs)], s.Name)
+	}
+	return b.String()
+}
+
+func trimFloat(v float64) string {
+	s := fmt.Sprintf("%.1f", v)
+	return strings.TrimSuffix(s, ".0")
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,72 @@
+package asciiplot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderBasic(t *testing.T) {
+	c := Chart{
+		Title:  "test chart",
+		XLabel: "rps",
+		YLabel: "ms",
+		Series: []Series{
+			{Name: "base", X: []float64{10, 20, 30}, Y: []float64{5, 20, 60}},
+			{Name: "opt", X: []float64{10, 20, 30}, Y: []float64{5, 5, 6}},
+		},
+	}
+	out := c.Render()
+	for _, want := range []string{"test chart", "base", "opt", "x: rps", "o", "*"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(out, "\n")
+	if len(lines) < 16 {
+		t.Fatalf("chart too short: %d lines", len(lines))
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	c := Chart{}
+	if got := c.Render(); got != "(no data)\n" {
+		t.Fatalf("empty chart: %q", got)
+	}
+}
+
+func TestRenderSinglePoint(t *testing.T) {
+	c := Chart{Series: []Series{{Name: "p", X: []float64{1}, Y: []float64{5}}}}
+	out := c.Render()
+	if !strings.Contains(out, "o") {
+		t.Fatalf("single point not rendered:\n%s", out)
+	}
+}
+
+func TestRenderMonotonePlacement(t *testing.T) {
+	// A rising curve's last point must be on a higher row (smaller
+	// index) than its first.
+	c := Chart{Width: 40, Height: 10, Series: []Series{
+		{Name: "up", X: []float64{0, 1}, Y: []float64{0, 100}},
+	}}
+	out := c.Render()
+	lines := strings.Split(out, "\n")
+	firstRow, lastRow := -1, -1
+	for i, line := range lines {
+		if strings.Contains(line, "o") {
+			if firstRow == -1 {
+				firstRow = i
+			}
+			lastRow = i
+		}
+	}
+	if firstRow == -1 || firstRow >= lastRow {
+		t.Fatalf("rising curve misplaced: first=%d last=%d\n%s", firstRow, lastRow, out)
+	}
+}
+
+func TestRenderDeterministic(t *testing.T) {
+	c := Chart{Series: []Series{{Name: "s", X: []float64{1, 2, 3}, Y: []float64{3, 1, 2}}}}
+	if c.Render() != c.Render() {
+		t.Fatal("render not deterministic")
+	}
+}

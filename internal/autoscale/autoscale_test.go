@@ -1,0 +1,173 @@
+package autoscale
+
+import (
+	"testing"
+	"time"
+
+	"meshlayer/internal/app"
+	"meshlayer/internal/httpsim"
+	"meshlayer/internal/workload"
+)
+
+// bed builds a single-service DAG whose service time makes utilization
+// easy to push around: 4 workers per pod, 20ms service time.
+func bed(t *testing.T) *app.DAG {
+	t.Helper()
+	d, err := app.BuildDAG(app.DAGSpec{
+		Entry: "api",
+		Services: []app.ServiceSpec{{
+			Name:          "api",
+			Replicas:      1,
+			Workers:       4,
+			ServiceTime:   20 * time.Millisecond,
+			ResponseBytes: 2 << 10,
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestValidation(t *testing.T) {
+	d := bed(t)
+	bad := []Config{
+		{},
+		{Cluster: d.Cluster, Scaler: d},
+		{Cluster: d.Cluster, Scaler: d, Targets: []Target{{Service: "api", Min: 0, Max: 3, Utilization: 0.5}}},
+		{Cluster: d.Cluster, Scaler: d, Targets: []Target{{Service: "api", Min: 2, Max: 1, Utilization: 0.5}}},
+		{Cluster: d.Cluster, Scaler: d, Targets: []Target{{Service: "api", Min: 1, Max: 3, Utilization: 1.5}}},
+	}
+	for i, cfg := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("bad config %d accepted", i)
+				}
+			}()
+			New(cfg)
+		}()
+	}
+}
+
+func TestScalesUpUnderLoad(t *testing.T) {
+	d := bed(t)
+	ctrl := New(Config{
+		Cluster:  d.Cluster,
+		Scaler:   d,
+		Targets:  []Target{{Service: "api", Min: 1, Max: 8, Utilization: 0.6}},
+		Interval: 2 * time.Second,
+	})
+	ctrl.Start()
+
+	// One pod: capacity 4 workers / 20ms = 200 RPS. Offer 600 RPS:
+	// needs ~3+ pods at 60% target.
+	workload.Start(d.Sched, d.Gateway, workload.Spec{
+		Name: "load", Rate: 600, Seed: 1,
+		NewRequest: d.NewDAGRequest,
+		Warmup:     time.Second, Measure: 25 * time.Second, Cooldown: time.Second,
+	})
+	d.Sched.RunUntil(20 * time.Second)
+	got := d.ReadyReplicas("api")
+	if got < 3 {
+		t.Fatalf("replicas = %d after sustained overload, want >= 3", got)
+	}
+	if ctrl.ScaleUps() == 0 {
+		t.Fatal("no scale-up recorded")
+	}
+	ctrl.Stop()
+}
+
+func TestScalesDownWhenIdle(t *testing.T) {
+	d := bed(t)
+	d.Scale("api", 6)
+	ctrl := New(Config{
+		Cluster:           d.Cluster,
+		Scaler:            d,
+		Targets:           []Target{{Service: "api", Min: 2, Max: 8, Utilization: 0.6}},
+		Interval:          2 * time.Second,
+		ScaleDownCooldown: 4 * time.Second,
+	})
+	ctrl.Start()
+	// Trickle of load far below capacity.
+	workload.Start(d.Sched, d.Gateway, workload.Spec{
+		Name: "trickle", Rate: 5, Seed: 2,
+		NewRequest: d.NewDAGRequest,
+		Warmup:     time.Second, Measure: 40 * time.Second, Cooldown: time.Second,
+	})
+	d.Sched.RunUntil(40 * time.Second)
+	got := d.ReadyReplicas("api")
+	if got != 2 {
+		t.Fatalf("replicas = %d after sustained idle, want min=2", got)
+	}
+	if ctrl.ScaleDowns() == 0 {
+		t.Fatal("no scale-down recorded")
+	}
+	ctrl.Stop()
+}
+
+func TestRespectsMax(t *testing.T) {
+	d := bed(t)
+	ctrl := New(Config{
+		Cluster:  d.Cluster,
+		Scaler:   d,
+		Targets:  []Target{{Service: "api", Min: 1, Max: 2, Utilization: 0.5}},
+		Interval: time.Second,
+	})
+	ctrl.Start()
+	workload.Start(d.Sched, d.Gateway, workload.Spec{
+		Name: "flood", Rate: 800, Seed: 3,
+		NewRequest: d.NewDAGRequest,
+		Warmup:     time.Second, Measure: 15 * time.Second, Cooldown: time.Second,
+	})
+	d.Sched.RunUntil(15 * time.Second)
+	if got := d.ReadyReplicas("api"); got > 2 {
+		t.Fatalf("replicas = %d exceeds max 2", got)
+	}
+	ctrl.Stop()
+}
+
+func TestDAGScaleDirect(t *testing.T) {
+	d := bed(t)
+	if err := d.Scale("api", 3); err != nil {
+		t.Fatal(err)
+	}
+	if d.ReadyReplicas("api") != 3 {
+		t.Fatalf("replicas = %d", d.ReadyReplicas("api"))
+	}
+	if err := d.Scale("api", 1); err != nil {
+		t.Fatal(err)
+	}
+	if d.ReadyReplicas("api") != 1 {
+		t.Fatalf("after down: %d", d.ReadyReplicas("api"))
+	}
+	// Scale back up: drained pods are reused before new ones appear.
+	podsBefore := len(d.Cluster.Pods())
+	if err := d.Scale("api", 3); err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Cluster.Pods()) != podsBefore {
+		t.Fatal("scale-up created pods instead of reusing drained ones")
+	}
+	if err := d.Scale("nope", 2); err == nil {
+		t.Fatal("unknown service accepted")
+	}
+	if err := d.Scale("api", 0); err == nil {
+		t.Fatal("zero replicas accepted")
+	}
+}
+
+// TestScaledReplicasServeTraffic: traffic actually reaches pods created
+// at runtime.
+func TestScaledReplicasServeTraffic(t *testing.T) {
+	d := bed(t)
+	d.Scale("api", 2)
+	for i := 0; i < 8; i++ {
+		d.Gateway.Serve(d.NewDAGRequest(), func(*httpsim.Response, error) {})
+		d.Sched.RunFor(100 * time.Millisecond)
+	}
+	d.Sched.Run()
+	if d.Cluster.Pod("api-2").Workers().Executed() == 0 {
+		t.Fatal("runtime-created replica never served")
+	}
+}

@@ -1,0 +1,269 @@
+// Package cluster models the container-orchestration substrate the mesh
+// runs on: pods attached to a host bridge through virtual links (the
+// KIND-style veth topology of the paper's testbed), label-selected
+// services with replica endpoints, and per-pod worker pools bounding
+// compute concurrency.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"meshlayer/internal/simnet"
+	"meshlayer/internal/transport"
+)
+
+// DefaultLink mirrors the paper's testbed: 15 Gbps inter-pod links with
+// a small propagation delay standing in for the veth/bridge traversal.
+var DefaultLink = simnet.LinkConfig{Rate: 15 * simnet.Gbps, Delay: 20 * time.Microsecond}
+
+// PodSpec describes a pod to create.
+type PodSpec struct {
+	Name   string
+	Labels map[string]string
+	// Link overrides the pod's uplink to the bridge; zero Rate selects
+	// DefaultLink. The paper's bottleneck is expressed by giving the
+	// ratings pod a 1 Gbps uplink.
+	Link simnet.LinkConfig
+	// Workers bounds concurrent request execution in the pod
+	// (container CPU concurrency). <= 0 means effectively unbounded.
+	Workers int
+}
+
+// Pod is one scheduled workload instance with its own network identity.
+type Pod struct {
+	name        string
+	labels      map[string]string
+	node        *simnet.Node
+	host        *transport.Host
+	uplink      *simnet.Link
+	workers     *WorkerPool
+	notReady    bool
+	partitioned bool
+}
+
+// Name returns the pod name.
+func (p *Pod) Name() string { return p.name }
+
+// Labels returns the pod's label map (callers must not mutate).
+func (p *Pod) Labels() map[string]string { return p.labels }
+
+// Label returns one label value ("" if absent).
+func (p *Pod) Label(k string) string { return p.labels[k] }
+
+// Node returns the pod's simnet node.
+func (p *Pod) Node() *simnet.Node { return p.node }
+
+// Addr returns the pod IP.
+func (p *Pod) Addr() simnet.Addr { return p.node.Addr() }
+
+// Host returns the pod's transport endpoint.
+func (p *Pod) Host() *transport.Host { return p.host }
+
+// Uplink returns the pod-to-bridge link (where TC qdiscs are installed:
+// the pod-side NIC is "the sidecar container's virtual interface").
+func (p *Pod) Uplink() *simnet.Link { return p.uplink }
+
+// NIC returns the pod-side NIC of the uplink.
+func (p *Pod) NIC() *simnet.NIC { return p.uplink.A() }
+
+// Exec runs fn after acquiring a worker and holding it for
+// serviceTime — the pod's compute model.
+func (p *Pod) Exec(serviceTime time.Duration, fn func()) { p.workers.Run(serviceTime, fn) }
+
+// Ready reports whether the pod passes its readiness probe. Unready
+// pods are excluded from service endpoints (Kubernetes semantics), but
+// existing connections keep working.
+func (p *Pod) Ready() bool { return !p.notReady }
+
+// SetReady flips the pod's readiness. Marking a pod unready drains new
+// traffic away without disturbing in-flight work.
+func (p *Pod) SetReady(ready bool) { p.notReady = !ready }
+
+// Partitioned reports whether the pod is network-partitioned.
+func (p *Pod) Partitioned() bool { return p.partitioned }
+
+// Partition cuts (or restores) the pod's network: inbound packets are
+// blackholed, modeling a partition or a hung host rather than a clean
+// process exit. Callers' retries, timeouts, and circuit breakers are
+// what recover service — exactly the failure the mesh's resilience
+// machinery exists for.
+func (p *Pod) Partition(cut bool) {
+	p.partitioned = cut
+	if cut {
+		p.node.SetDeliver(func(*simnet.Packet) {})
+	} else {
+		p.host.Attach()
+	}
+}
+
+// Workers returns the pod's worker pool.
+func (p *Pod) Workers() *WorkerPool { return p.workers }
+
+// Cluster owns pods and services on one simulated host.
+type Cluster struct {
+	net      *simnet.Network
+	sched    *simnet.Scheduler
+	bridge   *simnet.Node
+	pods     map[string]*Pod
+	podOrder []string
+	services map[string]*Service
+}
+
+// New builds a cluster with a bridge node named "bridge".
+func New(net *simnet.Network) *Cluster {
+	return &Cluster{
+		net:      net,
+		sched:    net.Scheduler(),
+		bridge:   net.AddNode("bridge"),
+		pods:     make(map[string]*Pod),
+		services: make(map[string]*Service),
+	}
+}
+
+// Network returns the underlying simnet network.
+func (c *Cluster) Network() *simnet.Network { return c.net }
+
+// Scheduler returns the simulation scheduler.
+func (c *Cluster) Scheduler() *simnet.Scheduler { return c.sched }
+
+// Bridge returns the host bridge node.
+func (c *Cluster) Bridge() *simnet.Node { return c.bridge }
+
+// AddPod creates a pod per the spec and attaches it to the bridge.
+func (c *Cluster) AddPod(spec PodSpec) *Pod {
+	if spec.Name == "" {
+		panic("cluster: pod needs a name")
+	}
+	if _, dup := c.pods[spec.Name]; dup {
+		panic(fmt.Sprintf("cluster: duplicate pod %q", spec.Name))
+	}
+	link := spec.Link
+	if link.Rate == 0 {
+		link = DefaultLink
+	}
+	node := c.net.AddNode(spec.Name)
+	l := c.net.Connect(node, c.bridge, link)
+	labels := spec.Labels
+	if labels == nil {
+		labels = map[string]string{}
+	}
+	p := &Pod{
+		name:    spec.Name,
+		labels:  labels,
+		node:    node,
+		host:    transport.NewHost(node),
+		uplink:  l,
+		workers: NewWorkerPool(c.sched, spec.Workers),
+	}
+	c.pods[spec.Name] = p
+	c.podOrder = append(c.podOrder, spec.Name)
+	return p
+}
+
+// Pod returns the named pod, or nil.
+func (c *Cluster) Pod(name string) *Pod { return c.pods[name] }
+
+// Pods returns all pods in creation order.
+func (c *Cluster) Pods() []*Pod {
+	out := make([]*Pod, 0, len(c.podOrder))
+	for _, n := range c.podOrder {
+		out = append(out, c.pods[n])
+	}
+	return out
+}
+
+// ConnectPods adds a direct pod-to-pod link (e.g. an SDN-managed
+// alternate path) bypassing the bridge.
+func (c *Cluster) ConnectPods(a, b *Pod, cfg simnet.LinkConfig) *simnet.Link {
+	return c.net.Connect(a.node, b.node, cfg)
+}
+
+// AddUplink attaches an additional pod-to-bridge link (a second NIC),
+// giving the pod parallel paths that SDN-style traffic engineering can
+// spread flows across. Destination-based routing keeps using the first
+// uplink; the extra path only carries flows pinned to it.
+func (c *Cluster) AddUplink(p *Pod, cfg simnet.LinkConfig) *simnet.Link {
+	if cfg.Rate == 0 {
+		cfg = DefaultLink
+	}
+	return c.net.Connect(p.node, c.bridge, cfg)
+}
+
+// Service groups pods selected by labels under one name and port.
+type Service struct {
+	name     string
+	port     uint16
+	selector map[string]string
+	cluster  *Cluster
+}
+
+// AddService registers a service selecting pods whose labels include
+// every selector entry.
+func (c *Cluster) AddService(name string, port uint16, selector map[string]string) *Service {
+	if _, dup := c.services[name]; dup {
+		panic(fmt.Sprintf("cluster: duplicate service %q", name))
+	}
+	s := &Service{name: name, port: port, selector: selector, cluster: c}
+	c.services[name] = s
+	return s
+}
+
+// Service returns the named service, or nil.
+func (c *Cluster) Service(name string) *Service { return c.services[name] }
+
+// Services returns all services sorted by name.
+func (c *Cluster) Services() []*Service {
+	names := make([]string, 0, len(c.services))
+	for n := range c.services {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]*Service, 0, len(names))
+	for _, n := range names {
+		out = append(out, c.services[n])
+	}
+	return out
+}
+
+// Name returns the service name.
+func (s *Service) Name() string { return s.name }
+
+// Port returns the service port.
+func (s *Service) Port() uint16 { return s.port }
+
+// Endpoints returns ready pods matching the selector, in pod creation
+// order (deterministic). Unready pods are excluded, mirroring
+// Kubernetes endpoint semantics.
+func (s *Service) Endpoints() []*Pod {
+	var out []*Pod
+	for _, p := range s.cluster.Pods() {
+		if p.Ready() && matches(p.labels, s.selector) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Subset returns endpoints additionally matching one label — the mesh's
+// destination-subset mechanism (e.g. version=v1 vs v2, or the
+// cross-layer controller's priority pools).
+func (s *Service) Subset(key, value string) []*Pod {
+	var out []*Pod
+	for _, p := range s.Endpoints() {
+		if p.labels[key] == value {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func matches(labels, selector map[string]string) bool {
+	for k, v := range selector {
+		if labels[k] != v {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,88 @@
+package cluster
+
+import (
+	"time"
+
+	"meshlayer/internal/simnet"
+)
+
+// WorkerPool bounds concurrent execution inside a pod: each Run
+// occupies one worker for its service time; excess work queues FIFO.
+// It is the compute analogue of the network queues — under overload,
+// requests wait here, which is exactly the queueing the paper's §5
+// "other resources beyond the network" remark points at.
+type WorkerPool struct {
+	sched    *simnet.Scheduler
+	capacity int // <= 0: unbounded
+	busy     int
+	queue    []queued
+
+	peakQueue int
+	executed  uint64
+}
+
+type queued struct {
+	serviceTime time.Duration
+	fn          func()
+}
+
+// NewWorkerPool returns a pool with the given concurrency.
+func NewWorkerPool(sched *simnet.Scheduler, capacity int) *WorkerPool {
+	return &WorkerPool{sched: sched, capacity: capacity}
+}
+
+// Run acquires a worker (queueing if none free), holds it for
+// serviceTime, then invokes fn and releases the worker.
+func (w *WorkerPool) Run(serviceTime time.Duration, fn func()) {
+	if w.capacity <= 0 {
+		w.executed++
+		w.sched.After(serviceTime, fn)
+		return
+	}
+	if w.busy < w.capacity {
+		w.start(serviceTime, fn)
+		return
+	}
+	w.queue = append(w.queue, queued{serviceTime, fn})
+	if len(w.queue) > w.peakQueue {
+		w.peakQueue = len(w.queue)
+	}
+}
+
+func (w *WorkerPool) start(serviceTime time.Duration, fn func()) {
+	w.busy++
+	w.executed++
+	w.sched.After(serviceTime, func() {
+		w.busy--
+		fn()
+		w.drain()
+	})
+}
+
+func (w *WorkerPool) drain() {
+	for w.busy < w.capacity && len(w.queue) > 0 {
+		q := w.queue[0]
+		w.queue = w.queue[1:]
+		w.start(q.serviceTime, q.fn)
+	}
+}
+
+// Busy returns the number of occupied workers.
+func (w *WorkerPool) Busy() int { return w.busy }
+
+// Capacity returns the pool's concurrency bound (0 = unbounded).
+func (w *WorkerPool) Capacity() int {
+	if w.capacity <= 0 {
+		return 0
+	}
+	return w.capacity
+}
+
+// QueueLen returns the number of queued (not yet started) executions.
+func (w *WorkerPool) QueueLen() int { return len(w.queue) }
+
+// PeakQueue returns the high-water mark of the queue.
+func (w *WorkerPool) PeakQueue() int { return w.peakQueue }
+
+// Executed returns the number of executions started.
+func (w *WorkerPool) Executed() uint64 { return w.executed }

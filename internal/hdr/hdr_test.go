@@ -1,0 +1,206 @@
+package hdr
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEmpty(t *testing.T) {
+	h := New()
+	if h.Count() != 0 || h.Min() != 0 || h.Max() != 0 || h.Mean() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram not all-zero")
+	}
+}
+
+func TestSingleValue(t *testing.T) {
+	h := New()
+	h.Record(12345)
+	if h.Count() != 1 || h.Min() != 12345 || h.Max() != 12345 {
+		t.Fatalf("count=%d min=%d max=%d", h.Count(), h.Min(), h.Max())
+	}
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 12345 {
+			t.Fatalf("q%v = %d, want 12345", q, got)
+		}
+	}
+}
+
+func TestExactSmallValues(t *testing.T) {
+	// Values < 64 are recorded exactly.
+	h := New()
+	for i := int64(0); i < 64; i++ {
+		h.Record(i)
+	}
+	if got := h.Quantile(0.5); got < 31 || got > 33 {
+		t.Fatalf("p50 = %d, want ~32", got)
+	}
+	if h.Min() != 0 || h.Max() != 63 {
+		t.Fatalf("min=%d max=%d", h.Min(), h.Max())
+	}
+}
+
+func TestRelativeErrorBound(t *testing.T) {
+	// Any recorded value's bucket midpoint must be within ~3.2%.
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 10000; i++ {
+		v := rng.Int63n(int64(10 * time.Second))
+		b, s := bucketOf(v)
+		rep := valueOf(b, s)
+		diff := float64(rep-v) / float64(v+1)
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > 0.032 {
+			t.Fatalf("value %d represented as %d (err %.3f)", v, rep, diff)
+		}
+	}
+}
+
+func TestQuantilesAgainstSorted(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	h := New()
+	var vals []int64
+	for i := 0; i < 50000; i++ {
+		// Log-normal-ish latency distribution.
+		v := int64(1e6 * (1 + rng.ExpFloat64()*5))
+		vals = append(vals, v)
+		h.Record(v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		exact := vals[int(q*float64(len(vals)))]
+		got := h.Quantile(q)
+		rel := float64(got-exact) / float64(exact)
+		if rel < 0 {
+			rel = -rel
+		}
+		if rel > 0.05 {
+			t.Fatalf("q%v: got %d, exact %d (err %.3f)", q, got, exact, rel)
+		}
+	}
+}
+
+func TestMergePreservesTotals(t *testing.T) {
+	a, b := New(), New()
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 1000; i++ {
+		a.Record(rng.Int63n(1e9))
+		b.Record(rng.Int63n(1e6))
+	}
+	sum := a.Sum() + b.Sum()
+	a.Merge(b)
+	if a.Count() != 2000 {
+		t.Fatalf("merged count = %d", a.Count())
+	}
+	if a.Sum() != sum {
+		t.Fatalf("merged sum = %d, want %d", a.Sum(), sum)
+	}
+	a.Merge(nil) // must not panic
+	empty := New()
+	empty.Merge(a)
+	if empty.Count() != 2000 || empty.Min() != a.Min() || empty.Max() != a.Max() {
+		t.Fatal("merge into empty lost state")
+	}
+}
+
+func TestReset(t *testing.T) {
+	h := New()
+	h.Record(5)
+	h.Reset()
+	if h.Count() != 0 || h.Max() != 0 {
+		t.Fatal("reset incomplete")
+	}
+}
+
+func TestNegativeClamped(t *testing.T) {
+	h := New()
+	h.Record(-100)
+	if h.Min() != 0 || h.Count() != 1 {
+		t.Fatal("negative not clamped to zero")
+	}
+}
+
+func TestQuantileMonotonic(t *testing.T) {
+	// Property: quantiles are non-decreasing in q.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := New()
+		n := 100 + rng.Intn(1000)
+		for i := 0; i < n; i++ {
+			h.Record(rng.Int63n(1e12))
+		}
+		prev := int64(-1)
+		for q := 0.0; q <= 1.0; q += 0.01 {
+			v := h.Quantile(q)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuantileWithinMinMax(t *testing.T) {
+	// Property: any quantile lies within [Min, Max].
+	f := func(vals []uint32) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		h := New()
+		for _, v := range vals {
+			h.Record(int64(v))
+		}
+		for _, q := range []float64{-1, 0, 0.25, 0.5, 0.75, 0.99, 1, 2} {
+			v := h.Quantile(q)
+			if v < h.Min() || v > h.Max() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergeMatchesCombinedRecording(t *testing.T) {
+	// Property: recording into two histograms and merging gives the
+	// same quantiles as recording everything into one.
+	f := func(xs, ys []uint16) bool {
+		a, b, c := New(), New(), New()
+		for _, x := range xs {
+			a.Record(int64(x))
+			c.Record(int64(x))
+		}
+		for _, y := range ys {
+			b.Record(int64(y))
+			c.Record(int64(y))
+		}
+		a.Merge(b)
+		for _, q := range []float64{0.1, 0.5, 0.9, 0.99} {
+			if a.Quantile(q) != c.Quantile(q) {
+				return false
+			}
+		}
+		return a.Count() == c.Count() && a.Sum() == c.Sum()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummaryNonEmpty(t *testing.T) {
+	h := New()
+	h.RecordDuration(5 * time.Millisecond)
+	s := h.Summary()
+	if s == "" || len(s) < 20 {
+		t.Fatalf("summary too short: %q", s)
+	}
+}

@@ -1,0 +1,158 @@
+package httpsim
+
+import (
+	"errors"
+	"fmt"
+
+	"meshlayer/internal/simnet"
+	"meshlayer/internal/transport"
+)
+
+// wireMsg is the transport-level frame: a request or a response tagged
+// with the request ID it belongs to.
+type wireMsg struct {
+	id   uint64
+	req  *Request
+	resp *Response
+}
+
+// ErrConnClosed is delivered to callbacks whose connection died before
+// the response arrived.
+var ErrConnClosed = errors.New("httpsim: connection closed")
+
+// Client issues requests over a single transport connection. Multiple
+// requests may be in flight; responses are matched by ID.
+type Client struct {
+	conn    *transport.Conn
+	pending map[uint64]func(*Response, error)
+	nextID  uint64
+	closed  bool
+}
+
+// NewClient dials dst:port and returns a client ready for Do.
+func NewClient(h *transport.Host, dst simnet.Addr, port uint16, opts transport.Options) *Client {
+	c := &Client{pending: make(map[uint64]func(*Response, error))}
+	c.conn = h.Dial(dst, port, opts)
+	c.conn.SetOnMessage(c.onMessage)
+	c.conn.SetOnClose(c.onClose)
+	return c
+}
+
+// Conn exposes the underlying transport connection (for marks and
+// congestion-control swaps by the cross-layer controller).
+func (c *Client) Conn() *transport.Conn { return c.conn }
+
+// Pending returns the number of requests awaiting responses.
+func (c *Client) Pending() int { return len(c.pending) }
+
+// Closed reports whether the client's connection is gone.
+func (c *Client) Closed() bool { return c.closed }
+
+// Do sends the request; cb fires with the response or an error. The
+// request object must not be mutated by the caller afterwards.
+func (c *Client) Do(req *Request, cb func(*Response, error)) {
+	if c.closed {
+		cb(nil, ErrConnClosed)
+		return
+	}
+	c.nextID++
+	id := c.nextID
+	c.pending[id] = cb
+	if err := c.conn.SendMessage(&wireMsg{id: id, req: req}, req.WireSize()); err != nil {
+		delete(c.pending, id)
+		cb(nil, err)
+	}
+}
+
+// Close tears the connection down after pending data flushes.
+func (c *Client) Close() { c.conn.Close() }
+
+func (c *Client) onMessage(meta any, _ int) {
+	m, ok := meta.(*wireMsg)
+	if !ok || m.resp == nil {
+		return
+	}
+	cb, ok := c.pending[m.id]
+	if !ok {
+		return
+	}
+	delete(c.pending, m.id)
+	cb(m.resp, nil)
+}
+
+func (c *Client) onClose(err error) {
+	c.closed = true
+	if err == nil {
+		err = ErrConnClosed
+	}
+	for id, cb := range c.pending {
+		delete(c.pending, id)
+		cb(nil, err)
+	}
+}
+
+// Ctx carries per-request server-side context: most importantly the
+// transport connection the request arrived on, which the mesh sidecar
+// re-marks and re-schedules per the request's priority (response bytes
+// dominate the wire, and they flow on this connection).
+type Ctx struct {
+	Conn *transport.Conn
+}
+
+// Handler serves a request and eventually calls respond exactly once.
+// Handlers may respond asynchronously (after issuing upstream calls).
+type Handler func(ctx Ctx, req *Request, respond func(*Response))
+
+// Server accepts connections on a port and dispatches requests to a
+// handler.
+type Server struct {
+	host     *transport.Host
+	listener *transport.Listener
+	handler  Handler
+	served   uint64
+}
+
+// NewServer starts listening on h:port with the handler.
+func NewServer(h *transport.Host, port uint16, handler Handler) (*Server, error) {
+	if handler == nil {
+		return nil, fmt.Errorf("httpsim: nil handler")
+	}
+	s := &Server{host: h, handler: handler}
+	l, err := h.Listen(port, s.accept)
+	if err != nil {
+		return nil, err
+	}
+	s.listener = l
+	return s, nil
+}
+
+// Served returns the number of requests dispatched.
+func (s *Server) Served() uint64 { return s.served }
+
+// Close stops accepting connections.
+func (s *Server) Close() { s.listener.Close() }
+
+func (s *Server) accept(conn *transport.Conn) {
+	conn.SetOnMessage(func(meta any, _ int) {
+		m, ok := meta.(*wireMsg)
+		if !ok || m.req == nil {
+			return
+		}
+		s.served++
+		id := m.id
+		responded := false
+		s.handler(Ctx{Conn: conn}, m.req, func(resp *Response) {
+			if responded {
+				panic("httpsim: respond called twice")
+			}
+			responded = true
+			if conn.Closed() {
+				return // client went away; nothing to do
+			}
+			if resp.Headers == nil {
+				resp.Headers = make(Header)
+			}
+			conn.SendMessage(&wireMsg{id: id, resp: resp}, resp.WireSize())
+		})
+	})
+}

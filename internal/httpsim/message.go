@@ -1,0 +1,136 @@
+// Package httpsim models HTTP-style request/response exchanges over the
+// simulated transport. Messages carry real header maps — the substrate
+// for the paper's provenance mechanism, which is header rewriting — while
+// bodies are represented by their byte counts and accounted on the wire
+// without being materialized.
+//
+// Multiple requests may be outstanding on one connection; the byte
+// stream serializes them in order (head-of-line blocking included,
+// faithfully to a multiplexed sidecar channel), and responses are
+// matched to requests by ID.
+package httpsim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Header is a case-insensitive single-valued header map. Keys are
+// canonicalized to lower case, mirroring HTTP/2 practice.
+type Header map[string]string
+
+// Set stores the value under the lower-cased key.
+func (h Header) Set(key, value string) { h[strings.ToLower(key)] = value }
+
+// Get returns the value for the lower-cased key ("" if absent).
+func (h Header) Get(key string) string { return h[strings.ToLower(key)] }
+
+// Has reports whether the key is present.
+func (h Header) Has(key string) bool { _, ok := h[strings.ToLower(key)]; return ok }
+
+// Del removes the key.
+func (h Header) Del(key string) { delete(h, strings.ToLower(key)) }
+
+// Clone returns a deep copy. Cloning a nil Header returns an empty one.
+func (h Header) Clone() Header {
+	c := make(Header, len(h))
+	for k, v := range h {
+		c[k] = v
+	}
+	return c
+}
+
+// wireSize approximates the serialized size: "key: value\r\n".
+func (h Header) wireSize() int {
+	n := 0
+	for k, v := range h {
+		n += len(k) + len(v) + 4
+	}
+	return n
+}
+
+// String renders headers deterministically (sorted) for logs and tests.
+func (h Header) String() string {
+	keys := make([]string, 0, len(h))
+	for k := range h {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%s: %s\r\n", k, h[k])
+	}
+	return b.String()
+}
+
+// Request is an HTTP-style request. BodyBytes is the body's wire size.
+type Request struct {
+	Method  string
+	Path    string
+	Headers Header
+	// BodyBytes is the request body size in bytes (not materialized).
+	BodyBytes int
+}
+
+// NewRequest builds a request with an initialized header map.
+func NewRequest(method, path string) *Request {
+	return &Request{Method: method, Path: path, Headers: make(Header)}
+}
+
+// Clone deep-copies the request (sidecars forward modified copies).
+func (r *Request) Clone() *Request {
+	return &Request{Method: r.Method, Path: r.Path, Headers: r.Headers.Clone(), BodyBytes: r.BodyBytes}
+}
+
+// WireSize returns the request's total on-wire bytes.
+func (r *Request) WireSize() int {
+	// "METHOD path HTTP/1.1\r\n" + headers + blank line + body.
+	return len(r.Method) + len(r.Path) + 12 + r.Headers.wireSize() + 2 + r.BodyBytes
+}
+
+// String renders a compact one-line description.
+func (r *Request) String() string {
+	return fmt.Sprintf("%s %s (%dB)", r.Method, r.Path, r.BodyBytes)
+}
+
+// Response is an HTTP-style response.
+type Response struct {
+	Status  int
+	Headers Header
+	// BodyBytes is the response body size in bytes (not materialized).
+	BodyBytes int
+}
+
+// NewResponse builds a response with an initialized header map.
+func NewResponse(status int) *Response {
+	return &Response{Status: status, Headers: make(Header)}
+}
+
+// Clone deep-copies the response.
+func (r *Response) Clone() *Response {
+	return &Response{Status: r.Status, Headers: r.Headers.Clone(), BodyBytes: r.BodyBytes}
+}
+
+// WireSize returns the response's total on-wire bytes.
+func (r *Response) WireSize() int {
+	// "HTTP/1.1 200 OK\r\n" + headers + blank line + body.
+	return 17 + r.Headers.wireSize() + 2 + r.BodyBytes
+}
+
+// String renders a compact one-line description.
+func (r *Response) String() string {
+	return fmt.Sprintf("%d (%dB)", r.Status, r.BodyBytes)
+}
+
+// Common status codes used across the mesh.
+const (
+	StatusOK                  = 200
+	StatusForbidden           = 403
+	StatusNotFound            = 404
+	StatusTooManyRequests     = 429
+	StatusInternalServerError = 500
+	StatusBadGateway          = 502
+	StatusServiceUnavailable  = 503
+	StatusGatewayTimeout      = 504
+)

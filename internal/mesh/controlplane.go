@@ -1,0 +1,262 @@
+package mesh
+
+import (
+	"fmt"
+	"time"
+)
+
+// SubsetRef selects a labeled subset of a service's endpoints, e.g.
+// {Key: "version", Value: "v1"}. The zero value means "all endpoints".
+type SubsetRef struct {
+	Key, Value string
+}
+
+// IsZero reports whether the reference selects all endpoints.
+func (s SubsetRef) IsZero() bool { return s.Key == "" }
+
+// String renders the subset for logs.
+func (s SubsetRef) String() string {
+	if s.IsZero() {
+		return "*"
+	}
+	return fmt.Sprintf("%s=%s", s.Key, s.Value)
+}
+
+// HeaderRoute routes requests whose header matches a value to a subset
+// — the mesh-level mechanism behind the paper's priority routing
+// (optimization 3a: forward to the high- or low-priority pod).
+type HeaderRoute struct {
+	Header string
+	Value  string
+	Subset SubsetRef
+}
+
+// WeightedSubset assigns a share of traffic to a subset — the canary /
+// traffic-shifting primitive.
+type WeightedSubset struct {
+	Subset SubsetRef
+	Weight int // relative weight, > 0
+}
+
+// RouteRule is the routing configuration for one service. Matching
+// order: HeaderRoutes first, then Weights (random split), then
+// DefaultSubset.
+type RouteRule struct {
+	Service       string
+	HeaderRoutes  []HeaderRoute
+	Weights       []WeightedSubset
+	DefaultSubset SubsetRef
+}
+
+// RetryPolicy controls sidecar-level resilience for a service.
+type RetryPolicy struct {
+	// MaxRetries bounds re-attempts after the first try.
+	MaxRetries int
+	// PerTryTimeout aborts an attempt that has not answered in time.
+	// Zero disables the timeout.
+	PerTryTimeout time.Duration
+	// RetryOn5xx also retries server errors (not just transport
+	// failures).
+	RetryOn5xx bool
+}
+
+// DefaultRetryPolicy mirrors a conservative Envoy default.
+var DefaultRetryPolicy = RetryPolicy{MaxRetries: 2, PerTryTimeout: 10 * time.Second, RetryOn5xx: true}
+
+// CircuitBreakerPolicy ejects underperforming endpoints: after
+// ConsecutiveFailures errors an endpoint is skipped for OpenFor.
+type CircuitBreakerPolicy struct {
+	ConsecutiveFailures int
+	OpenFor             time.Duration
+}
+
+// DefaultCircuitBreaker is applied to services with no explicit policy.
+var DefaultCircuitBreaker = CircuitBreakerPolicy{ConsecutiveFailures: 5, OpenFor: 30 * time.Second}
+
+// HedgePolicy issues a redundant request to a second replica if the
+// first has not answered within Delay — the "low latency via
+// redundancy" technique (§3.4, ref [50]). Zero Delay disables hedging.
+type HedgePolicy struct {
+	Delay time.Duration
+}
+
+// LBPolicy names a load-balancing algorithm.
+type LBPolicy string
+
+// Supported load-balancing policies.
+const (
+	LBRoundRobin   LBPolicy = "round_robin"
+	LBRandom       LBPolicy = "random"
+	LBLeastRequest LBPolicy = "least_request"
+	LBEWMA         LBPolicy = "ewma" // latency-aware adaptive replica selection (§3.4, ref [30])
+)
+
+// ControlPlane is the mesh's centralized configuration authority:
+// service discovery (via the cluster), traffic policy, and security
+// policy, pushed to sidecars (modeled as shared versioned state).
+type ControlPlane struct {
+	mesh    *Mesh
+	rules   map[string]*RouteRule
+	lb      map[string]LBPolicy
+	retry   map[string]RetryPolicy
+	breaker map[string]CircuitBreakerPolicy
+	hedge   map[string]HedgePolicy
+	// authz[dst] = set of allowed source services; absent dst = allow
+	// all (permissive mode).
+	authz  map[string]map[string]bool
+	fault  map[string]FaultPolicy
+	mirror map[string]MirrorPolicy
+	rate   map[string]RateLimitPolicy
+
+	certs      map[uint64]*Cert
+	certSerial uint64
+	strictMTLS bool
+
+	// pushDelay models configuration propagation: mutations made
+	// through the Set* methods take effect this long after the call
+	// (0 = instantaneous, the default).
+	pushDelay time.Duration
+
+	version uint64
+}
+
+func newControlPlane(m *Mesh) *ControlPlane {
+	return &ControlPlane{
+		mesh:    m,
+		rules:   make(map[string]*RouteRule),
+		lb:      make(map[string]LBPolicy),
+		retry:   make(map[string]RetryPolicy),
+		breaker: make(map[string]CircuitBreakerPolicy),
+		hedge:   make(map[string]HedgePolicy),
+		authz:   make(map[string]map[string]bool),
+		fault:   make(map[string]FaultPolicy),
+		mirror:  make(map[string]MirrorPolicy),
+		rate:    make(map[string]RateLimitPolicy),
+		certs:   make(map[uint64]*Cert),
+	}
+}
+
+// Version returns the configuration version (bumped on every change).
+func (cp *ControlPlane) Version() uint64 { return cp.version }
+
+func (cp *ControlPlane) bump() { cp.version++ }
+
+// SetPushDelay makes subsequent configuration changes take effect only
+// after d — the xDS-style propagation lag between "operator applied
+// config" and "every sidecar acts on it". Zero restores instantaneous
+// application.
+func (cp *ControlPlane) SetPushDelay(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	cp.pushDelay = d
+}
+
+// apply runs a validated mutation now or after the push delay.
+func (cp *ControlPlane) apply(mutate func()) {
+	if cp.pushDelay <= 0 {
+		mutate()
+		cp.bump()
+		return
+	}
+	cp.mesh.sched.After(cp.pushDelay, func() {
+		mutate()
+		cp.bump()
+	})
+}
+
+// SetRouteRule installs (replacing) the routing rule for a service.
+func (cp *ControlPlane) SetRouteRule(r RouteRule) {
+	if r.Service == "" {
+		panic("mesh: route rule needs a service")
+	}
+	for _, w := range r.Weights {
+		if w.Weight <= 0 {
+			panic("mesh: route weights must be positive")
+		}
+	}
+	cp.apply(func() { cp.rules[r.Service] = &r })
+}
+
+// RouteRuleFor returns the service's rule, or nil.
+func (cp *ControlPlane) RouteRuleFor(service string) *RouteRule { return cp.rules[service] }
+
+// ClearRouteRule removes a service's routing rule.
+func (cp *ControlPlane) ClearRouteRule(service string) {
+	cp.apply(func() { delete(cp.rules, service) })
+}
+
+// SetLBPolicy selects the load balancer for a service.
+func (cp *ControlPlane) SetLBPolicy(service string, p LBPolicy) {
+	switch p {
+	case LBRoundRobin, LBRandom, LBLeastRequest, LBEWMA:
+	default:
+		panic(fmt.Sprintf("mesh: unknown LB policy %q", p))
+	}
+	cp.apply(func() { cp.lb[service] = p })
+}
+
+// LBPolicyFor returns the service's LB policy (round robin by default).
+func (cp *ControlPlane) LBPolicyFor(service string) LBPolicy {
+	if p, ok := cp.lb[service]; ok {
+		return p
+	}
+	return LBRoundRobin
+}
+
+// SetRetryPolicy configures retries for a service.
+func (cp *ControlPlane) SetRetryPolicy(service string, p RetryPolicy) {
+	cp.apply(func() { cp.retry[service] = p })
+}
+
+// RetryPolicyFor returns the service's retry policy.
+func (cp *ControlPlane) RetryPolicyFor(service string) RetryPolicy {
+	if p, ok := cp.retry[service]; ok {
+		return p
+	}
+	return DefaultRetryPolicy
+}
+
+// SetCircuitBreaker configures ejection for a service's endpoints.
+func (cp *ControlPlane) SetCircuitBreaker(service string, p CircuitBreakerPolicy) {
+	cp.apply(func() { cp.breaker[service] = p })
+}
+
+// CircuitBreakerFor returns the service's circuit-breaker policy.
+func (cp *ControlPlane) CircuitBreakerFor(service string) CircuitBreakerPolicy {
+	if p, ok := cp.breaker[service]; ok {
+		return p
+	}
+	return DefaultCircuitBreaker
+}
+
+// SetHedgePolicy configures redundant requests for a service.
+func (cp *ControlPlane) SetHedgePolicy(service string, p HedgePolicy) {
+	cp.apply(func() { cp.hedge[service] = p })
+}
+
+// HedgePolicyFor returns the service's hedging policy (disabled by
+// default).
+func (cp *ControlPlane) HedgePolicyFor(service string) HedgePolicy { return cp.hedge[service] }
+
+// AllowCalls authorizes src to call dst. The first AllowCalls for a dst
+// switches it from permissive (allow all) to an explicit allow-list.
+func (cp *ControlPlane) AllowCalls(src, dst string) {
+	cp.apply(func() {
+		set := cp.authz[dst]
+		if set == nil {
+			set = make(map[string]bool)
+			cp.authz[dst] = set
+		}
+		set[src] = true
+	})
+}
+
+// Authorized reports whether src may call dst under current policy.
+func (cp *ControlPlane) Authorized(src, dst string) bool {
+	set, restricted := cp.authz[dst]
+	if !restricted {
+		return true
+	}
+	return set[src]
+}

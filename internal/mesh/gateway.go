@@ -1,0 +1,137 @@
+package mesh
+
+import (
+	"sort"
+	"strings"
+	"time"
+
+	"meshlayer/internal/cluster"
+	"meshlayer/internal/httpsim"
+	"meshlayer/internal/metrics"
+	"meshlayer/internal/trace"
+)
+
+// Classifier assigns the performance objective of an external request
+// at the ingress — the paper's design component (1). It typically sets
+// HeaderPriority from the request's path or source.
+type Classifier func(req *httpsim.Request)
+
+// Gateway is the mesh's ingress: external requests enter here, get a
+// trace identity and a classification, and are routed into the mesh.
+type Gateway struct {
+	mesh       *Mesh
+	sc         *Sidecar
+	classifier Classifier
+	served     uint64
+}
+
+// NewGateway installs an ingress gateway on the pod (which receives a
+// sidecar if it does not have one yet).
+func (m *Mesh) NewGateway(pod *cluster.Pod) *Gateway {
+	sc := m.sidecars[pod.Name()]
+	if sc == nil {
+		sc = m.InjectSidecar(pod)
+	}
+	return &Gateway{mesh: m, sc: sc}
+}
+
+// Sidecar returns the gateway's sidecar.
+func (g *Gateway) Sidecar() *Sidecar { return g.sc }
+
+// SetClassifier installs the ingress classifier.
+func (g *Gateway) SetClassifier(c Classifier) { g.classifier = c }
+
+// Served returns the number of external requests admitted.
+func (g *Gateway) Served() uint64 { return g.served }
+
+// Serve admits an external request: it mints the x-request-id that
+// ties the whole distributed trace (and the provenance chain) together,
+// runs the classifier, records the root span, and routes the request
+// to the service named by its "host" header. cb fires exactly once
+// with the final response or error.
+func (g *Gateway) Serve(req *httpsim.Request, cb func(*httpsim.Response, error)) {
+	m := g.mesh
+	g.served++
+
+	traceID := m.tracer.NewTraceID()
+	req.Headers.Set(trace.HeaderRequestID, traceID)
+	if g.classifier != nil {
+		g.classifier(req)
+	}
+
+	root := &trace.Span{
+		TraceID: traceID,
+		SpanID:  m.tracer.NewSpanID(),
+		Service: "ingress-gateway",
+		Name:    req.Method + " " + req.Path,
+		Start:   m.sched.Now(),
+	}
+	root.SetTag("direction", "server")
+	if p := req.Headers.Get(HeaderPriority); p != "" {
+		root.SetTag("priority", p)
+	}
+	req.Headers.Set(trace.HeaderSpanID, formatSpanID(root.SpanID))
+
+	start := m.sched.Now()
+	g.sc.Call(req, func(resp *httpsim.Response, err error) {
+		root.End = m.sched.Now()
+		m.tracer.Record(root)
+		labels := metrics.Labels{"service": "ingress-gateway", "direction": "inbound"}
+		if p := req.Headers.Get(HeaderPriority); p != "" {
+			labels["priority"] = p
+		}
+		m.metrics.ObserveDuration("gateway_request_duration", labels, m.sched.Now()-start)
+		cb(resp, err)
+	})
+}
+
+// PathClassifier returns a classifier assigning priorities by path
+// prefix, defaulting to def for unmatched paths. It is the common
+// concrete form of ingress classification: user-facing paths are
+// latency-sensitive, batch/analytics paths are not.
+func PathClassifier(prefixes map[string]string, def string) Classifier {
+	// Longest-prefix-first, ties broken lexicographically, so matching
+	// is deterministic regardless of map iteration order.
+	ordered := make([]string, 0, len(prefixes))
+	for p := range prefixes {
+		ordered = append(ordered, p)
+	}
+	sort.Slice(ordered, func(i, j int) bool {
+		if len(ordered[i]) != len(ordered[j]) {
+			return len(ordered[i]) > len(ordered[j])
+		}
+		return ordered[i] < ordered[j]
+	})
+	return func(req *httpsim.Request) {
+		for _, prefix := range ordered {
+			if strings.HasPrefix(req.Path, prefix) {
+				req.Headers.Set(HeaderPriority, prefixes[prefix])
+				return
+			}
+		}
+		if def != "" {
+			req.Headers.Set(HeaderPriority, def)
+		}
+	}
+}
+
+// Deadline wraps cb so it fires with ErrTimeout if no response arrives
+// within d — the external client's patience, independent of mesh retry
+// policy.
+func (g *Gateway) ServeWithDeadline(req *httpsim.Request, d time.Duration, cb func(*httpsim.Response, error)) {
+	done := false
+	timer := g.mesh.sched.After(d, func() {
+		if !done {
+			done = true
+			cb(nil, ErrTimeout)
+		}
+	})
+	g.Serve(req, func(resp *httpsim.Response, err error) {
+		if done {
+			return
+		}
+		done = true
+		timer.Cancel()
+		cb(resp, err)
+	})
+}

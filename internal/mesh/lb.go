@@ -1,0 +1,145 @@
+package mesh
+
+import (
+	"time"
+
+	"meshlayer/internal/cluster"
+	"meshlayer/internal/simnet"
+)
+
+// endpointState is the sidecar's local view of one upstream endpoint:
+// outstanding requests, a latency EWMA, and circuit-breaker state.
+type endpointState struct {
+	inflight  int
+	ewma      float64 // nanoseconds; 0 = no sample yet
+	fails     int
+	openUntil time.Duration
+}
+
+// ewmaAlpha weights new latency samples (~last 10 responses dominate).
+const ewmaAlpha = 0.2
+
+func (s *endpointState) observe(lat time.Duration, failed bool, cb CircuitBreakerPolicy, now time.Duration) {
+	if failed {
+		s.fails++
+		if cb.ConsecutiveFailures > 0 && s.fails >= cb.ConsecutiveFailures {
+			s.openUntil = now + cb.OpenFor
+			s.fails = 0
+		}
+		return
+	}
+	s.fails = 0
+	if lat > 0 {
+		if s.ewma == 0 {
+			s.ewma = float64(lat)
+		} else {
+			s.ewma = (1-ewmaAlpha)*s.ewma + ewmaAlpha*float64(lat)
+		}
+	}
+}
+
+func (s *endpointState) open(now time.Duration) bool { return now < s.openUntil }
+
+// pickEndpoint applies the service's LB policy over eligible endpoints.
+// Circuit-open endpoints are skipped unless every endpoint is open.
+func (sc *Sidecar) pickEndpoint(service string, eps []*cluster.Pod) *cluster.Pod {
+	if len(eps) == 0 {
+		return nil
+	}
+	now := sc.mesh.sched.Now()
+	eligible := eps[:0:0]
+	for _, ep := range eps {
+		if !sc.epState(ep.Addr()).open(now) {
+			eligible = append(eligible, ep)
+		}
+	}
+	if len(eligible) == 0 {
+		eligible = eps // all breakers open: fail open rather than refuse
+	}
+	switch sc.mesh.cp.LBPolicyFor(service) {
+	case LBRandom:
+		return eligible[sc.mesh.rng.Intn(len(eligible))]
+	case LBLeastRequest:
+		return sc.pickLeast(eligible)
+	case LBEWMA:
+		return sc.pickEWMA(eligible)
+	default:
+		return sc.pickRR(service, eligible)
+	}
+}
+
+func (sc *Sidecar) pickRR(service string, eps []*cluster.Pod) *cluster.Pod {
+	i := sc.rrCounters[service]
+	sc.rrCounters[service] = i + 1
+	return eps[i%uint64(len(eps))]
+}
+
+// pickLeast implements least-request as power-of-two-choices (Envoy's
+// algorithm): sample two distinct endpoints at random and take the one
+// with fewer outstanding requests. Randomized sampling avoids the
+// deterministic-tie-break pathology where an idle (because slow)
+// replica at position zero absorbs every request.
+func (sc *Sidecar) pickLeast(eps []*cluster.Pod) *cluster.Pod {
+	if len(eps) == 1 {
+		return eps[0]
+	}
+	i := sc.mesh.rng.Intn(len(eps))
+	j := sc.mesh.rng.Intn(len(eps) - 1)
+	if j >= i {
+		j++
+	}
+	a, b := eps[i], eps[j]
+	if sc.epState(b.Addr()).inflight < sc.epState(a.Addr()).inflight {
+		return b
+	}
+	return a
+}
+
+// pickEWMA implements latency-aware adaptive replica selection: score
+// each endpoint by its smoothed latency scaled by outstanding load and
+// take the minimum (the C3/least-loaded-EWMA family, §3.4 ref [30]).
+func (sc *Sidecar) pickEWMA(eps []*cluster.Pod) *cluster.Pod {
+	best := eps[0]
+	bestScore := sc.ewmaScore(best.Addr())
+	for _, ep := range eps[1:] {
+		if s := sc.ewmaScore(ep.Addr()); s < bestScore {
+			best, bestScore = ep, s
+		}
+	}
+	return best
+}
+
+func (sc *Sidecar) ewmaScore(addr simnet.Addr) float64 {
+	st := sc.epState(addr)
+	lat := st.ewma
+	if lat == 0 {
+		lat = float64(time.Millisecond) // optimistic prior for unprobed replicas
+	}
+	return lat * float64(st.inflight+1)
+}
+
+// pickWeighted draws a subset proportionally to the declared weights
+// (traffic shifting / canary).
+func (sc *Sidecar) pickWeighted(ws []WeightedSubset) SubsetRef {
+	total := 0
+	for _, w := range ws {
+		total += w.Weight
+	}
+	n := sc.mesh.rng.Intn(total)
+	for _, w := range ws {
+		n -= w.Weight
+		if n < 0 {
+			return w.Subset
+		}
+	}
+	return ws[len(ws)-1].Subset
+}
+
+func (sc *Sidecar) epState(addr simnet.Addr) *endpointState {
+	st, ok := sc.endpoints[addr]
+	if !ok {
+		st = &endpointState{}
+		sc.endpoints[addr] = st
+	}
+	return st
+}

@@ -1,0 +1,155 @@
+package mesh
+
+import (
+	"testing"
+	"time"
+
+	"meshlayer/internal/httpsim"
+)
+
+func TestSubsetRefString(t *testing.T) {
+	if (SubsetRef{}).String() != "*" {
+		t.Fatal("zero subset string")
+	}
+	if (SubsetRef{Key: "version", Value: "v1"}).String() != "version=v1" {
+		t.Fatal("subset string")
+	}
+	if !(SubsetRef{}).IsZero() || (SubsetRef{Key: "a"}).IsZero() {
+		t.Fatal("IsZero")
+	}
+}
+
+func TestNoEndpointsWhenAllUnready(t *testing.T) {
+	tb := buildBed(t, Config{}, echoBackend)
+	tb.cl.Pod("backend-1").SetReady(false)
+	tb.cl.Pod("backend-2").SetReady(false)
+	tb.m.ControlPlane().SetRetryPolicy("backend", RetryPolicy{})
+	tb.m.ControlPlane().SetRetryPolicy("frontend", RetryPolicy{})
+	var got *httpsim.Response
+	tb.gw.Serve(extReq("/x"), func(r *httpsim.Response, err error) { got = r })
+	tb.sched.Run()
+	// The frontend's call fails with ErrNoEndpoints, surfacing as 502.
+	if got == nil || got.Status != httpsim.StatusBadGateway {
+		t.Fatalf("got %+v, want 502", got)
+	}
+}
+
+func TestSidecarAccessors(t *testing.T) {
+	tb := buildBed(t, Config{}, echoBackend)
+	sc := tb.b1
+	if sc.Pod() != tb.cl.Pod("backend-1") {
+		t.Fatal("pod accessor")
+	}
+	if sc.ServiceName() != "backend" {
+		t.Fatalf("service = %q", sc.ServiceName())
+	}
+	if tb.m.Sidecar("backend-1") != sc || tb.m.Sidecar("zz") != nil {
+		t.Fatal("mesh sidecar lookup")
+	}
+	if len(tb.m.Sidecars()) != 4 {
+		t.Fatalf("sidecars = %d", len(tb.m.Sidecars()))
+	}
+	if tb.m.Cluster() != tb.cl || tb.m.Scheduler() != tb.sched {
+		t.Fatal("mesh accessors")
+	}
+}
+
+func TestMeshRequestDurationRecorded(t *testing.T) {
+	tb := buildBed(t, Config{}, echoBackend)
+	tb.gw.Serve(extReq("/x"), func(*httpsim.Response, error) {})
+	tb.sched.Run()
+	h := tb.m.Metrics().Histogram("mesh_request_duration",
+		map[string]string{"service": "backend", "direction": "inbound"})
+	if h.Count() != 1 {
+		t.Fatalf("backend inbound durations = %d", h.Count())
+	}
+	ho := tb.m.Metrics().Histogram("mesh_request_duration",
+		map[string]string{"service": "backend", "direction": "outbound"})
+	if ho.Count() != 1 {
+		t.Fatalf("backend outbound durations = %d", ho.Count())
+	}
+}
+
+func TestEndpointStateObserve(t *testing.T) {
+	st := &endpointState{}
+	cb := CircuitBreakerPolicy{ConsecutiveFailures: 2, OpenFor: time.Second}
+	st.observe(10*time.Millisecond, false, cb, 0)
+	if st.ewma == 0 {
+		t.Fatal("no ewma sample")
+	}
+	prior := st.ewma
+	st.observe(20*time.Millisecond, false, cb, 0)
+	if st.ewma <= prior {
+		t.Fatal("ewma did not move toward slower sample")
+	}
+	// Two failures open the breaker; a success resets the count.
+	st.observe(0, true, cb, 100)
+	st.observe(0, false, cb, 100)
+	st.observe(0, true, cb, 100)
+	if st.open(100) {
+		t.Fatal("breaker opened without consecutive failures")
+	}
+	st.observe(0, true, cb, 100)
+	st.observe(0, true, cb, 100)
+	if !st.open(100) {
+		t.Fatal("breaker did not open")
+	}
+	if st.open(100 + time.Second + 1) {
+		t.Fatal("breaker did not close after OpenFor")
+	}
+}
+
+func TestPushDelayDefersConfig(t *testing.T) {
+	tb := buildBed(t, Config{}, echoBackend)
+	cp := tb.m.ControlPlane()
+	cp.SetPushDelay(500 * time.Millisecond)
+	v := cp.Version()
+	cp.SetLBPolicy("backend", LBRandom)
+	// Not yet applied.
+	if cp.Version() != v || cp.LBPolicyFor("backend") != LBRoundRobin {
+		t.Fatal("config applied before propagation delay")
+	}
+	tb.sched.RunFor(time.Second)
+	if cp.Version() == v || cp.LBPolicyFor("backend") != LBRandom {
+		t.Fatal("config never propagated")
+	}
+	// Restore instantaneous mode.
+	cp.SetPushDelay(0)
+	cp.SetLBPolicy("backend", LBEWMA)
+	if cp.LBPolicyFor("backend") != LBEWMA {
+		t.Fatal("instant mode broken")
+	}
+	cp.SetPushDelay(-5) // clamps to 0
+	cp.SetLBPolicy("backend", LBRoundRobin)
+	if cp.LBPolicyFor("backend") != LBRoundRobin {
+		t.Fatal("negative delay not clamped")
+	}
+}
+
+func TestPushDelayedRouteRuleTakesEffectMidTraffic(t *testing.T) {
+	tb := buildBed(t, Config{Seed: 30}, echoBackend)
+	cp := tb.m.ControlPlane()
+	cp.SetPushDelay(2 * time.Second)
+	cp.SetRouteRule(RouteRule{
+		Service:       "backend",
+		DefaultSubset: SubsetRef{Key: "version", Value: "v2"},
+	})
+	byBackend := map[string]int{}
+	// 4 requests before the rule lands, 4 after.
+	for i := 0; i < 8; i++ {
+		tb.gw.Serve(extReq("/x"), func(r *httpsim.Response, err error) {
+			if err == nil {
+				byBackend[r.Headers.Get("x-backend")]++
+			}
+		})
+		tb.sched.RunFor(time.Second)
+	}
+	tb.sched.Run()
+	// Early traffic round-robins both; later traffic pins to v2.
+	if byBackend["backend-1"] == 0 {
+		t.Fatalf("pre-push traffic never hit backend-1: %v", byBackend)
+	}
+	if byBackend["backend-2"] <= byBackend["backend-1"] {
+		t.Fatalf("post-push pinning not visible: %v", byBackend)
+	}
+}

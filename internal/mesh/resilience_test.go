@@ -1,0 +1,212 @@
+package mesh
+
+import (
+	"testing"
+	"time"
+
+	"meshlayer/internal/httpsim"
+)
+
+func TestWeightedCanaryRouting(t *testing.T) {
+	tb := buildBed(t, Config{Seed: 21}, echoBackend)
+	tb.m.ControlPlane().SetRouteRule(RouteRule{
+		Service: "backend",
+		Weights: []WeightedSubset{
+			{Subset: SubsetRef{Key: "version", Value: "v1"}, Weight: 90},
+			{Subset: SubsetRef{Key: "version", Value: "v2"}, Weight: 10},
+		},
+	})
+	counts := map[string]int{}
+	for i := 0; i < 200; i++ {
+		tb.gw.Serve(extReq("/x"), func(r *httpsim.Response, err error) {
+			if err == nil {
+				counts[r.Headers.Get("x-backend")]++
+			}
+		})
+		tb.sched.RunFor(20 * time.Millisecond)
+	}
+	tb.sched.Run()
+	v1, v2 := counts["backend-1"], counts["backend-2"]
+	if v1+v2 != 200 {
+		t.Fatalf("total %d", v1+v2)
+	}
+	share := float64(v2) / 200
+	if share < 0.04 || share > 0.20 {
+		t.Fatalf("canary share = %.2f, want ~0.10", share)
+	}
+}
+
+func TestWeightedRouteHeaderOverrides(t *testing.T) {
+	tb := buildBed(t, Config{Seed: 22}, echoBackend)
+	tb.m.ControlPlane().SetRouteRule(RouteRule{
+		Service: "backend",
+		HeaderRoutes: []HeaderRoute{
+			{Header: HeaderPriority, Value: PriorityHigh, Subset: SubsetRef{Key: "version", Value: "v1"}},
+		},
+		Weights: []WeightedSubset{
+			{Subset: SubsetRef{Key: "version", Value: "v2"}, Weight: 1},
+		},
+	})
+	tb.gw.SetClassifier(func(req *httpsim.Request) {
+		req.Headers.Set(HeaderPriority, PriorityHigh)
+	})
+	for i := 0; i < 5; i++ {
+		tb.gw.Serve(extReq("/x"), func(r *httpsim.Response, err error) {
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := r.Headers.Get("x-backend"); got != "backend-1" {
+				t.Fatalf("header route lost to weights: %s", got)
+			}
+		})
+		tb.sched.RunFor(50 * time.Millisecond)
+	}
+	tb.sched.Run()
+}
+
+func TestWeightValidation(t *testing.T) {
+	tb := buildBed(t, Config{}, echoBackend)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero weight accepted")
+		}
+	}()
+	tb.m.ControlPlane().SetRouteRule(RouteRule{
+		Service: "backend",
+		Weights: []WeightedSubset{{Subset: SubsetRef{Key: "a", Value: "b"}, Weight: 0}},
+	})
+}
+
+func TestStrictMTLSBlocksForgedIdentity(t *testing.T) {
+	tb := buildBed(t, Config{Seed: 23}, echoBackend)
+	cp := tb.m.ControlPlane()
+	cp.RequireMTLS(true)
+
+	// Normal traffic works: sidecars hold real certs.
+	var got *httpsim.Response
+	tb.gw.Serve(extReq("/x"), func(r *httpsim.Response, err error) { got = r })
+	tb.sched.Run()
+	if got == nil || got.Status != httpsim.StatusOK {
+		t.Fatalf("legit mTLS traffic failed: %+v", got)
+	}
+
+	// A request with a forged identity header but no valid cert is
+	// rejected at the backend inbound.
+	denied := tb.m.Metrics().CounterTotal("mesh_mtls_denied_total")
+	req := httpsim.NewRequest("GET", "/x")
+	req.Headers.Set(HeaderHost, "backend")
+	cl := httpsim.NewClient(tb.cl.Pod("gateway").Host(), tb.cl.Pod("backend-1").Addr(), InboundPort, transportOptions(0))
+	req.Headers.Set(HeaderSource, "frontend") // forged
+	var forged *httpsim.Response
+	cl.Do(req, func(r *httpsim.Response, err error) { forged = r })
+	tb.sched.Run()
+	if forged == nil || forged.Status != httpsim.StatusForbidden {
+		t.Fatalf("forged identity got %+v, want 403", forged)
+	}
+	if tb.m.Metrics().CounterTotal("mesh_mtls_denied_total") <= denied {
+		t.Fatal("denial not counted")
+	}
+}
+
+func TestCertRotationAfterRevocation(t *testing.T) {
+	tb := buildBed(t, Config{Seed: 24}, echoBackend)
+	cp := tb.m.ControlPlane()
+	cp.RequireMTLS(true)
+
+	// Prime the frontend's cert.
+	tb.gw.Serve(extReq("/x"), func(*httpsim.Response, error) {})
+	tb.sched.Run()
+	serial := tb.fe.cert().Serial
+	cp.RevokeCert(serial)
+
+	// Next call rotates automatically and succeeds.
+	var got *httpsim.Response
+	tb.gw.Serve(extReq("/x"), func(r *httpsim.Response, err error) { got = r })
+	tb.sched.Run()
+	if got == nil || got.Status != httpsim.StatusOK {
+		t.Fatalf("post-revocation traffic failed: %+v", got)
+	}
+	if tb.fe.cert().Serial == serial {
+		t.Fatal("cert was not rotated after revocation")
+	}
+}
+
+func TestCertValidation(t *testing.T) {
+	var c *Cert
+	if c.Valid("x", 0) {
+		t.Fatal("nil cert valid")
+	}
+	c = &Cert{Service: "a", Serial: 1, NotAfter: 100}
+	if !c.Valid("a", 50) || c.Valid("b", 50) || c.Valid("a", 150) {
+		t.Fatal("validity rules wrong")
+	}
+	c.revoked = true
+	if c.Valid("a", 50) {
+		t.Fatal("revoked cert valid")
+	}
+}
+
+func TestUnreadyPodDrained(t *testing.T) {
+	tb := buildBed(t, Config{Seed: 25}, echoBackend)
+	tb.cl.Pod("backend-1").SetReady(false)
+	counts := map[string]int{}
+	for i := 0; i < 8; i++ {
+		tb.gw.Serve(extReq("/x"), func(r *httpsim.Response, err error) {
+			if err == nil {
+				counts[r.Headers.Get("x-backend")]++
+			}
+		})
+		tb.sched.RunFor(50 * time.Millisecond)
+	}
+	tb.sched.Run()
+	if counts["backend-1"] != 0 {
+		t.Fatalf("unready pod served traffic: %v", counts)
+	}
+	if counts["backend-2"] != 8 {
+		t.Fatalf("remaining pod did not absorb load: %v", counts)
+	}
+	// Readiness restored: traffic returns.
+	tb.cl.Pod("backend-1").SetReady(true)
+	for i := 0; i < 4; i++ {
+		tb.gw.Serve(extReq("/x"), func(r *httpsim.Response, err error) {
+			if err == nil {
+				counts[r.Headers.Get("x-backend")]++
+			}
+		})
+		tb.sched.RunFor(50 * time.Millisecond)
+	}
+	tb.sched.Run()
+	if counts["backend-1"] == 0 {
+		t.Fatalf("pod never served after readiness restored: %v", counts)
+	}
+}
+
+func TestPartitionedPodRecoveredByRetries(t *testing.T) {
+	tb := buildBed(t, Config{Seed: 26}, echoBackend)
+	tb.m.ControlPlane().SetRetryPolicy("backend", RetryPolicy{MaxRetries: 2, PerTryTimeout: 300 * time.Millisecond})
+	tb.m.ControlPlane().SetCircuitBreaker("backend", CircuitBreakerPolicy{ConsecutiveFailures: 2, OpenFor: time.Hour})
+	tb.cl.Pod("backend-1").Partition(true)
+
+	ok := 0
+	for i := 0; i < 10; i++ {
+		tb.gw.Serve(extReq("/x"), func(r *httpsim.Response, err error) {
+			if err == nil && r.Status == httpsim.StatusOK {
+				ok++
+			}
+		})
+		tb.sched.RunFor(2 * time.Second)
+	}
+	tb.sched.Run()
+	if ok != 10 {
+		t.Fatalf("ok = %d/10; retries+breaker should mask the partition", ok)
+	}
+	if !tb.cl.Pod("backend-1").Partitioned() {
+		t.Fatal("partition flag lost")
+	}
+	// Heal the partition; breaker eventually lets traffic back (not
+	// asserted: OpenFor is an hour). Basic restore sanity:
+	tb.cl.Pod("backend-1").Partition(false)
+	if tb.cl.Pod("backend-1").Partitioned() {
+		t.Fatal("partition not cleared")
+	}
+}

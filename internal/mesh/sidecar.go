@@ -1,0 +1,446 @@
+package mesh
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"meshlayer/internal/cluster"
+	"meshlayer/internal/httpsim"
+	"meshlayer/internal/metrics"
+	"meshlayer/internal/simnet"
+	"meshlayer/internal/trace"
+	"meshlayer/internal/transport"
+)
+
+// AppHandler is the application's request handler, invoked by its
+// sidecar for inbound requests. The application responds exactly once,
+// possibly after spawning child requests through Sidecar.Call.
+type AppHandler func(req *httpsim.Request, respond func(*httpsim.Response))
+
+// ConnClass selects the transport treatment of an outbound request:
+// which pooled connection group it uses and with what congestion
+// control and packet mark. The cross-layer controller installs a
+// classifier mapping priorities to classes; the default is one
+// best-effort class for everything.
+type ConnClass struct {
+	Name    string
+	Options transport.Options
+}
+
+// DefaultConnClass is the single best-effort class.
+var DefaultConnClass = ConnClass{Name: "default", Options: transport.Options{CC: "reno"}}
+
+// InboundFilter observes and may mutate an inbound request before the
+// application sees it. ctx carries the server-side connection, whose
+// mark/congestion control govern the response bytes.
+type InboundFilter func(ctx httpsim.Ctx, req *httpsim.Request)
+
+// OutboundFilter observes and may mutate an outbound request before
+// routing.
+type OutboundFilter func(req *httpsim.Request)
+
+// Errors surfaced by Sidecar.Call.
+var (
+	ErrNoService   = errors.New("mesh: unknown destination service")
+	ErrNoEndpoints = errors.New("mesh: service has no endpoints")
+	ErrTimeout     = errors.New("mesh: request timed out")
+)
+
+type poolKey struct {
+	addr  simnet.Addr
+	class string
+}
+
+// Sidecar is the per-pod proxy handling all of the pod's inbound and
+// outbound communication.
+type Sidecar struct {
+	mesh    *Mesh
+	pod     *cluster.Pod
+	service string
+	server  *httpsim.Server
+	app     AppHandler
+
+	pools      map[poolKey]*httpsim.Client
+	endpoints  map[simnet.Addr]*endpointState
+	rrCounters map[string]uint64
+
+	inboundFilters  []InboundFilter
+	outboundFilters []OutboundFilter
+	connClassifier  func(*httpsim.Request) ConnClass
+	connHook        func(*transport.Conn, ConnClass)
+	bucket          *tokenBucket
+	identity        *Cert
+}
+
+// InjectSidecar pairs a sidecar with the pod. The pod's service
+// identity is its "app" label (falling back to the pod name).
+func (m *Mesh) InjectSidecar(pod *cluster.Pod) *Sidecar {
+	if _, dup := m.sidecars[pod.Name()]; dup {
+		panic(fmt.Sprintf("mesh: pod %q already has a sidecar", pod.Name()))
+	}
+	service := pod.Label("app")
+	if service == "" {
+		service = pod.Name()
+	}
+	sc := &Sidecar{
+		mesh:       m,
+		pod:        pod,
+		service:    service,
+		pools:      make(map[poolKey]*httpsim.Client),
+		endpoints:  make(map[simnet.Addr]*endpointState),
+		rrCounters: make(map[string]uint64),
+	}
+	srv, err := httpsim.NewServer(pod.Host(), InboundPort, sc.handleInbound)
+	if err != nil {
+		panic(err)
+	}
+	sc.server = srv
+	m.sidecars[pod.Name()] = sc
+	return sc
+}
+
+// Pod returns the pod this sidecar serves.
+func (sc *Sidecar) Pod() *cluster.Pod { return sc.pod }
+
+// ServiceName returns the sidecar's service identity.
+func (sc *Sidecar) ServiceName() string { return sc.service }
+
+// RegisterApp installs the application handler for inbound requests.
+func (sc *Sidecar) RegisterApp(h AppHandler) { sc.app = h }
+
+// AddInboundFilter appends an inbound filter (run in order).
+func (sc *Sidecar) AddInboundFilter(f InboundFilter) {
+	sc.inboundFilters = append(sc.inboundFilters, f)
+}
+
+// AddOutboundFilter appends an outbound filter (run in order).
+func (sc *Sidecar) AddOutboundFilter(f OutboundFilter) {
+	sc.outboundFilters = append(sc.outboundFilters, f)
+}
+
+// SetConnClassifier installs the per-request connection-class chooser.
+func (sc *Sidecar) SetConnClassifier(f func(*httpsim.Request) ConnClass) {
+	sc.connClassifier = f
+}
+
+// SetConnHook installs a callback invoked whenever the sidecar opens a
+// new upstream connection — the cross-layer controller uses it to
+// announce flows (and their priorities) to the SDN controller out of
+// band (§4.2 optimization d).
+func (sc *Sidecar) SetConnHook(f func(*transport.Conn, ConnClass)) { sc.connHook = f }
+
+// --- inbound path ---
+
+func (sc *Sidecar) handleInbound(ctx httpsim.Ctx, req *httpsim.Request, respond func(*httpsim.Response)) {
+	m := sc.mesh
+	m.sched.After(m.proxyDelay(), func() {
+		if !sc.applyInboundRateLimit(respond) {
+			return
+		}
+		src := req.Headers.Get(HeaderSource)
+		if !sc.verifyPeer(req) || !m.cp.Authorized(src, sc.service) {
+			m.metrics.Counter("mesh_requests_total",
+				metrics.Labels{"service": sc.service, "direction": "inbound", "code": "403"}).Inc()
+			resp := httpsim.NewResponse(httpsim.StatusForbidden)
+			respond(resp)
+			return
+		}
+
+		// Server span: adopt the caller's span as parent, then make
+		// this span the parent of anything the app spawns.
+		var span *trace.Span
+		start := m.sched.Now()
+		if tid := req.Headers.Get(trace.HeaderRequestID); tid != "" {
+			span = &trace.Span{
+				TraceID:  tid,
+				SpanID:   m.tracer.NewSpanID(),
+				ParentID: parseSpanID(req.Headers.Get(trace.HeaderSpanID)),
+				Service:  sc.service,
+				Name:     req.Method + " " + req.Path,
+				Start:    start,
+			}
+			span.SetTag("direction", "server")
+			if p := req.Headers.Get(HeaderPriority); p != "" {
+				span.SetTag("priority", p)
+			}
+			req.Headers.Set(trace.HeaderSpanID, formatSpanID(span.SpanID))
+		}
+
+		for _, f := range sc.inboundFilters {
+			f(ctx, req)
+		}
+
+		m.metrics.Counter("mesh_requests_total",
+			metrics.Labels{"service": sc.service, "direction": "inbound", "code": "ok"}).Inc()
+
+		app := sc.app
+		if app == nil {
+			respond(httpsim.NewResponse(httpsim.StatusNotFound))
+			return
+		}
+		app(req, func(resp *httpsim.Response) {
+			m.sched.After(m.proxyDelay(), func() {
+				if span != nil {
+					span.End = m.sched.Now()
+					span.SetTag("status", fmt.Sprint(resp.Status))
+					m.tracer.Record(span)
+				}
+				m.metrics.ObserveDuration("mesh_request_duration",
+					metrics.Labels{"service": sc.service, "direction": "inbound"},
+					m.sched.Now()-start)
+				respond(resp)
+			})
+		})
+	})
+}
+
+// --- outbound path ---
+
+// call tracks one logical outbound request across attempts.
+type call struct {
+	sc       *Sidecar
+	service  string
+	req      *httpsim.Request
+	cb       func(*httpsim.Response, error)
+	span     *trace.Span
+	retry    RetryPolicy
+	breaker  CircuitBreakerPolicy
+	attempts int
+	done     bool
+	start    time.Duration
+	hedged   bool
+}
+
+// Call routes req to the service named by its "host" header through
+// the mesh: route rules select a subset, the LB picks an endpoint,
+// and the request goes out on a pooled connection of its class, with
+// retries, hedging, and circuit breaking per control-plane policy.
+// cb fires exactly once.
+func (sc *Sidecar) Call(req *httpsim.Request, cb func(*httpsim.Response, error)) {
+	m := sc.mesh
+	service := req.Headers.Get(HeaderHost)
+	if service == "" {
+		cb(nil, ErrNoService)
+		return
+	}
+	sc.stampIdentity(req)
+
+	var span *trace.Span
+	if tid := req.Headers.Get(trace.HeaderRequestID); tid != "" {
+		span = &trace.Span{
+			TraceID:  tid,
+			SpanID:   m.tracer.NewSpanID(),
+			ParentID: parseSpanID(req.Headers.Get(trace.HeaderSpanID)),
+			Service:  sc.service,
+			Name:     "call " + service + " " + req.Path,
+			Start:    m.sched.Now(),
+		}
+		span.SetTag("direction", "client")
+		span.SetTag("upstream", service)
+		req.Headers.Set(trace.HeaderSpanID, formatSpanID(span.SpanID))
+	}
+
+	c := &call{
+		sc:      sc,
+		service: service,
+		req:     req,
+		cb:      cb,
+		span:    span,
+		retry:   m.cp.RetryPolicyFor(service),
+		breaker: m.cp.CircuitBreakerFor(service),
+		start:   m.sched.Now(),
+	}
+
+	m.sched.After(m.proxyDelay(), func() {
+		for _, f := range sc.outboundFilters {
+			f(req)
+		}
+		sc.maybeMirror(service, req)
+
+		start := func() {
+			c.launch()
+			if h := m.cp.HedgePolicyFor(service); h.Delay > 0 {
+				m.sched.After(h.Delay, func() {
+					if !c.done && !c.hedged {
+						c.hedged = true
+						c.launch()
+					}
+				})
+			}
+		}
+		// Fault injection (client-side, once per logical call).
+		if f := m.cp.FaultPolicyFor(service); !f.IsZero() {
+			if f.AbortProb > 0 && m.rng.Float64() < f.AbortProb {
+				c.finish(httpsim.NewResponse(f.AbortStatus), nil)
+				return
+			}
+			if f.DelayProb > 0 && m.rng.Float64() < f.DelayProb {
+				m.sched.After(f.Delay, start)
+				return
+			}
+		}
+		start()
+	})
+}
+
+// endpointsFor resolves the service and applies routing rules.
+func (sc *Sidecar) endpointsFor(service string, req *httpsim.Request) ([]*cluster.Pod, error) {
+	svc := sc.mesh.cluster.Service(service)
+	if svc == nil {
+		return nil, ErrNoService
+	}
+	subset := SubsetRef{}
+	if rule := sc.mesh.cp.RouteRuleFor(service); rule != nil {
+		subset = rule.DefaultSubset
+		matched := false
+		for _, hr := range rule.HeaderRoutes {
+			if req.Headers.Get(hr.Header) == hr.Value {
+				subset = hr.Subset
+				matched = true
+				break
+			}
+		}
+		if !matched && len(rule.Weights) > 0 {
+			subset = sc.pickWeighted(rule.Weights)
+		}
+	}
+	var eps []*cluster.Pod
+	if subset.IsZero() {
+		eps = svc.Endpoints()
+	} else {
+		eps = svc.Subset(subset.Key, subset.Value)
+	}
+	if len(eps) == 0 {
+		return nil, ErrNoEndpoints
+	}
+	return eps, nil
+}
+
+func (c *call) launch() {
+	sc := c.sc
+	m := sc.mesh
+	c.attempts++
+
+	eps, err := sc.endpointsFor(c.service, c.req)
+	if err != nil {
+		c.finish(nil, err)
+		return
+	}
+	ep := sc.pickEndpoint(c.service, eps)
+	st := sc.epState(ep.Addr())
+	st.inflight++
+
+	class := DefaultConnClass
+	if sc.connClassifier != nil {
+		class = sc.connClassifier(c.req)
+	}
+	client := sc.clientFor(ep, class)
+
+	attemptStart := m.sched.Now()
+	settled := false
+	var timer *simnet.Timer
+	settle := func(resp *httpsim.Response, err error) {
+		if settled {
+			return
+		}
+		settled = true
+		if timer != nil {
+			timer.Cancel()
+		}
+		st.inflight--
+		lat := m.sched.Now() - attemptStart
+		failed := err != nil || resp.Status >= 500
+		st.observe(lat, failed, c.breaker, m.sched.Now())
+		if c.done {
+			return
+		}
+		if failed && c.shouldRetry(resp, err) {
+			c.launch()
+			return
+		}
+		c.finish(resp, err)
+	}
+	if c.retry.PerTryTimeout > 0 {
+		timer = m.sched.After(c.retry.PerTryTimeout, func() {
+			// A per-try timeout condemns the pooled connection, not
+			// just the request: tear it down so the next attempt
+			// re-dials instead of waiting out retransmission backoff
+			// to a possibly-partitioned peer.
+			settle(nil, ErrTimeout)
+			client.Conn().Abort()
+		})
+	}
+	client.Do(c.req.Clone(), func(resp *httpsim.Response, err error) { settle(resp, err) })
+}
+
+func (c *call) shouldRetry(resp *httpsim.Response, err error) bool {
+	if c.attempts > c.retry.MaxRetries {
+		return false
+	}
+	if err != nil {
+		return true
+	}
+	return c.retry.RetryOn5xx && resp.Status >= 500
+}
+
+func (c *call) finish(resp *httpsim.Response, err error) {
+	if c.done {
+		return
+	}
+	c.done = true
+	m := c.sc.mesh
+	code := "error"
+	if err == nil {
+		code = fmt.Sprintf("%dxx", resp.Status/100)
+	}
+	m.metrics.Counter("mesh_requests_total",
+		metrics.Labels{"service": c.service, "direction": "outbound", "code": code}).Inc()
+	m.metrics.ObserveDuration("mesh_request_duration",
+		metrics.Labels{"service": c.service, "direction": "outbound"},
+		m.sched.Now()-c.start)
+	if c.span != nil {
+		c.span.End = m.sched.Now()
+		c.span.SetTag("status", code)
+		if c.attempts > 1 {
+			c.span.SetTag("retries", fmt.Sprint(c.attempts-1))
+		}
+		m.tracer.Record(c.span)
+	}
+	c.cb(resp, err)
+}
+
+// clientFor returns (creating/replacing as needed) the pooled client
+// for an endpoint and connection class.
+func (sc *Sidecar) clientFor(ep *cluster.Pod, class ConnClass) *httpsim.Client {
+	key := poolKey{addr: ep.Addr(), class: class.Name}
+	cl, ok := sc.pools[key]
+	if !ok || cl.Closed() {
+		cl = httpsim.NewClient(sc.pod.Host(), ep.Addr(), InboundPort, class.Options)
+		sc.pools[key] = cl
+		if sc.connHook != nil {
+			sc.connHook(cl.Conn(), class)
+		}
+	}
+	return cl
+}
+
+// PoolSize returns the number of live pooled connections (tests).
+func (sc *Sidecar) PoolSize() int { return len(sc.pools) }
+
+// ForEachPool visits every pooled upstream connection with its class
+// name and destination — introspection for tests and the meshbench
+// reporting CLI.
+func (sc *Sidecar) ForEachPool(fn func(class string, dst simnet.Addr, conn *transport.Conn)) {
+	for key, cl := range sc.pools {
+		fn(key.class, key.addr, cl.Conn())
+	}
+}
+
+func parseSpanID(s string) uint64 {
+	var id uint64
+	fmt.Sscanf(s, "%x", &id)
+	return id
+}
+
+func formatSpanID(id uint64) string { return fmt.Sprintf("%x", id) }

@@ -1,0 +1,12 @@
+package mesh
+
+import (
+	"meshlayer/internal/simnet"
+	"meshlayer/internal/transport"
+)
+
+// transportOptions builds transport options with a packet mark (test
+// helper).
+func transportOptions(m simnet.Mark) transport.Options {
+	return transport.Options{CC: "reno", Mark: m}
+}

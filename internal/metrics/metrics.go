@@ -1,0 +1,184 @@
+// Package metrics is a lightweight labeled-metrics registry used by the
+// mesh's telemetry: counters, gauges, and latency histograms, queryable
+// by name and label set. It is the stand-in for the metric-collection
+// role of a service mesh control plane (Istio's telemetry pipeline).
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"meshlayer/internal/hdr"
+)
+
+// Labels is an immutable-by-convention label set attached to a metric
+// series.
+type Labels map[string]string
+
+// key renders labels canonically for map indexing.
+func (l Labels) key() string {
+	if len(l) == 0 {
+		return ""
+	}
+	ks := make([]string, 0, len(l))
+	for k := range l {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	var b strings.Builder
+	for i, k := range ks {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(l[k])
+	}
+	return b.String()
+}
+
+// String renders labels in {k=v,...} form.
+func (l Labels) String() string { return "{" + l.key() + "}" }
+
+// Counter is a monotonically increasing value.
+type Counter struct {
+	v uint64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v++ }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v += n }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v }
+
+// Gauge is a value that can go up and down.
+type Gauge struct {
+	v float64
+}
+
+// Set assigns the gauge.
+func (g *Gauge) Set(v float64) { g.v = v }
+
+// Add adjusts the gauge by delta.
+func (g *Gauge) Add(delta float64) { g.v += delta }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return g.v }
+
+// Registry holds named metric families. It is safe for concurrent use,
+// though the simulator itself is single-threaded.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]map[string]*Counter
+	gauges     map[string]map[string]*Gauge
+	histograms map[string]map[string]*hdr.Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]map[string]*Counter),
+		gauges:     make(map[string]map[string]*Gauge),
+		histograms: make(map[string]map[string]*hdr.Histogram),
+	}
+}
+
+// Counter returns (creating if needed) the counter name+labels.
+func (r *Registry) Counter(name string, labels Labels) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fam := r.counters[name]
+	if fam == nil {
+		fam = make(map[string]*Counter)
+		r.counters[name] = fam
+	}
+	k := labels.key()
+	c := fam[k]
+	if c == nil {
+		c = &Counter{}
+		fam[k] = c
+	}
+	return c
+}
+
+// Gauge returns (creating if needed) the gauge name+labels.
+func (r *Registry) Gauge(name string, labels Labels) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fam := r.gauges[name]
+	if fam == nil {
+		fam = make(map[string]*Gauge)
+		r.gauges[name] = fam
+	}
+	k := labels.key()
+	g := fam[k]
+	if g == nil {
+		g = &Gauge{}
+		fam[k] = g
+	}
+	return g
+}
+
+// Histogram returns (creating if needed) the histogram name+labels.
+func (r *Registry) Histogram(name string, labels Labels) *hdr.Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fam := r.histograms[name]
+	if fam == nil {
+		fam = make(map[string]*hdr.Histogram)
+		r.histograms[name] = fam
+	}
+	k := labels.key()
+	h := fam[k]
+	if h == nil {
+		h = hdr.New()
+		fam[k] = h
+	}
+	return h
+}
+
+// CounterTotal sums a counter family across all label sets.
+func (r *Registry) CounterTotal(name string) uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var total uint64
+	for _, c := range r.counters[name] {
+		total += c.Value()
+	}
+	return total
+}
+
+// ObserveDuration records d into the named histogram.
+func (r *Registry) ObserveDuration(name string, labels Labels, d time.Duration) {
+	r.Histogram(name, labels).RecordDuration(d)
+}
+
+// Dump renders every series, sorted, for logs and debugging.
+func (r *Registry) Dump() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var lines []string
+	for name, fam := range r.counters {
+		for k, c := range fam {
+			lines = append(lines, fmt.Sprintf("counter %s{%s} %d", name, k, c.Value()))
+		}
+	}
+	for name, fam := range r.gauges {
+		for k, g := range fam {
+			lines = append(lines, fmt.Sprintf("gauge %s{%s} %g", name, k, g.Value()))
+		}
+	}
+	for name, fam := range r.histograms {
+		for k, h := range fam {
+			lines = append(lines, fmt.Sprintf("histogram %s{%s} %s", name, k, h.Summary()))
+		}
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}

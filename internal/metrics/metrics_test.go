@@ -1,0 +1,72 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCounterIdentity(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("req", Labels{"svc": "x"})
+	b := r.Counter("req", Labels{"svc": "x"})
+	if a != b {
+		t.Fatal("same name+labels returned different counters")
+	}
+	c := r.Counter("req", Labels{"svc": "y"})
+	if a == c {
+		t.Fatal("different labels shared a counter")
+	}
+	a.Inc()
+	a.Add(4)
+	if a.Value() != 5 {
+		t.Fatalf("value = %d", a.Value())
+	}
+	if r.CounterTotal("req") != 5 {
+		t.Fatalf("total = %d", r.CounterTotal("req"))
+	}
+	c.Add(10)
+	if r.CounterTotal("req") != 15 {
+		t.Fatalf("total = %d", r.CounterTotal("req"))
+	}
+}
+
+func TestLabelsKeyOrderIndependent(t *testing.T) {
+	a := Labels{"a": "1", "b": "2"}
+	b := Labels{"b": "2", "a": "1"}
+	if a.key() != b.key() {
+		t.Fatal("label key depends on declaration order")
+	}
+	var empty Labels
+	if empty.key() != "" {
+		t.Fatal("empty labels key not empty")
+	}
+}
+
+func TestGauge(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("depth", nil)
+	g.Set(3)
+	g.Add(-1)
+	if g.Value() != 2 {
+		t.Fatalf("gauge = %g", g.Value())
+	}
+}
+
+func TestHistogramAndDump(t *testing.T) {
+	r := NewRegistry()
+	r.ObserveDuration("latency", Labels{"svc": "a"}, 5*time.Millisecond)
+	r.ObserveDuration("latency", Labels{"svc": "a"}, 10*time.Millisecond)
+	h := r.Histogram("latency", Labels{"svc": "a"})
+	if h.Count() != 2 {
+		t.Fatalf("histogram count = %d", h.Count())
+	}
+	r.Counter("hits", nil).Inc()
+	d := r.Dump()
+	if !strings.Contains(d, "counter hits{} 1") {
+		t.Fatalf("dump missing counter: %s", d)
+	}
+	if !strings.Contains(d, "histogram latency{svc=a}") {
+		t.Fatalf("dump missing histogram: %s", d)
+	}
+}

@@ -1,0 +1,65 @@
+package simnet
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Impairment models stochastic link faults, netem-style: random loss,
+// bit-error corruption (treated as loss), and reordering via random
+// extra delay. All randomness is drawn from a seeded PRNG owned by the
+// link direction, preserving run determinism.
+type Impairment struct {
+	// LossProb drops each packet independently with this probability.
+	LossProb float64
+	// JitterMax adds U(0, JitterMax) to each packet's propagation
+	// delay. Packets taking different draws can arrive out of order,
+	// which is how netem-style reordering emerges.
+	JitterMax time.Duration
+	// Seed drives the direction's PRNG.
+	Seed int64
+}
+
+// impairedDir is per-direction impairment state.
+type impairedDir struct {
+	cfg Impairment
+	rng *rand.Rand
+
+	lost     uint64
+	jittered uint64
+}
+
+// Impair attaches an impairment to the direction transmitting from
+// this NIC. Passing a zero Impairment clears it.
+func (n *NIC) Impair(cfg Impairment) {
+	if cfg.LossProb < 0 || cfg.LossProb >= 1 {
+		panic("simnet: LossProb must be in [0, 1)")
+	}
+	if cfg.LossProb == 0 && cfg.JitterMax == 0 {
+		n.impair = nil
+		return
+	}
+	n.impair = &impairedDir{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// ImpairLost returns packets dropped by this direction's impairment.
+func (n *NIC) ImpairLost() uint64 {
+	if n.impair == nil {
+		return 0
+	}
+	return n.impair.lost
+}
+
+// apply decides a packet's fate: dropped (false) or delivered with an
+// extra jitter delay.
+func (d *impairedDir) apply(p *Packet) (extra time.Duration, deliver bool) {
+	if d.cfg.LossProb > 0 && d.rng.Float64() < d.cfg.LossProb {
+		d.lost++
+		return 0, false
+	}
+	if d.cfg.JitterMax > 0 {
+		d.jittered++
+		return time.Duration(d.rng.Int63n(int64(d.cfg.JitterMax))), true
+	}
+	return 0, true
+}

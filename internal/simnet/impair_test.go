@@ -1,0 +1,114 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+)
+
+func TestImpairLossRate(t *testing.T) {
+	s, net, a, b := twoNodes(t, LinkConfig{Rate: Gbps})
+	a.NICs()[0].Impair(Impairment{LossProb: 0.3, Seed: 42})
+	delivered := 0
+	b.SetDeliver(func(*Packet) { delivered++ })
+	const n = 5000
+	for i := 0; i < n; i++ {
+		a.Inject(mkPacket(net, a, b, 100))
+	}
+	s.Run()
+	lossRate := 1 - float64(delivered)/float64(n)
+	if lossRate < 0.25 || lossRate > 0.35 {
+		t.Fatalf("loss rate = %.3f, want ~0.30", lossRate)
+	}
+	if a.NICs()[0].ImpairLost() != uint64(n-delivered) {
+		t.Fatalf("ImpairLost = %d, want %d", a.NICs()[0].ImpairLost(), n-delivered)
+	}
+}
+
+func TestImpairLossDeterministic(t *testing.T) {
+	run := func() int {
+		s, net, a, b := twoNodes(t, LinkConfig{Rate: Gbps})
+		a.NICs()[0].Impair(Impairment{LossProb: 0.1, Seed: 7})
+		got := 0
+		b.SetDeliver(func(*Packet) { got++ })
+		for i := 0; i < 1000; i++ {
+			a.Inject(mkPacket(net, a, b, 100))
+		}
+		s.Run()
+		return got
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("same seed, different outcomes: %d vs %d", a, b)
+	}
+}
+
+func TestImpairJitterReorders(t *testing.T) {
+	s, net, a, b := twoNodes(t, LinkConfig{Rate: Gbps, Delay: time.Millisecond})
+	a.NICs()[0].Impair(Impairment{JitterMax: 5 * time.Millisecond, Seed: 3})
+	var order []uint64
+	b.SetDeliver(func(p *Packet) { order = append(order, p.ID) })
+	for i := 0; i < 200; i++ {
+		a.Inject(mkPacket(net, a, b, 100))
+	}
+	s.Run()
+	if len(order) != 200 {
+		t.Fatalf("delivered %d, want 200 (jitter must not drop)", len(order))
+	}
+	reordered := false
+	for i := 1; i < len(order); i++ {
+		if order[i] < order[i-1] {
+			reordered = true
+			break
+		}
+	}
+	if !reordered {
+		t.Fatal("jitter produced no reordering")
+	}
+}
+
+func TestImpairClear(t *testing.T) {
+	s, net, a, b := twoNodes(t, LinkConfig{Rate: Gbps})
+	nic := a.NICs()[0]
+	nic.Impair(Impairment{LossProb: 0.9, Seed: 1})
+	nic.Impair(Impairment{}) // clear
+	got := 0
+	b.SetDeliver(func(*Packet) { got++ })
+	for i := 0; i < 100; i++ {
+		a.Inject(mkPacket(net, a, b, 100))
+	}
+	s.Run()
+	if got != 100 {
+		t.Fatalf("delivered %d after clearing impairment, want 100", got)
+	}
+}
+
+func TestImpairValidation(t *testing.T) {
+	s, _, a, _ := twoNodes(t, LinkConfig{Rate: Gbps})
+	_ = s
+	defer func() {
+		if recover() == nil {
+			t.Fatal("LossProb=1 accepted")
+		}
+	}()
+	a.NICs()[0].Impair(Impairment{LossProb: 1})
+}
+
+func TestImpairOnlyAffectsOneDirection(t *testing.T) {
+	s, net, a, b := twoNodes(t, LinkConfig{Rate: Gbps})
+	a.NICs()[0].Impair(Impairment{LossProb: 0.5, Seed: 9})
+	aGot, bGot := 0, 0
+	a.SetDeliver(func(*Packet) { aGot++ })
+	b.SetDeliver(func(*Packet) { bGot++ })
+	for i := 0; i < 500; i++ {
+		a.Inject(mkPacket(net, a, b, 100))
+		p := mkPacket(net, b, a, 100)
+		p.Flow.Src, p.Flow.Dst = b.Addr(), a.Addr()
+		b.Inject(p)
+	}
+	s.Run()
+	if aGot != 500 {
+		t.Fatalf("reverse direction lost packets: %d/500", aGot)
+	}
+	if bGot >= 400 {
+		t.Fatalf("forward direction unaffected: %d/500", bGot)
+	}
+}

@@ -1,0 +1,200 @@
+package simnet
+
+import (
+	"fmt"
+	"time"
+)
+
+// LinkConfig describes one point-to-point link. Links are full duplex:
+// Rate applies independently to each direction.
+type LinkConfig struct {
+	// Rate is the line rate in bits per second. Must be > 0.
+	Rate int64
+	// Delay is the one-way propagation delay.
+	Delay time.Duration
+	// QueueBytes bounds each direction's egress FIFO. <= 0 selects
+	// DefaultFIFOLimit. Ignored for directions that later have a custom
+	// qdisc installed via NIC.SetQdisc.
+	QueueBytes int
+}
+
+// Gbps and Mbps are convenience multipliers for LinkConfig.Rate.
+const (
+	Kbps int64 = 1_000
+	Mbps int64 = 1_000_000
+	Gbps int64 = 1_000_000_000
+)
+
+// Link is a full-duplex point-to-point link between two NICs.
+type Link struct {
+	id     int
+	cfg    LinkConfig
+	a, b   *NIC
+	net    *Network
+	weight float64 // routing cost; default 1
+}
+
+// Config returns the link's configuration.
+func (l *Link) Config() LinkConfig { return l.cfg }
+
+// A returns the NIC on the first endpoint (the node passed first to
+// Connect); B the second.
+func (l *Link) A() *NIC { return l.a }
+
+// B returns the NIC on the second endpoint.
+func (l *Link) B() *NIC { return l.b }
+
+// ID returns the link's index within its Network.
+func (l *Link) ID() int { return l.id }
+
+// SetWeight overrides the link's routing cost (default 1). Routes must
+// be recomputed with Network.ComputeRoutes to take effect.
+func (l *Link) SetWeight(w float64) { l.weight = w }
+
+// String identifies the link by its endpoints.
+func (l *Link) String() string {
+	return fmt.Sprintf("link%d(%s<->%s)", l.id, l.a.node.Name(), l.b.node.Name())
+}
+
+// serializationDelay returns the time to clock size bytes onto the wire.
+func (l *Link) serializationDelay(size int) time.Duration {
+	return time.Duration(float64(size*8) / float64(l.cfg.Rate) * float64(time.Second))
+}
+
+// NIC is one endpoint of a Link. Outbound packets pass through its
+// egress qdisc; the NIC serializes one packet at a time at the link
+// rate, then the packet propagates for the link delay and is handed to
+// the peer node.
+type NIC struct {
+	node  *Node
+	link  *Link
+	peer  *NIC
+	qdisc Qdisc
+	busy  bool
+
+	// Stats.
+	txPackets, txBytes uint64
+	rxPackets, rxBytes uint64
+	dropPackets        uint64
+
+	wakeTimer *Timer
+	impair    *impairedDir
+	tap       Tap
+}
+
+// Node returns the node the NIC belongs to.
+func (n *NIC) Node() *Node { return n.node }
+
+// Link returns the attached link.
+func (n *NIC) Link() *Link { return n.link }
+
+// Peer returns the NIC at the other end of the link.
+func (n *NIC) Peer() *NIC { return n.peer }
+
+// Qdisc returns the egress queueing discipline.
+func (n *NIC) Qdisc() Qdisc { return n.qdisc }
+
+// SetQdisc replaces the egress qdisc. Packets already queued in the old
+// discipline are dropped (mirroring `tc qdisc replace`).
+func (n *NIC) SetQdisc(q Qdisc) {
+	if q == nil {
+		q = NewFIFO(0)
+	}
+	n.qdisc = q
+}
+
+// TxBytes returns cumulative bytes serialized onto the link.
+// SDN-style controllers poll this to estimate utilization.
+func (n *NIC) TxBytes() uint64 { return n.txBytes }
+
+// TxPackets returns cumulative packets serialized onto the link.
+func (n *NIC) TxPackets() uint64 { return n.txPackets }
+
+// RxBytes returns cumulative bytes received from the link.
+func (n *NIC) RxBytes() uint64 { return n.rxBytes }
+
+// RxPackets returns cumulative packets received from the link.
+func (n *NIC) RxPackets() uint64 { return n.rxPackets }
+
+// Drops returns packets dropped at enqueue by the egress qdisc.
+func (n *NIC) Drops() uint64 { return n.dropPackets }
+
+// QueueDepth returns the current egress backlog in bytes.
+func (n *NIC) QueueDepth() int { return n.qdisc.Backlog() }
+
+// Send enqueues a packet for transmission. The packet is dropped if the
+// qdisc rejects it.
+func (n *NIC) Send(p *Packet) {
+	sched := n.node.net.sched
+	p.EnqueuedAt = sched.Now()
+	if !n.qdisc.Enqueue(p) {
+		n.dropPackets++
+		n.node.net.notifyDrop(p, n)
+		return
+	}
+	if !n.busy {
+		n.transmitNext()
+	}
+}
+
+// transmitNext pulls the next eligible packet from the qdisc and clocks
+// it onto the wire. If the qdisc holds packets that only become eligible
+// later (shapers), a wake-up is scheduled.
+func (n *NIC) transmitNext() {
+	sched := n.node.net.sched
+	p := n.qdisc.Dequeue()
+	if p == nil {
+		n.busy = false
+		if w, ok := n.qdisc.(Waker); ok {
+			if at, ok := w.NextWake(sched.Now()); ok {
+				n.scheduleWake(at)
+			}
+		}
+		return
+	}
+	n.busy = true
+	if p.SentAt == 0 {
+		p.SentAt = sched.Now()
+	}
+	tx := n.link.serializationDelay(p.Size)
+	n.txPackets++
+	n.txBytes += uint64(p.Size)
+	if n.tap != nil {
+		n.tap(p, sched.Now())
+	}
+	sched.After(tx, func() {
+		// Serialization finished: apply any impairment, propagate,
+		// then free the line.
+		extra := time.Duration(0)
+		deliver := true
+		if n.impair != nil {
+			extra, deliver = n.impair.apply(p)
+		}
+		if deliver {
+			sched.After(n.link.cfg.Delay+extra, func() {
+				n.peer.receive(p)
+			})
+		} else {
+			n.node.net.notifyDrop(p, n)
+		}
+		n.transmitNext()
+	})
+}
+
+func (n *NIC) scheduleWake(at time.Duration) {
+	sched := n.node.net.sched
+	if n.wakeTimer != nil && !n.wakeTimer.Stopped() {
+		return
+	}
+	n.wakeTimer = sched.At(at, func() {
+		if !n.busy {
+			n.transmitNext()
+		}
+	})
+}
+
+func (n *NIC) receive(p *Packet) {
+	n.rxPackets++
+	n.rxBytes += uint64(p.Size)
+	n.node.receive(p, n)
+}

@@ -1,0 +1,178 @@
+package simnet
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// DropFunc observes packets dropped anywhere in the network (queue
+// overflow, TTL expiry, no route). The NIC argument is nil for drops not
+// attributable to a queue.
+type DropFunc func(p *Packet, at *NIC)
+
+// Network owns the topology: nodes, links, and shortest-path routes.
+type Network struct {
+	sched  *Scheduler
+	nodes  []*Node
+	links  []*Link
+	byAddr map[Addr]*Node
+	byName map[string]*Node
+
+	// routes[src][dstID] = egress NIC; rebuilt by ComputeRoutes.
+	routes [][]*NIC
+	dirty  bool
+
+	onDrop DropFunc
+	pktSeq uint64
+}
+
+// NewNetwork returns an empty topology bound to the scheduler.
+func NewNetwork(s *Scheduler) *Network {
+	if s == nil {
+		panic("simnet: nil scheduler")
+	}
+	return &Network{
+		sched:  s,
+		byAddr: make(map[Addr]*Node),
+		byName: make(map[string]*Node),
+	}
+}
+
+// Scheduler returns the scheduler driving this network.
+func (n *Network) Scheduler() *Scheduler { return n.sched }
+
+// OnDrop registers a global drop observer.
+func (n *Network) OnDrop(fn DropFunc) { n.onDrop = fn }
+
+func (n *Network) notifyDrop(p *Packet, at *NIC) {
+	if n.onDrop != nil {
+		n.onDrop(p, at)
+	}
+}
+
+// AddNode creates a node with an auto-assigned address in 10.0.0.0/16.
+// Names must be unique.
+func (n *Network) AddNode(name string) *Node {
+	if _, dup := n.byName[name]; dup {
+		panic(fmt.Sprintf("simnet: duplicate node name %q", name))
+	}
+	id := len(n.nodes)
+	addr := AddrFromOctets(10, 0, byte((id+1)>>8), byte(id+1))
+	node := &Node{id: id, name: name, addr: addr, net: n}
+	n.nodes = append(n.nodes, node)
+	n.byAddr[addr] = node
+	n.byName[name] = node
+	n.dirty = true
+	return node
+}
+
+// Node returns the node with the given name, or nil.
+func (n *Network) Node(name string) *Node { return n.byName[name] }
+
+// NodeByAddr returns the node owning addr, or nil.
+func (n *Network) NodeByAddr(a Addr) *Node { return n.byAddr[a] }
+
+// Nodes returns all nodes in creation order.
+func (n *Network) Nodes() []*Node { return n.nodes }
+
+// Links returns all links in creation order.
+func (n *Network) Links() []*Link { return n.links }
+
+// Connect joins two nodes with a full-duplex link.
+func (n *Network) Connect(a, b *Node, cfg LinkConfig) *Link {
+	if cfg.Rate <= 0 {
+		panic("simnet: link rate must be positive")
+	}
+	if a == b {
+		panic("simnet: cannot link a node to itself")
+	}
+	l := &Link{id: len(n.links), cfg: cfg, net: n, weight: 1}
+	na := &NIC{node: a, link: l, qdisc: NewFIFO(cfg.QueueBytes)}
+	nb := &NIC{node: b, link: l, qdisc: NewFIFO(cfg.QueueBytes)}
+	na.peer, nb.peer = nb, na
+	l.a, l.b = na, nb
+	a.nics = append(a.nics, na)
+	b.nics = append(b.nics, nb)
+	n.links = append(n.links, l)
+	n.dirty = true
+	return l
+}
+
+// NextPacketID returns a unique packet ID.
+func (n *Network) NextPacketID() uint64 {
+	n.pktSeq++
+	return n.pktSeq
+}
+
+// ComputeRoutes (re)builds all-pairs shortest-path next-hop tables using
+// Dijkstra from every node with link weights as costs. Called lazily on
+// first routing after a topology change.
+func (n *Network) ComputeRoutes() {
+	n.routes = make([][]*NIC, len(n.nodes))
+	for _, src := range n.nodes {
+		n.routes[src.id] = n.dijkstra(src)
+	}
+	n.dirty = false
+}
+
+func (n *Network) nextHop(from *Node, dst Addr) *NIC {
+	if n.dirty {
+		n.ComputeRoutes()
+	}
+	dn, ok := n.byAddr[dst]
+	if !ok {
+		return nil
+	}
+	return n.routes[from.id][dn.id]
+}
+
+// dijkstra returns, for each destination node ID, the egress NIC at src.
+func (n *Network) dijkstra(src *Node) []*NIC {
+	const inf = math.MaxFloat64
+	dist := make([]float64, len(n.nodes))
+	firstHop := make([]*NIC, len(n.nodes))
+	done := make([]bool, len(n.nodes))
+	for i := range dist {
+		dist[i] = inf
+	}
+	dist[src.id] = 0
+
+	pq := &nodeQueue{}
+	heap.Push(pq, nodeDist{src.id, 0})
+	for pq.Len() > 0 {
+		nd := heap.Pop(pq).(nodeDist)
+		if done[nd.id] {
+			continue
+		}
+		done[nd.id] = true
+		cur := n.nodes[nd.id]
+		for _, nic := range cur.nics {
+			next := nic.peer.node
+			w := nic.link.weight
+			if nd.dist+w < dist[next.id] {
+				dist[next.id] = nd.dist + w
+				if cur == src {
+					firstHop[next.id] = nic
+				} else {
+					firstHop[next.id] = firstHop[cur.id]
+				}
+				heap.Push(pq, nodeDist{next.id, dist[next.id]})
+			}
+		}
+	}
+	return firstHop
+}
+
+type nodeDist struct {
+	id   int
+	dist float64
+}
+
+type nodeQueue []nodeDist
+
+func (q nodeQueue) Len() int           { return len(q) }
+func (q nodeQueue) Less(i, j int) bool { return q[i].dist < q[j].dist }
+func (q nodeQueue) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
+func (q *nodeQueue) Push(x any)        { *q = append(*q, x.(nodeDist)) }
+func (q *nodeQueue) Pop() (x any)      { old := *q; n := len(old); x = old[n-1]; *q = old[:n-1]; return }

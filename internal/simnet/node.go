@@ -1,0 +1,117 @@
+package simnet
+
+import "fmt"
+
+// DeliverFunc receives packets addressed to the local node. The
+// transport layer registers one per node.
+type DeliverFunc func(p *Packet)
+
+// Node is a host or switch in the topology. A node has one primary
+// address; hosts terminate traffic addressed to them, any node forwards
+// other traffic along precomputed shortest-path routes.
+type Node struct {
+	id    int
+	name  string
+	addr  Addr
+	net   *Network
+	nics  []*NIC
+	local DeliverFunc
+
+	// flowRoutes overrides the destination-based route for specific
+	// flows — the hook SDN-style traffic engineering uses.
+	flowRoutes map[FlowKey]*NIC
+
+	forwarded uint64
+	delivered uint64
+	ttlDrops  uint64
+	noRoute   uint64
+}
+
+// ID returns the node's index within its network.
+func (n *Node) ID() int { return n.id }
+
+// Name returns the node's human-readable name.
+func (n *Node) Name() string { return n.name }
+
+// Addr returns the node's primary address.
+func (n *Node) Addr() Addr { return n.addr }
+
+// Network returns the owning network.
+func (n *Node) Network() *Network { return n.net }
+
+// NICs returns the node's interfaces in attachment order.
+func (n *Node) NICs() []*NIC { return n.nics }
+
+// SetDeliver registers the local delivery hook for packets addressed to
+// this node.
+func (n *Node) SetDeliver(fn DeliverFunc) { n.local = fn }
+
+// SetFlowRoute pins packets of the given flow to egress via nic,
+// bypassing destination-based routing. Passing a nil NIC removes the
+// pin. This is the mechanism internal/sdn uses for traffic engineering.
+func (n *Node) SetFlowRoute(flow FlowKey, nic *NIC) {
+	if n.flowRoutes == nil {
+		n.flowRoutes = make(map[FlowKey]*NIC)
+	}
+	if nic == nil {
+		delete(n.flowRoutes, flow)
+		return
+	}
+	n.flowRoutes[flow] = nic
+}
+
+// Inject sends a locally originated packet into the network. Loopback
+// destinations deliver immediately (same-host communication, e.g. the
+// app-to-sidecar hop, is architecturally negligible per the paper §3.1
+// footnote).
+func (n *Node) Inject(p *Packet) {
+	if p.TTL == 0 {
+		p.TTL = DefaultTTL
+	}
+	if p.Flow.Dst == n.addr {
+		n.deliverLocal(p)
+		return
+	}
+	n.route(p)
+}
+
+// receive handles a packet arriving on a NIC.
+func (n *Node) receive(p *Packet, _ *NIC) {
+	if p.Flow.Dst == n.addr {
+		n.deliverLocal(p)
+		return
+	}
+	p.TTL--
+	if p.TTL <= 0 {
+		n.ttlDrops++
+		n.net.notifyDrop(p, nil)
+		return
+	}
+	n.route(p)
+}
+
+func (n *Node) deliverLocal(p *Packet) {
+	n.delivered++
+	if n.local != nil {
+		n.local(p)
+	}
+}
+
+func (n *Node) route(p *Packet) {
+	if nic, ok := n.flowRoutes[p.Flow]; ok {
+		n.forwarded++
+		nic.Send(p)
+		return
+	}
+	nic := n.net.nextHop(n, p.Flow.Dst)
+	if nic == nil {
+		n.noRoute++
+		n.net.notifyDrop(p, nil)
+		return
+	}
+	n.forwarded++
+	nic.Send(p)
+}
+
+// String renders the node as name(addr).
+func (n *Node) String() string { return fmt.Sprintf("%s(%v)", n.name, n.addr) }

@@ -1,0 +1,89 @@
+package simnet
+
+import (
+	"fmt"
+	"time"
+)
+
+// Addr is a node address, rendered IPv4-style for readability. Address 0
+// is the zero/unspecified address.
+type Addr uint32
+
+// String renders the address as a dotted quad.
+func (a Addr) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d", byte(a>>24), byte(a>>16), byte(a>>8), byte(a))
+}
+
+// AddrFromOctets builds an address from four octets.
+func AddrFromOctets(a, b, c, d byte) Addr {
+	return Addr(uint32(a)<<24 | uint32(b)<<16 | uint32(c)<<8 | uint32(d))
+}
+
+// Protocol numbers carried in FlowKey.Proto. Values mirror IANA where a
+// counterpart exists, but are only compared for equality.
+const (
+	ProtoTCP uint8 = 6
+	ProtoUDP uint8 = 17
+)
+
+// FlowKey identifies a transport flow (5-tuple). It is comparable and
+// usable as a map key.
+type FlowKey struct {
+	Src, Dst         Addr
+	SrcPort, DstPort uint16
+	Proto            uint8
+}
+
+// Reverse returns the key of the reverse direction of the flow.
+func (f FlowKey) Reverse() FlowKey {
+	return FlowKey{Src: f.Dst, Dst: f.Src, SrcPort: f.DstPort, DstPort: f.SrcPort, Proto: f.Proto}
+}
+
+// String renders the flow as "src:sport->dst:dport/proto".
+func (f FlowKey) String() string {
+	return fmt.Sprintf("%v:%d->%v:%d/%d", f.Src, f.SrcPort, f.Dst, f.DstPort, f.Proto)
+}
+
+// Mark is a packet priority mark, analogous to a DSCP codepoint or an
+// fwmark. Cross-layer prioritization stamps marks at the sidecar and TC
+// filters match on them. Higher values mean higher priority.
+type Mark uint8
+
+// Well-known marks used by the prioritization case study.
+const (
+	MarkDefault Mark = 0 // unmarked traffic
+	MarkLow     Mark = 1 // latency-insensitive (scavenger class)
+	MarkHigh    Mark = 2 // latency-sensitive
+)
+
+// Packet is the unit of transmission. Payload carries the upper layer's
+// segment; Size is the full on-wire size in bytes, which is what links
+// and queues account.
+type Packet struct {
+	ID      uint64
+	Flow    FlowKey
+	Size    int
+	Mark    Mark
+	Payload any
+
+	// SentAt is stamped by the first NIC that serializes the packet;
+	// EnqueuedAt by the qdisc on enqueue (for queueing-delay stats).
+	SentAt     time.Duration
+	EnqueuedAt time.Duration
+
+	// TTL guards against routing loops. Forwarding decrements it and
+	// drops the packet at zero.
+	TTL int
+}
+
+// DefaultTTL is assigned to packets injected with a zero TTL.
+const DefaultTTL = 64
+
+// MTU is the maximum transmission unit used by the transport layer when
+// segmenting byte streams. Links themselves accept any Size; MTU is a
+// convention shared with internal/transport.
+const MTU = 1500
+
+// HeaderBytes approximates per-packet L3/L4 header overhead, counted in
+// Packet.Size on top of the payload bytes.
+const HeaderBytes = 40

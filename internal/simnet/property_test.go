@@ -1,0 +1,96 @@
+package simnet
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// TestPropertyRandomTopologyReachability: on a random connected graph,
+// every node can deliver a packet to every other node via the computed
+// shortest-path routes.
+func TestPropertyRandomTopologyReachability(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := NewScheduler()
+		net := NewNetwork(s)
+		n := 3 + rng.Intn(8)
+		nodes := make([]*Node, n)
+		for i := 0; i < n; i++ {
+			nodes[i] = net.AddNode(string(rune('a' + i)))
+		}
+		// Spanning chain guarantees connectivity; extra random edges
+		// add path diversity.
+		for i := 1; i < n; i++ {
+			net.Connect(nodes[i-1], nodes[i], LinkConfig{Rate: Gbps})
+		}
+		for e := 0; e < n; e++ {
+			i, j := rng.Intn(n), rng.Intn(n)
+			if i != j {
+				net.Connect(nodes[i], nodes[j], LinkConfig{Rate: Gbps})
+			}
+		}
+		delivered := map[Addr]int{}
+		for _, dst := range nodes {
+			dst := dst
+			dst.SetDeliver(func(p *Packet) { delivered[p.Flow.Dst]++ })
+		}
+		want := 0
+		for _, src := range nodes {
+			for _, dst := range nodes {
+				if src == dst {
+					continue
+				}
+				want++
+				src.Inject(&Packet{
+					ID:   net.NextPacketID(),
+					Flow: FlowKey{Src: src.Addr(), Dst: dst.Addr(), SrcPort: 1, DstPort: 2, Proto: ProtoTCP},
+					Size: 100,
+				})
+			}
+		}
+		s.RunUntil(10 * time.Second)
+		got := 0
+		for _, c := range delivered {
+			got += c
+		}
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyNoPacketInventedOrLostOnCleanLinks: byte conservation
+// between injection and delivery on loss-free paths.
+func TestPropertyNoPacketInventedOrLostOnCleanLinks(t *testing.T) {
+	f := func(seed int64, count uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := NewScheduler()
+		net := NewNetwork(s)
+		a := net.AddNode("a")
+		mid := net.AddNode("mid")
+		b := net.AddNode("b")
+		net.Connect(a, mid, LinkConfig{Rate: 100 * Mbps})
+		net.Connect(mid, b, LinkConfig{Rate: 100 * Mbps})
+
+		var sentBytes, gotBytes int
+		b.SetDeliver(func(p *Packet) { gotBytes += p.Size })
+		n := 1 + int(count)%60
+		for i := 0; i < n; i++ {
+			size := 40 + rng.Intn(1400)
+			sentBytes += size
+			a.Inject(&Packet{
+				ID:   net.NextPacketID(),
+				Flow: FlowKey{Src: a.Addr(), Dst: b.Addr(), SrcPort: 1, DstPort: 2, Proto: ProtoTCP},
+				Size: size,
+			})
+		}
+		s.Run()
+		return gotBytes == sentBytes
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

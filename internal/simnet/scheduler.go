@@ -1,0 +1,186 @@
+// Package simnet implements a deterministic discrete-event network
+// simulator: a virtual clock with an event scheduler, and a packet-level
+// model of links, NICs, and nodes connected into routed topologies.
+//
+// All simulated components run single-threaded on one Scheduler. Time is
+// a time.Duration measured from the simulation epoch (t = 0). Components
+// never read the wall clock, so a run is a pure function of its inputs
+// and seeds: the same program produces byte-identical results on every
+// machine.
+package simnet
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Scheduler is the simulation event loop. The zero value is not usable;
+// call NewScheduler.
+type Scheduler struct {
+	now     time.Duration
+	events  eventHeap
+	seq     uint64
+	stopped bool
+	steps   uint64
+}
+
+// NewScheduler returns a scheduler with the clock at the simulation epoch.
+func NewScheduler() *Scheduler {
+	return &Scheduler{}
+}
+
+// Now returns the current simulated time.
+func (s *Scheduler) Now() time.Duration { return s.now }
+
+// Steps returns the number of events executed so far. Useful for
+// instrumentation and runaway detection in tests.
+func (s *Scheduler) Steps() uint64 { return s.steps }
+
+// Timer is a handle to a scheduled event that can be cancelled.
+type Timer struct {
+	ev *event
+}
+
+// Cancel prevents the timer's function from running. Cancelling an
+// already-fired or already-cancelled timer is a no-op.
+func (t *Timer) Cancel() {
+	if t != nil && t.ev != nil {
+		t.ev.fn = nil
+	}
+}
+
+// Stopped reports whether the timer has fired or been cancelled.
+func (t *Timer) Stopped() bool { return t == nil || t.ev == nil || t.ev.fn == nil }
+
+// At schedules fn to run at absolute simulated time at. Scheduling in the
+// past panics: it would silently reorder causality.
+func (s *Scheduler) At(at time.Duration, fn func()) *Timer {
+	if fn == nil {
+		panic("simnet: nil event function")
+	}
+	if at < s.now {
+		panic(fmt.Sprintf("simnet: event scheduled in the past: %v < %v", at, s.now))
+	}
+	ev := &event{at: at, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.events, ev)
+	return &Timer{ev: ev}
+}
+
+// After schedules fn to run d after the current simulated time.
+// Negative d is clamped to zero.
+func (s *Scheduler) After(d time.Duration, fn func()) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	return s.At(s.now+d, fn)
+}
+
+// Step executes the next pending event, advancing the clock to its
+// timestamp. It returns false when no events remain.
+func (s *Scheduler) Step() bool {
+	for len(s.events) > 0 {
+		ev := heap.Pop(&s.events).(*event)
+		if ev.fn == nil { // cancelled
+			continue
+		}
+		s.now = ev.at
+		fn := ev.fn
+		ev.fn = nil
+		s.steps++
+		fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue drains or Stop is called.
+func (s *Scheduler) Run() {
+	s.stopped = false
+	for !s.stopped && s.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= t, then sets the clock to
+// t. Events scheduled beyond t remain pending.
+func (s *Scheduler) RunUntil(t time.Duration) {
+	s.stopped = false
+	for !s.stopped {
+		next, ok := s.peekTime()
+		if !ok || next > t {
+			break
+		}
+		s.Step()
+	}
+	if s.now < t {
+		s.now = t
+	}
+}
+
+// RunFor executes events for d of simulated time from the current clock.
+func (s *Scheduler) RunFor(d time.Duration) { s.RunUntil(s.now + d) }
+
+// Stop halts Run/RunUntil after the currently executing event returns.
+func (s *Scheduler) Stop() { s.stopped = true }
+
+// Pending returns the number of scheduled (non-cancelled) events.
+func (s *Scheduler) Pending() int {
+	n := 0
+	for _, ev := range s.events {
+		if ev.fn != nil {
+			n++
+		}
+	}
+	return n
+}
+
+func (s *Scheduler) peekTime() (time.Duration, bool) {
+	for len(s.events) > 0 {
+		if s.events[0].fn == nil {
+			heap.Pop(&s.events)
+			continue
+		}
+		return s.events[0].at, true
+	}
+	return 0, false
+}
+
+type event struct {
+	at  time.Duration
+	seq uint64 // FIFO tie-break for same-time events
+	fn  func()
+	idx int
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.idx = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}

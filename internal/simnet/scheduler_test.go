@@ -1,0 +1,149 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSchedulerOrdering(t *testing.T) {
+	s := NewScheduler()
+	var got []int
+	s.At(30*time.Millisecond, func() { got = append(got, 3) })
+	s.At(10*time.Millisecond, func() { got = append(got, 1) })
+	s.At(20*time.Millisecond, func() { got = append(got, 2) })
+	s.Run()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("events ran out of order: %v", got)
+	}
+	if s.Now() != 30*time.Millisecond {
+		t.Fatalf("clock = %v, want 30ms", s.Now())
+	}
+}
+
+func TestSchedulerSameTimeFIFO(t *testing.T) {
+	s := NewScheduler()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(time.Millisecond, func() { got = append(got, i) })
+	}
+	s.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-time events not FIFO: %v", got)
+		}
+	}
+}
+
+func TestSchedulerAfterRelative(t *testing.T) {
+	s := NewScheduler()
+	var at time.Duration
+	s.At(5*time.Millisecond, func() {
+		s.After(7*time.Millisecond, func() { at = s.Now() })
+	})
+	s.Run()
+	if at != 12*time.Millisecond {
+		t.Fatalf("After fired at %v, want 12ms", at)
+	}
+}
+
+func TestSchedulerCancel(t *testing.T) {
+	s := NewScheduler()
+	fired := false
+	tm := s.At(time.Millisecond, func() { fired = true })
+	tm.Cancel()
+	s.Run()
+	if fired {
+		t.Fatal("cancelled timer fired")
+	}
+	if !tm.Stopped() {
+		t.Fatal("cancelled timer not reported stopped")
+	}
+}
+
+func TestSchedulerRunUntil(t *testing.T) {
+	s := NewScheduler()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		s.At(time.Duration(i)*time.Second, func() { count++ })
+	}
+	s.RunUntil(5 * time.Second)
+	if count != 5 {
+		t.Fatalf("ran %d events, want 5", count)
+	}
+	if s.Now() != 5*time.Second {
+		t.Fatalf("clock = %v, want 5s", s.Now())
+	}
+	if s.Pending() != 5 {
+		t.Fatalf("pending = %d, want 5", s.Pending())
+	}
+}
+
+func TestSchedulerRunFor(t *testing.T) {
+	s := NewScheduler()
+	s.RunUntil(2 * time.Second)
+	ran := false
+	s.After(time.Second, func() { ran = true })
+	s.RunFor(time.Second)
+	if !ran {
+		t.Fatal("RunFor did not reach the event")
+	}
+	if s.Now() != 3*time.Second {
+		t.Fatalf("clock = %v, want 3s", s.Now())
+	}
+}
+
+func TestSchedulerStop(t *testing.T) {
+	s := NewScheduler()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		s.At(time.Duration(i), func() {
+			count++
+			if count == 3 {
+				s.Stop()
+			}
+		})
+	}
+	s.Run()
+	if count != 3 {
+		t.Fatalf("ran %d events after Stop, want 3", count)
+	}
+}
+
+func TestSchedulerPastPanics(t *testing.T) {
+	s := NewScheduler()
+	s.At(time.Second, func() {})
+	s.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	s.At(time.Millisecond, func() {})
+}
+
+func TestSchedulerNegativeAfterClamped(t *testing.T) {
+	s := NewScheduler()
+	s.RunUntil(time.Second)
+	fired := false
+	s.After(-time.Minute, func() { fired = true })
+	s.Run()
+	if !fired {
+		t.Fatal("negative After never fired")
+	}
+	if s.Now() != time.Second {
+		t.Fatalf("clock moved backwards: %v", s.Now())
+	}
+}
+
+func TestTimerCancelDuringRun(t *testing.T) {
+	s := NewScheduler()
+	var second *Timer
+	fired := false
+	s.At(1, func() { second.Cancel() })
+	second = s.At(2, func() { fired = true })
+	s.Run()
+	if fired {
+		t.Fatal("timer cancelled from an earlier event still fired")
+	}
+}

@@ -1,0 +1,113 @@
+package simnet
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Tap observes every packet a NIC serializes (after qdisc scheduling,
+// before any impairment). Taps must not mutate the packet.
+type Tap func(p *Packet, at time.Duration)
+
+// SetTap installs (or clears, with nil) the NIC's transmit tap.
+func (n *NIC) SetTap(t Tap) { n.tap = t }
+
+// Sniffer is a convenience tap implementation: per-mark packet/byte
+// counters plus a bounded ring of the most recent packet summaries —
+// the tcpdump of the simulator.
+type Sniffer struct {
+	byMark  map[Mark]*SnifferCounters
+	ring    []PacketRecord
+	ringCap int
+	next    int
+	total   uint64
+}
+
+// SnifferCounters aggregate one mark's traffic.
+type SnifferCounters struct {
+	Packets uint64
+	Bytes   uint64
+}
+
+// PacketRecord is one captured packet summary.
+type PacketRecord struct {
+	Time time.Duration
+	Flow FlowKey
+	Size int
+	Mark Mark
+}
+
+// NewSniffer returns a sniffer keeping the last ringCap packet records
+// (<= 0 keeps none; counters always work).
+func NewSniffer(ringCap int) *Sniffer {
+	if ringCap < 0 {
+		ringCap = 0
+	}
+	return &Sniffer{byMark: make(map[Mark]*SnifferCounters), ringCap: ringCap}
+}
+
+// AttachTo installs the sniffer as the NIC's tap.
+func (s *Sniffer) AttachTo(n *NIC) { n.SetTap(s.Observe) }
+
+// Observe records one packet; usable directly as a Tap.
+func (s *Sniffer) Observe(p *Packet, at time.Duration) {
+	c := s.byMark[p.Mark]
+	if c == nil {
+		c = &SnifferCounters{}
+		s.byMark[p.Mark] = c
+	}
+	c.Packets++
+	c.Bytes += uint64(p.Size)
+	s.total++
+	if s.ringCap == 0 {
+		return
+	}
+	rec := PacketRecord{Time: at, Flow: p.Flow, Size: p.Size, Mark: p.Mark}
+	if len(s.ring) < s.ringCap {
+		s.ring = append(s.ring, rec)
+	} else {
+		s.ring[s.next] = rec
+		s.next = (s.next + 1) % s.ringCap
+	}
+}
+
+// Total returns the number of packets observed.
+func (s *Sniffer) Total() uint64 { return s.total }
+
+// Counters returns the aggregate for a mark (zero value if none).
+func (s *Sniffer) Counters(m Mark) SnifferCounters {
+	if c := s.byMark[m]; c != nil {
+		return *c
+	}
+	return SnifferCounters{}
+}
+
+// Recent returns the captured ring, oldest first.
+func (s *Sniffer) Recent() []PacketRecord {
+	if len(s.ring) < s.ringCap {
+		out := make([]PacketRecord, len(s.ring))
+		copy(out, s.ring)
+		return out
+	}
+	out := make([]PacketRecord, 0, s.ringCap)
+	out = append(out, s.ring[s.next:]...)
+	out = append(out, s.ring[:s.next]...)
+	return out
+}
+
+// Summary renders per-mark counters, sorted by mark.
+func (s *Sniffer) Summary() string {
+	marks := make([]int, 0, len(s.byMark))
+	for m := range s.byMark {
+		marks = append(marks, int(m))
+	}
+	sort.Ints(marks)
+	var b strings.Builder
+	for _, m := range marks {
+		c := s.byMark[Mark(m)]
+		fmt.Fprintf(&b, "mark=%d packets=%d bytes=%d\n", m, c.Packets, c.Bytes)
+	}
+	return b.String()
+}

@@ -1,0 +1,91 @@
+package simnet
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSnifferCountsByMark(t *testing.T) {
+	s, net, a, b := twoNodes(t, LinkConfig{Rate: Gbps})
+	sn := NewSniffer(4)
+	sn.AttachTo(a.NICs()[0])
+	b.SetDeliver(func(*Packet) {})
+	for i := 0; i < 5; i++ {
+		p := mkPacket(net, a, b, 1000)
+		p.Mark = MarkHigh
+		a.Inject(p)
+	}
+	for i := 0; i < 3; i++ {
+		p := mkPacket(net, a, b, 500)
+		p.Mark = MarkLow
+		a.Inject(p)
+	}
+	s.Run()
+	if sn.Total() != 8 {
+		t.Fatalf("total = %d", sn.Total())
+	}
+	hi := sn.Counters(MarkHigh)
+	if hi.Packets != 5 || hi.Bytes != 5000 {
+		t.Fatalf("high = %+v", hi)
+	}
+	lo := sn.Counters(MarkLow)
+	if lo.Packets != 3 || lo.Bytes != 1500 {
+		t.Fatalf("low = %+v", lo)
+	}
+	if got := sn.Counters(MarkDefault); got.Packets != 0 {
+		t.Fatalf("default = %+v", got)
+	}
+	if !strings.Contains(sn.Summary(), "mark=2 packets=5") {
+		t.Fatalf("summary: %s", sn.Summary())
+	}
+}
+
+func TestSnifferRingKeepsLatest(t *testing.T) {
+	s, net, a, b := twoNodes(t, LinkConfig{Rate: Gbps})
+	sn := NewSniffer(3)
+	sn.AttachTo(a.NICs()[0])
+	b.SetDeliver(func(*Packet) {})
+	for i := 1; i <= 5; i++ {
+		a.Inject(mkPacket(net, a, b, 100*i))
+	}
+	s.Run()
+	recent := sn.Recent()
+	if len(recent) != 3 {
+		t.Fatalf("ring = %d", len(recent))
+	}
+	// Oldest-first: sizes 300, 400, 500.
+	for i, want := range []int{300, 400, 500} {
+		if recent[i].Size != want {
+			t.Fatalf("ring[%d].Size = %d, want %d", i, recent[i].Size, want)
+		}
+	}
+}
+
+func TestSnifferZeroRing(t *testing.T) {
+	s, net, a, b := twoNodes(t, LinkConfig{Rate: Gbps})
+	sn := NewSniffer(0)
+	sn.AttachTo(a.NICs()[0])
+	b.SetDeliver(func(*Packet) {})
+	a.Inject(mkPacket(net, a, b, 100))
+	s.Run()
+	if sn.Total() != 1 || len(sn.Recent()) != 0 {
+		t.Fatalf("total=%d ring=%d", sn.Total(), len(sn.Recent()))
+	}
+}
+
+func TestTapClearable(t *testing.T) {
+	s, net, a, b := twoNodes(t, LinkConfig{Rate: Gbps})
+	n := 0
+	nic := a.NICs()[0]
+	nic.SetTap(func(*Packet, time.Duration) { n++ })
+	b.SetDeliver(func(*Packet) {})
+	a.Inject(mkPacket(net, a, b, 100))
+	s.Run()
+	nic.SetTap(nil)
+	a.Inject(mkPacket(net, a, b, 100))
+	s.Run()
+	if n != 1 {
+		t.Fatalf("tap fired %d times, want 1", n)
+	}
+}

@@ -1,0 +1,168 @@
+package tc
+
+import (
+	"testing"
+	"time"
+
+	"meshlayer/internal/simnet"
+	"meshlayer/internal/transport"
+)
+
+func TestREDValidation(t *testing.T) {
+	for _, bad := range []REDConfig{
+		{},
+		{MinBytes: 100, MaxBytes: 50},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("config %+v accepted", bad)
+				}
+			}()
+			NewRED(bad)
+		}()
+	}
+}
+
+func TestREDPassesLightLoad(t *testing.T) {
+	q := NewRED(REDConfig{MinBytes: 30000, MaxBytes: 90000, Seed: 1})
+	for i := 0; i < 10; i++ {
+		if !q.Enqueue(&simnet.Packet{Size: 1000}) {
+			t.Fatal("light load dropped")
+		}
+	}
+	if q.EarlyDrops() != 0 {
+		t.Fatal("early drops under light load")
+	}
+	n := 0
+	for q.Dequeue() != nil {
+		n++
+	}
+	if n != 10 {
+		t.Fatalf("dequeued %d", n)
+	}
+}
+
+func TestREDDropsUnderStandingQueue(t *testing.T) {
+	q := NewRED(REDConfig{MinBytes: 10000, MaxBytes: 50000, Seed: 2})
+	accepted := 0
+	// Fill without draining: the average climbs past min, drops begin.
+	for i := 0; i < 500; i++ {
+		if q.Enqueue(&simnet.Packet{Size: 1000}) {
+			accepted++
+		}
+	}
+	if q.EarlyDrops() == 0 && q.HardDrops() == 0 {
+		t.Fatal("no drops with a standing queue way past max")
+	}
+	if accepted == 0 {
+		t.Fatal("everything dropped")
+	}
+}
+
+func TestREDEarlyDropsBeforeOverflow(t *testing.T) {
+	// With a drain keeping the queue in the early region, drops happen
+	// probabilistically, not at the hard limit.
+	q := NewRED(REDConfig{MinBytes: 5000, MaxBytes: 20000, LimitBytes: 1 << 20, Seed: 3})
+	for i := 0; i < 5000; i++ {
+		q.Enqueue(&simnet.Packet{Size: 1000})
+		if i%3 != 0 {
+			q.Dequeue()
+		}
+	}
+	if q.EarlyDrops() == 0 {
+		t.Fatal("no early drops in the ramp region")
+	}
+	if q.HardDrops() > q.EarlyDrops() {
+		t.Fatalf("hard drops (%d) dominate early drops (%d)", q.HardDrops(), q.EarlyDrops())
+	}
+}
+
+func TestCoDelBelowTargetNeverDrops(t *testing.T) {
+	s := simnet.NewScheduler()
+	q := NewCoDel(CoDelConfig{Target: 5 * time.Millisecond}, s.Now)
+	for i := 0; i < 100; i++ {
+		q.Enqueue(&simnet.Packet{Size: 1000})
+		if q.Dequeue() == nil {
+			t.Fatal("packet vanished")
+		}
+	}
+	if q.Drops() != 0 {
+		t.Fatalf("drops = %d with zero sojourn", q.Drops())
+	}
+}
+
+func TestCoDelDropsOnPersistentDelay(t *testing.T) {
+	s := simnet.NewScheduler()
+	q := NewCoDel(CoDelConfig{Target: 5 * time.Millisecond, Interval: 20 * time.Millisecond}, s.Now)
+	// Enqueue a standing queue, then dequeue slowly so sojourn times
+	// stay far above target for many intervals.
+	fill := func() {
+		for q.Backlog() < 100*simnet.MTU {
+			q.Enqueue(&simnet.Packet{Size: simnet.MTU})
+		}
+	}
+	fill()
+	got := 0
+	for i := 0; i < 200; i++ {
+		s.RunUntil(s.Now() + 10*time.Millisecond)
+		if p := q.Dequeue(); p != nil {
+			got++
+		}
+		fill()
+	}
+	if q.Drops() == 0 {
+		t.Fatal("CoDel never dropped despite persistent >target sojourn")
+	}
+	if got == 0 {
+		t.Fatal("CoDel delivered nothing")
+	}
+}
+
+func TestCoDelKeepsQueueDelayBounded(t *testing.T) {
+	// End-to-end: a Reno bulk flow through a CoDel bottleneck should
+	// settle near the target delay instead of filling the buffer
+	// (droptail would hold ~a full queue of delay).
+	s := simnet.NewScheduler()
+	n := simnet.NewNetwork(s)
+	a := n.AddNode("a")
+	b := n.AddNode("b")
+	n.Connect(a, b, simnet.LinkConfig{Rate: 20 * simnet.Mbps, Delay: time.Millisecond})
+	nic := a.NICs()[0]
+	nic.SetQdisc(NewCoDel(CoDelConfig{Target: 5 * time.Millisecond, Interval: 50 * time.Millisecond}, s.Now))
+
+	ha, hb := transport.NewHost(a), transport.NewHost(b)
+	hb.Listen(80, func(c *transport.Conn) { c.SetOnMessage(func(any, int) {}) })
+	conn := ha.Dial(b.Addr(), 80, transport.Options{CC: "reno"})
+	conn.SendMessage("bulk", 1<<30)
+
+	var maxBacklog int
+	probe := func() {}
+	probe = func() {
+		if nic.QueueDepth() > maxBacklog {
+			maxBacklog = nic.QueueDepth()
+		}
+		s.After(10*time.Millisecond, probe)
+	}
+	s.After(2*time.Second, probe) // skip slow-start transient
+	s.RunUntil(10 * time.Second)
+
+	// 20 Mbps * 5ms target = 12.5 KB; allow generous slack for bursts,
+	// but far below the 1.5 MB droptail default.
+	if maxBacklog > 300*simnet.MTU {
+		t.Fatalf("steady-state backlog reached %d bytes; CoDel not controlling delay", maxBacklog)
+	}
+	cq := nic.Qdisc().(*CoDel)
+	if cq.Drops() == 0 {
+		t.Fatal("CoDel never signalled the flow")
+	}
+}
+
+func TestCoDelValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil clock accepted")
+		}
+	}()
+	NewCoDel(CoDelConfig{}, nil)
+}

@@ -1,0 +1,317 @@
+package tc
+
+import (
+	"testing"
+	"time"
+
+	"meshlayer/internal/simnet"
+)
+
+// rig is a two-node topology with a qdisc under test installed on the
+// sender's NIC.
+type rig struct {
+	sched *simnet.Scheduler
+	net   *simnet.Network
+	a, b  *simnet.Node
+	link  *simnet.Link
+}
+
+func newRig(t *testing.T, rate int64) *rig {
+	t.Helper()
+	s := simnet.NewScheduler()
+	n := simnet.NewNetwork(s)
+	a := n.AddNode("a")
+	b := n.AddNode("b")
+	l := n.Connect(a, b, simnet.LinkConfig{Rate: rate})
+	return &rig{sched: s, net: n, a: a, b: b, link: l}
+}
+
+func (r *rig) install(q simnet.Qdisc) { r.a.NICs()[0].SetQdisc(q) }
+
+func (r *rig) packet(size int, mark simnet.Mark, srcPort uint16) *simnet.Packet {
+	return &simnet.Packet{
+		ID:   r.net.NextPacketID(),
+		Flow: simnet.FlowKey{Src: r.a.Addr(), Dst: r.b.Addr(), SrcPort: srcPort, DstPort: 80, Proto: simnet.ProtoTCP},
+		Size: size,
+		Mark: mark,
+	}
+}
+
+func TestClassifierFirstMatchWins(t *testing.T) {
+	c := Classifier{
+		Filters: []Filter{
+			{Match: MatchMark(simnet.MarkHigh), Class: 0},
+			{Match: MatchDstPort(80), Class: 1},
+		},
+		Default: 2,
+	}
+	if got := c.Classify(&simnet.Packet{Mark: simnet.MarkHigh, Flow: simnet.FlowKey{DstPort: 80}}); got != 0 {
+		t.Fatalf("class = %d, want 0 (first filter)", got)
+	}
+	if got := c.Classify(&simnet.Packet{Flow: simnet.FlowKey{DstPort: 80}}); got != 1 {
+		t.Fatalf("class = %d, want 1", got)
+	}
+	if got := c.Classify(&simnet.Packet{Flow: simnet.FlowKey{DstPort: 443}}); got != 2 {
+		t.Fatalf("class = %d, want default 2", got)
+	}
+}
+
+func TestMatchHelpers(t *testing.T) {
+	p := &simnet.Packet{
+		Mark: simnet.MarkLow,
+		Flow: simnet.FlowKey{Src: 1, Dst: 2, SrcPort: 10, DstPort: 20},
+	}
+	if !MatchMark(simnet.MarkLow)(p) || MatchMark(simnet.MarkHigh)(p) {
+		t.Fatal("MatchMark wrong")
+	}
+	if !MatchMinMark(simnet.MarkLow)(p) || MatchMinMark(simnet.MarkHigh)(p) {
+		t.Fatal("MatchMinMark wrong")
+	}
+	if !MatchDst(2)(p) || MatchDst(3)(p) {
+		t.Fatal("MatchDst wrong")
+	}
+	if !MatchSrc(1)(p) || MatchSrc(9)(p) {
+		t.Fatal("MatchSrc wrong")
+	}
+	if !MatchAny(MatchDst(9), MatchDstPort(20))(p) {
+		t.Fatal("MatchAny missed")
+	}
+	if MatchAny(MatchDst(9), MatchDstPort(9))(p) {
+		t.Fatal("MatchAny false positive")
+	}
+}
+
+func TestPrioStrictOrdering(t *testing.T) {
+	r := newRig(t, 8*simnet.Mbps) // 1000B = 1ms
+	q := NewPrio(Classifier{
+		Filters: []Filter{{Match: MatchMark(simnet.MarkHigh), Class: 0}},
+		Default: 1,
+	}, simnet.NewFIFO(0), simnet.NewFIFO(0))
+	r.install(q)
+
+	var order []simnet.Mark
+	r.b.SetDeliver(func(p *simnet.Packet) { order = append(order, p.Mark) })
+
+	// Interleave low/high injections; first packet grabs the line, the
+	// rest should come out high-before-low.
+	r.a.NICs()[0].Send(r.packet(1000, simnet.MarkLow, 1))
+	for i := 0; i < 3; i++ {
+		r.a.NICs()[0].Send(r.packet(1000, simnet.MarkLow, 1))
+		r.a.NICs()[0].Send(r.packet(1000, simnet.MarkHigh, 2))
+	}
+	r.sched.Run()
+
+	if len(order) != 7 {
+		t.Fatalf("delivered %d, want 7", len(order))
+	}
+	// After the in-flight first packet: 3 highs, then 3 lows.
+	want := []simnet.Mark{simnet.MarkLow, simnet.MarkHigh, simnet.MarkHigh, simnet.MarkHigh,
+		simnet.MarkLow, simnet.MarkLow, simnet.MarkLow}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("delivery order %v, want %v", order, want)
+		}
+	}
+	if q.Sent(0) != 3 || q.Sent(1) != 4 {
+		t.Fatalf("band sent counts high=%d low=%d", q.Sent(0), q.Sent(1))
+	}
+}
+
+func TestTBFShapesToRate(t *testing.T) {
+	r := newRig(t, 80*simnet.Mbps)
+	// Shape to 8 Mbps: 100 x 1000B = 800kb => 100ms.
+	q := NewTBF(8*simnet.Mbps, simnet.MTU, nil, r.sched.Now)
+	r.install(q)
+
+	var last time.Duration
+	n := 0
+	r.b.SetDeliver(func(p *simnet.Packet) { last = r.sched.Now(); n++ })
+	for i := 0; i < 100; i++ {
+		r.a.NICs()[0].Send(r.packet(1000, 0, 1))
+	}
+	r.sched.Run()
+	if n != 100 {
+		t.Fatalf("delivered %d, want 100", n)
+	}
+	// Initial burst credit lets the first ~1.5KB out immediately; the
+	// rest are paced at 1ms per 1000B.
+	if last < 95*time.Millisecond || last > 105*time.Millisecond {
+		t.Fatalf("last delivery at %v, want ~100ms", last)
+	}
+}
+
+func TestTBFWakesIdleNIC(t *testing.T) {
+	r := newRig(t, 80*simnet.Mbps)
+	q := NewTBF(8*simnet.Mbps, simnet.MTU, nil, r.sched.Now)
+	r.install(q)
+	n := 0
+	r.b.SetDeliver(func(p *simnet.Packet) { n++ })
+	// Exhaust the burst, go idle, and confirm pending packets still
+	// drain via the Waker path.
+	for i := 0; i < 5; i++ {
+		r.a.NICs()[0].Send(r.packet(1400, 0, 1))
+	}
+	r.sched.Run()
+	if n != 5 {
+		t.Fatalf("delivered %d, want 5 (NIC never woke)", n)
+	}
+}
+
+func TestHTBGuaranteesAndBorrowing(t *testing.T) {
+	r := newRig(t, 10*simnet.Mbps)
+	cls := Classifier{
+		Filters: []Filter{{Match: MatchMark(simnet.MarkHigh), Class: 0}},
+		Default: 1,
+	}
+	q := NewHTB(cls, r.sched.Now,
+		HTBClass{Rate: 7 * simnet.Mbps, Ceil: 10 * simnet.Mbps, Prio: 0},
+		HTBClass{Rate: 3 * simnet.Mbps, Ceil: 10 * simnet.Mbps, Prio: 1},
+	)
+	r.install(q)
+
+	var hiBytes, loBytes int
+	r.b.SetDeliver(func(p *simnet.Packet) {
+		if p.Mark == simnet.MarkHigh {
+			hiBytes += p.Size
+		} else {
+			loBytes += p.Size
+		}
+	})
+
+	// Saturate both classes for 1 simulated second.
+	for i := 0; i < 900; i++ {
+		r.a.NICs()[0].Send(r.packet(1000, simnet.MarkHigh, 1))
+		r.a.NICs()[0].Send(r.packet(1000, simnet.MarkLow, 2))
+	}
+	r.sched.RunUntil(time.Second)
+
+	total := hiBytes + loBytes
+	hiShare := float64(hiBytes) / float64(total)
+	if hiShare < 0.62 || hiShare > 0.78 {
+		t.Fatalf("high share = %.2f, want ~0.70 (rate guarantee)", hiShare)
+	}
+
+	// Drain, then send only low: it should borrow up to the line rate.
+	r.sched.Run()
+	start := r.sched.Now()
+	loBytes = 0
+	for i := 0; i < 500; i++ {
+		r.a.NICs()[0].Send(r.packet(1000, simnet.MarkLow, 2))
+	}
+	r.sched.Run()
+	elapsed := r.sched.Now() - start
+	rate := float64(loBytes*8) / elapsed.Seconds()
+	if rate < 8.5e6 {
+		t.Fatalf("lone class rate = %.2g bps, want ~1e7 (borrowing to ceil)", rate)
+	}
+}
+
+func TestDRRProportionalFairness(t *testing.T) {
+	r := newRig(t, 10*simnet.Mbps)
+	cls := Classifier{
+		Filters: []Filter{{Match: MatchMark(simnet.MarkHigh), Class: 0}},
+		Default: 1,
+	}
+	q := NewDRR(cls, 3*simnet.MTU, 1*simnet.MTU)
+	r.install(q)
+
+	var hiBytes, loBytes int
+	r.b.SetDeliver(func(p *simnet.Packet) {
+		if p.Mark == simnet.MarkHigh {
+			hiBytes += p.Size
+		} else {
+			loBytes += p.Size
+		}
+	})
+	for i := 0; i < 1000; i++ {
+		r.a.NICs()[0].Send(r.packet(1000, simnet.MarkHigh, 1))
+		r.a.NICs()[0].Send(r.packet(1000, simnet.MarkLow, 2))
+	}
+	r.sched.RunUntil(500 * time.Millisecond)
+	ratio := float64(hiBytes) / float64(loBytes)
+	if ratio < 2.5 || ratio > 3.6 {
+		t.Fatalf("DRR ratio = %.2f, want ~3.0", ratio)
+	}
+}
+
+func TestNearStrictSharesBandwidth(t *testing.T) {
+	r := newRig(t, 10*simnet.Mbps)
+	q := NewNearStrict(NearStrictConfig{
+		LinkRate:  10 * simnet.Mbps,
+		HighShare: 0.95,
+	}, r.sched.Now)
+	r.install(q)
+
+	var hiBytes, loBytes int
+	r.b.SetDeliver(func(p *simnet.Packet) {
+		if p.Mark == simnet.MarkHigh {
+			hiBytes += p.Size
+		} else {
+			loBytes += p.Size
+		}
+	})
+	// Both classes saturating: high should get ~95%, low ~5%.
+	for i := 0; i < 1500; i++ {
+		r.a.NICs()[0].Send(r.packet(1000, simnet.MarkHigh, 1))
+	}
+	for i := 0; i < 200; i++ {
+		r.a.NICs()[0].Send(r.packet(1000, simnet.MarkLow, 2))
+	}
+	r.sched.RunUntil(time.Second)
+	total := hiBytes + loBytes
+	if total == 0 {
+		t.Fatal("nothing delivered")
+	}
+	hiShare := float64(hiBytes) / float64(total)
+	if hiShare < 0.90 || hiShare > 0.98 {
+		t.Fatalf("high share = %.3f, want ~0.95", hiShare)
+	}
+	if loBytes == 0 {
+		t.Fatal("low class fully starved; NearStrict should leave ~5%")
+	}
+}
+
+func TestNearStrictLowUsesFullLinkWhenHighIdle(t *testing.T) {
+	r := newRig(t, 10*simnet.Mbps)
+	q := NewNearStrict(NearStrictConfig{LinkRate: 10 * simnet.Mbps, HighShare: 0.95}, r.sched.Now)
+	r.install(q)
+	var loBytes int
+	r.b.SetDeliver(func(p *simnet.Packet) { loBytes += p.Size })
+	start := r.sched.Now()
+	for i := 0; i < 500; i++ {
+		r.a.NICs()[0].Send(r.packet(1000, simnet.MarkLow, 2))
+	}
+	r.sched.Run()
+	rate := float64(loBytes*8) / (r.sched.Now() - start).Seconds()
+	if rate < 9.5e6 {
+		t.Fatalf("low-only rate = %.3g, want full line rate", rate)
+	}
+}
+
+func TestNearStrictConfigValidation(t *testing.T) {
+	for _, bad := range []NearStrictConfig{
+		{LinkRate: 0, HighShare: 0.5},
+		{LinkRate: simnet.Mbps, HighShare: 0},
+		{LinkRate: simnet.Mbps, HighShare: 1.5},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("config %+v did not panic", bad)
+				}
+			}()
+			s := simnet.NewScheduler()
+			NewNearStrict(bad, s.Now)
+		}()
+	}
+}
+
+func TestHTBValidation(t *testing.T) {
+	s := simnet.NewScheduler()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ceil below rate accepted")
+		}
+	}()
+	NewHTB(Classifier{}, s.Now, HTBClass{Rate: 10, Ceil: 5})
+}

@@ -1,0 +1,198 @@
+// Package trace implements the mesh's distributed tracing: spans tied
+// together by a request ID propagated in HTTP headers (Istio's
+// x-request-id mechanism), a collector, and call-tree reconstruction.
+//
+// Tracing is the provenance substrate of the paper's case study: the
+// sidecar knows which outgoing requests were spawned by which incoming
+// one *because* they share the trace ID, and the cross-layer controller
+// keys priority propagation off exactly that association (§4.3
+// component 2).
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Header names used for context propagation, mirroring Istio/Envoy.
+const (
+	// HeaderRequestID carries the trace (request) ID end to end.
+	HeaderRequestID = "x-request-id"
+	// HeaderSpanID carries the caller's span ID, becoming the parent of
+	// spans the callee creates.
+	HeaderSpanID = "x-span-id"
+)
+
+// Span records one operation's execution window within a service.
+type Span struct {
+	TraceID  string
+	SpanID   uint64
+	ParentID uint64 // 0 for root spans
+	Service  string
+	Name     string
+	Start    time.Duration
+	End      time.Duration
+	Tags     map[string]string
+}
+
+// Duration returns the span's elapsed time.
+func (s *Span) Duration() time.Duration { return s.End - s.Start }
+
+// SetTag attaches a key/value annotation.
+func (s *Span) SetTag(k, v string) {
+	if s.Tags == nil {
+		s.Tags = make(map[string]string)
+	}
+	s.Tags[k] = v
+}
+
+// Tag returns an annotation ("" if absent).
+func (s *Span) Tag(k string) string { return s.Tags[k] }
+
+// String renders a compact description.
+func (s *Span) String() string {
+	return fmt.Sprintf("[%s] %s %s %v (span=%d parent=%d)", s.TraceID, s.Service, s.Name, s.Duration(), s.SpanID, s.ParentID)
+}
+
+// Collector stores finished spans, indexed by trace.
+type Collector struct {
+	spans   []*Span
+	byTrace map[string][]*Span
+	nextID  uint64
+	seq     uint64
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector {
+	return &Collector{byTrace: make(map[string][]*Span)}
+}
+
+// NewTraceID mints a process-unique trace ID (deterministic across
+// runs: IDs are sequence numbers, not random UUIDs).
+func (c *Collector) NewTraceID() string {
+	c.seq++
+	return fmt.Sprintf("req-%08d", c.seq)
+}
+
+// NewSpanID mints a span ID (never zero; zero means "no parent").
+func (c *Collector) NewSpanID() uint64 {
+	c.nextID++
+	return c.nextID
+}
+
+// Record stores a finished span.
+func (c *Collector) Record(s *Span) {
+	c.spans = append(c.spans, s)
+	c.byTrace[s.TraceID] = append(c.byTrace[s.TraceID], s)
+}
+
+// Len returns the number of recorded spans.
+func (c *Collector) Len() int { return len(c.spans) }
+
+// Trace returns all spans of a trace, in recording order.
+func (c *Collector) Trace(id string) []*Span { return c.byTrace[id] }
+
+// TraceIDs returns all known trace IDs, sorted.
+func (c *Collector) TraceIDs() []string {
+	ids := make([]string, 0, len(c.byTrace))
+	for id := range c.byTrace {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// TreeNode is a span with its children, forming the distributed call
+// tree of one request.
+type TreeNode struct {
+	Span     *Span
+	Children []*TreeNode
+}
+
+// Tree reconstructs the call tree of a trace from parent span IDs.
+// Returns nil for unknown traces or traces with no root.
+func (c *Collector) Tree(id string) *TreeNode {
+	spans := c.byTrace[id]
+	if len(spans) == 0 {
+		return nil
+	}
+	nodes := make(map[uint64]*TreeNode, len(spans))
+	for _, s := range spans {
+		nodes[s.SpanID] = &TreeNode{Span: s}
+	}
+	var root *TreeNode
+	for _, s := range spans {
+		n := nodes[s.SpanID]
+		if s.ParentID == 0 {
+			root = n
+			continue
+		}
+		if p, ok := nodes[s.ParentID]; ok {
+			p.Children = append(p.Children, n)
+		} else if root == nil {
+			// Orphan span (parent not recorded): tolerate partial traces.
+			root = n
+		}
+	}
+	if root != nil {
+		sortTree(root)
+	}
+	return root
+}
+
+func sortTree(n *TreeNode) {
+	sort.Slice(n.Children, func(i, j int) bool { return n.Children[i].Span.Start < n.Children[j].Span.Start })
+	for _, c := range n.Children {
+		sortTree(c)
+	}
+}
+
+// Depth returns the maximum depth of the tree (a single span is 1).
+func (n *TreeNode) Depth() int {
+	if n == nil {
+		return 0
+	}
+	d := 0
+	for _, c := range n.Children {
+		if cd := c.Depth(); cd > d {
+			d = cd
+		}
+	}
+	return d + 1
+}
+
+// Walk visits the tree pre-order.
+func (n *TreeNode) Walk(fn func(*TreeNode, int)) { n.walk(fn, 0) }
+
+func (n *TreeNode) walk(fn func(*TreeNode, int), depth int) {
+	if n == nil {
+		return
+	}
+	fn(n, depth)
+	for _, c := range n.Children {
+		c.walk(fn, depth+1)
+	}
+}
+
+// Format renders the tree as an indented outline.
+func (n *TreeNode) Format() string {
+	out := ""
+	n.Walk(func(t *TreeNode, depth int) {
+		for i := 0; i < depth; i++ {
+			out += "  "
+		}
+		out += fmt.Sprintf("%s %s (%v)\n", t.Span.Service, t.Span.Name, t.Span.Duration())
+	})
+	return out
+}
+
+// RootTag returns the value of tag k on the trace's root span — the
+// provenance query "what class of request ultimately caused this work".
+func (c *Collector) RootTag(id, k string) string {
+	t := c.Tree(id)
+	if t == nil {
+		return ""
+	}
+	return t.Span.Tag(k)
+}

@@ -1,0 +1,704 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"meshlayer/internal/simnet"
+)
+
+// Options configure a connection at Dial time.
+type Options struct {
+	// CC names the congestion controller: "reno" (default), "cubic",
+	// "ledbat", "lp".
+	CC string
+	// Mark is stamped on every outgoing packet; TC filters match it.
+	Mark simnet.Mark
+	// MinRTO lower-bounds the retransmission timeout. Zero selects
+	// DefaultMinRTO.
+	MinRTO time.Duration
+}
+
+// DefaultMinRTO mirrors the Linux default minimum RTO.
+const DefaultMinRTO = 200 * time.Millisecond
+
+// rcvWindow is the advertised receive window. Receivers consume
+// instantly in this model, so flow control never binds in practice.
+const rcvWindow = 8 << 20
+
+type connState uint8
+
+const (
+	stateSynSent connState = iota + 1
+	stateEstablished
+	stateClosed
+)
+
+// ErrConnectTimeout is passed to OnClose when the handshake fails.
+var ErrConnectTimeout = errors.New("transport: connect timed out")
+
+// ErrReset is passed to OnClose when the connection is torn down
+// abruptly by Abort.
+var ErrReset = errors.New("transport: connection reset")
+
+type segInfo struct {
+	seq    uint64
+	length int
+	bounds []Bound
+	rtxed  bool // retransmitted since the last RTO
+	sacked bool // covered by a received SACK block
+}
+
+// Conn is one endpoint of a reliable message stream. All methods must
+// be called from scheduler context (the simulation is single-threaded).
+type Conn struct {
+	host  *Host
+	flow  simnet.FlowKey // local perspective: Src is this host
+	opts  Options
+	state connState
+	cc    Controller
+
+	// Callbacks. Set them before data flows.
+	onMessage      func(meta any, size int)
+	onEstablished  func()
+	onClose        func(err error)
+	closeListeners []func(err error)
+
+	// Send side.
+	sndUna, sndNxt uint64
+	sendEnd        uint64
+	pendBounds     []Bound
+	segs           []segInfo
+	peerWnd        int
+	dupAcks        int
+	recovering     bool
+	recoverPt      uint64
+	finQueued      bool
+	finSent        bool
+
+	// Receive side.
+	rcvNxt     uint64
+	ooo        []oooSeg
+	recvBounds []Bound
+	lastBound  uint64
+	peerFinSeq uint64
+	peerFin    bool
+	lastTSVal  time.Duration
+
+	// RTT estimation / RTO.
+	srtt, rttvar  time.Duration
+	rto           time.Duration
+	minRTT        time.Duration
+	lastRTTSample time.Duration
+	rtoTimer      *simnet.Timer
+	synTimer      *simnet.Timer
+	synTries      int
+
+	// Stats.
+	retransmits uint64
+	timeouts    uint64
+	bytesSent   uint64
+	bytesAcked  uint64
+	msgsIn      uint64
+	msgsOut     uint64
+}
+
+type oooSeg struct {
+	seq uint64
+	end uint64
+}
+
+// Flow returns the connection's flow key from the local perspective.
+func (c *Conn) Flow() simnet.FlowKey { return c.flow }
+
+// SetOnMessage registers the message-delivery callback.
+func (c *Conn) SetOnMessage(fn func(meta any, size int)) { c.onMessage = fn }
+
+// SetOnEstablished registers the handshake-completion callback
+// (client side only; server conns are established at accept).
+func (c *Conn) SetOnEstablished(fn func()) { c.onEstablished = fn }
+
+// SetOnClose registers the primary teardown callback (replacing any
+// previous one).
+func (c *Conn) SetOnClose(fn func(err error)) { c.onClose = fn }
+
+// AddCloseListener registers an additional teardown observer that runs
+// after the primary callback. Observers cannot be removed; they are
+// dropped with the connection.
+func (c *Conn) AddCloseListener(fn func(err error)) {
+	c.closeListeners = append(c.closeListeners, fn)
+}
+
+// SetMark changes the packet mark for all subsequent transmissions —
+// the hook the cross-layer controller uses to re-prioritize a pooled
+// connection per request.
+func (c *Conn) SetMark(m simnet.Mark) { c.opts.Mark = m }
+
+// Mark returns the current packet mark.
+func (c *Conn) Mark() simnet.Mark { return c.opts.Mark }
+
+// CCName returns the congestion controller's name.
+func (c *Conn) CCName() string { return c.cc.Name() }
+
+// SetCongestionControl swaps the congestion controller (fresh state) —
+// used by the cross-layer controller to move latency-insensitive
+// transfers onto a scavenger protocol without touching the application.
+func (c *Conn) SetCongestionControl(name string) {
+	if name == c.cc.Name() {
+		return
+	}
+	c.cc = NewController(name, c.host.sched.Now)
+}
+
+// Established reports whether the handshake has completed.
+func (c *Conn) Established() bool { return c.state == stateEstablished }
+
+// Closed reports whether the connection is fully closed.
+func (c *Conn) Closed() bool { return c.state == stateClosed }
+
+// SRTT returns the smoothed RTT estimate (zero before the first sample).
+func (c *Conn) SRTT() time.Duration { return c.srtt }
+
+// MinRTT returns the lowest RTT sample seen.
+func (c *Conn) MinRTT() time.Duration { return c.minRTT }
+
+// Retransmits returns the count of retransmitted segments.
+func (c *Conn) Retransmits() uint64 { return c.retransmits }
+
+// Timeouts returns the count of RTO expirations.
+func (c *Conn) Timeouts() uint64 { return c.timeouts }
+
+// BytesAcked returns cumulatively acknowledged payload bytes.
+func (c *Conn) BytesAcked() uint64 { return c.bytesAcked }
+
+// InFlight returns unacknowledged bytes.
+func (c *Conn) InFlight() int { return int(c.sndNxt - c.sndUna) }
+
+// Window returns the current effective send window in bytes.
+func (c *Conn) Window() int { return min(c.cc.Window(), c.peerWnd) }
+
+// SendMessage queues a message of size wire bytes; the peer's OnMessage
+// fires with meta when the final byte arrives in order. Sending on a
+// closed connection is an error.
+func (c *Conn) SendMessage(meta any, size int) error {
+	if c.state == stateClosed {
+		return fmt.Errorf("transport: send on closed connection %v", c.flow)
+	}
+	if c.finQueued {
+		return fmt.Errorf("transport: send after close on %v", c.flow)
+	}
+	if size <= 0 {
+		size = 1 // a message occupies at least one byte of stream space
+	}
+	c.sendEnd += uint64(size)
+	c.pendBounds = append(c.pendBounds, Bound{End: c.sendEnd, Meta: meta})
+	c.msgsOut++
+	if c.state == stateEstablished {
+		c.trySend()
+	}
+	return nil
+}
+
+// Close queues a FIN after all pending data. Delivery callbacks on the
+// peer still fire for data ahead of the FIN.
+func (c *Conn) Close() {
+	if c.state == stateClosed || c.finQueued {
+		return
+	}
+	c.finQueued = true
+	if c.state == stateEstablished {
+		c.trySend()
+	}
+}
+
+// Abort tears the connection down immediately without a handshake.
+func (c *Conn) Abort() {
+	if c.state == stateClosed {
+		return
+	}
+	c.teardown(ErrReset)
+}
+
+func (c *Conn) teardown(err error) {
+	c.state = stateClosed
+	if c.rtoTimer != nil {
+		c.rtoTimer.Cancel()
+	}
+	if c.synTimer != nil {
+		c.synTimer.Cancel()
+	}
+	c.host.removeConn(c)
+	if c.onClose != nil {
+		fn := c.onClose
+		c.onClose = nil
+		fn(err)
+	}
+	for _, fn := range c.closeListeners {
+		fn(err)
+	}
+	c.closeListeners = nil
+}
+
+// --- sending ---
+
+func (c *Conn) emit(seg *Segment, payloadBytes int) {
+	p := &simnet.Packet{
+		ID:      c.host.net.NextPacketID(),
+		Flow:    c.flow,
+		Size:    simnet.HeaderBytes + payloadBytes,
+		Mark:    c.opts.Mark,
+		Payload: seg,
+	}
+	if seg.Kind != SegDATA && seg.Kind != SegFIN {
+		p.Size = ctrlSize
+	}
+	c.host.node.Inject(p)
+}
+
+func (c *Conn) trySend() {
+	if c.state != stateEstablished {
+		return
+	}
+	wnd := uint64(c.Window())
+	for c.sndNxt < c.sendEnd {
+		inFlight := c.sndNxt - c.sndUna
+		if inFlight >= wnd {
+			break
+		}
+		n := uint64(MSS)
+		if avail := c.sendEnd - c.sndNxt; avail < n {
+			n = avail
+		}
+		if wnd-inFlight < n {
+			// Avoid silly-window syndrome: never chop a full segment
+			// to fit a fractional window opening; wait for more ACKs.
+			break
+		}
+		c.sendSegment(c.sndNxt, int(n))
+		c.sndNxt += n
+	}
+	c.maybeSendFIN()
+}
+
+func (c *Conn) sendSegment(seq uint64, length int) {
+	end := seq + uint64(length)
+	var bounds []Bound
+	for _, b := range c.pendBounds {
+		if b.End > seq && b.End <= end {
+			bounds = append(bounds, b)
+		}
+	}
+	// Prune pending bounds fully covered by transmitted data; keep them
+	// until sent at least once — retransmits read from segs.
+	for len(c.pendBounds) > 0 && c.pendBounds[0].End <= end {
+		c.pendBounds = c.pendBounds[1:]
+	}
+	c.segs = append(c.segs, segInfo{seq: seq, length: length, bounds: bounds})
+	c.bytesSent += uint64(length)
+	c.emit(&Segment{
+		Kind:   SegDATA,
+		Seq:    seq,
+		Len:    length,
+		Wnd:    rcvWindow,
+		TSVal:  c.host.sched.Now(),
+		TSEcr:  c.lastTSVal,
+		Bounds: bounds,
+	}, length)
+	c.armRTO()
+}
+
+func (c *Conn) maybeSendFIN() {
+	if !c.finQueued || c.finSent || c.sndNxt != c.sendEnd {
+		return
+	}
+	if c.sndNxt-c.sndUna >= uint64(c.Window()) {
+		return
+	}
+	c.finSent = true
+	finSeq := c.sndNxt
+	c.sendEnd++ // FIN occupies one sequence byte
+	c.sndNxt++
+	c.segs = append(c.segs, segInfo{seq: finSeq, length: 1})
+	c.emit(&Segment{
+		Kind:  SegFIN,
+		Seq:   finSeq,
+		Len:   1,
+		Wnd:   rcvWindow,
+		TSVal: c.host.sched.Now(),
+		TSEcr: c.lastTSVal,
+	}, 0)
+	c.armRTO()
+}
+
+func (c *Conn) retransmitSeg(s *segInfo) {
+	c.retransmits++
+	s.rtxed = true
+	kind := SegDATA
+	payload := s.length
+	if c.finSent && s.seq == c.sendEnd-1 {
+		kind = SegFIN
+		payload = 0
+	}
+	c.emit(&Segment{
+		Kind:   kind,
+		Seq:    s.seq,
+		Len:    s.length,
+		Wnd:    rcvWindow,
+		TSVal:  c.host.sched.Now(),
+		TSEcr:  c.lastTSVal,
+		Bounds: s.bounds,
+	}, payload)
+}
+
+func (c *Conn) retransmitFirst() {
+	if len(c.segs) == 0 {
+		return
+	}
+	c.retransmitSeg(&c.segs[0])
+}
+
+// rtxBurst bounds loss-repair retransmissions per incoming ACK.
+const rtxBurst = 4
+
+// sackRetransmit repairs holes signalled by SACK: segments below the
+// highest sacked byte that are neither sacked nor already repaired are
+// presumed lost (RFC 6675 spirit).
+func (c *Conn) sackRetransmit() {
+	var highest uint64
+	for i := range c.segs {
+		if c.segs[i].sacked {
+			if end := c.segs[i].seq + uint64(c.segs[i].length); end > highest {
+				highest = end
+			}
+		}
+	}
+	if highest == 0 {
+		return
+	}
+	sent := 0
+	for i := range c.segs {
+		s := &c.segs[i]
+		if s.seq >= highest {
+			break
+		}
+		if s.sacked || s.rtxed {
+			continue
+		}
+		c.retransmitSeg(s)
+		sent++
+		if sent >= rtxBurst {
+			return
+		}
+	}
+}
+
+func (c *Conn) applySacks(sacks []SackBlock) {
+	if len(sacks) == 0 {
+		return
+	}
+	for i := range c.segs {
+		s := &c.segs[i]
+		if s.sacked {
+			continue
+		}
+		end := s.seq + uint64(s.length)
+		for _, b := range sacks {
+			if s.seq >= b.Start && end <= b.End {
+				s.sacked = true
+				break
+			}
+		}
+	}
+}
+
+// --- RTO ---
+
+func (c *Conn) minRTO() time.Duration {
+	if c.opts.MinRTO > 0 {
+		return c.opts.MinRTO
+	}
+	return DefaultMinRTO
+}
+
+func (c *Conn) currentRTO() time.Duration {
+	if c.rto == 0 {
+		return max(c.minRTO(), time.Second)
+	}
+	return c.rto
+}
+
+func (c *Conn) armRTO() {
+	if c.rtoTimer != nil {
+		c.rtoTimer.Cancel()
+	}
+	c.rtoTimer = c.host.sched.After(c.currentRTO(), c.onRTO)
+}
+
+func (c *Conn) disarmRTO() {
+	if c.rtoTimer != nil {
+		c.rtoTimer.Cancel()
+		c.rtoTimer = nil
+	}
+}
+
+func (c *Conn) onRTO() {
+	if c.state != stateEstablished || c.sndUna == c.sndNxt {
+		return
+	}
+	c.timeouts++
+	c.cc.OnTimeout()
+	c.dupAcks = 0
+	// Stay in loss recovery until everything outstanding at the
+	// timeout is acknowledged, so partial ACKs keep driving repairs.
+	c.recovering = true
+	c.recoverPt = c.sndNxt
+	// Everything outstanding may be retransmitted again.
+	for i := range c.segs {
+		c.segs[i].rtxed = false
+	}
+	c.rto = min(c.currentRTO()*2, 60*time.Second) // exponential backoff
+	c.retransmitFirst()
+	c.armRTO()
+}
+
+func (c *Conn) sampleRTT(tsecr time.Duration) {
+	if tsecr <= 0 {
+		return
+	}
+	rtt := c.host.sched.Now() - tsecr
+	if rtt <= 0 {
+		rtt = time.Microsecond
+	}
+	if c.minRTT == 0 || rtt < c.minRTT {
+		c.minRTT = rtt
+	}
+	if c.srtt == 0 {
+		c.srtt = rtt
+		c.rttvar = rtt / 2
+	} else {
+		d := c.srtt - rtt
+		if d < 0 {
+			d = -d
+		}
+		c.rttvar = (3*c.rttvar + d) / 4
+		c.srtt = (7*c.srtt + rtt) / 8
+	}
+	c.rto = max(c.srtt+4*c.rttvar, c.minRTO())
+	c.lastRTTSample = rtt
+}
+
+// --- receiving ---
+
+func (c *Conn) handle(seg *Segment) {
+	if c.state == stateClosed {
+		return
+	}
+	switch seg.Kind {
+	case SegSYN:
+		// Duplicate SYN: our SYNACK was lost in transit; resend it.
+		c.lastTSVal = seg.TSVal
+		c.emit(&Segment{Kind: SegSYNACK, Wnd: rcvWindow, TSVal: c.host.sched.Now(), TSEcr: seg.TSVal}, 0)
+	case SegSYNACK:
+		if c.state == stateSynSent {
+			c.state = stateEstablished
+			if c.synTimer != nil {
+				c.synTimer.Cancel()
+			}
+			c.peerWnd = seg.Wnd
+			c.sampleRTT(seg.TSEcr)
+			c.emit(&Segment{Kind: SegACK, Ack: 0, Wnd: rcvWindow, TSVal: c.host.sched.Now(), TSEcr: seg.TSVal}, 0)
+			if c.onEstablished != nil {
+				c.onEstablished()
+			}
+			c.trySend()
+		}
+	case SegACK:
+		if seg.Wnd > 0 {
+			c.peerWnd = seg.Wnd
+		}
+		c.processAck(seg)
+	case SegDATA, SegFIN:
+		c.lastTSVal = seg.TSVal
+		c.processData(seg)
+	}
+}
+
+func (c *Conn) processAck(seg *Segment) {
+	c.applySacks(seg.Sacks)
+	if seg.Ack > c.sndUna {
+		acked := int(seg.Ack - c.sndUna)
+		c.sndUna = seg.Ack
+		c.bytesAcked += uint64(acked)
+		c.dupAcks = 0
+		// Prune fully acked segments.
+		i := 0
+		for i < len(c.segs) && c.segs[i].seq+uint64(c.segs[i].length) <= c.sndUna {
+			i++
+		}
+		c.segs = c.segs[i:]
+		c.sampleRTT(seg.TSEcr)
+		c.cc.OnAck(acked, c.lastRTTSample)
+		if c.recovering {
+			if c.sndUna >= c.recoverPt {
+				c.recovering = false
+			} else {
+				// Partial ack: repair remaining holes (SACK-guided,
+				// falling back to the first unacked segment).
+				c.sackRetransmit()
+				if len(seg.Sacks) == 0 {
+					c.retransmitFirst()
+				}
+			}
+		}
+		if c.sndUna == c.sndNxt {
+			c.disarmRTO()
+			c.rto = max(c.srtt+4*c.rttvar, c.minRTO())
+			if c.finSent {
+				c.teardown(nil)
+				return
+			}
+		} else {
+			c.armRTO()
+		}
+		c.trySend()
+		return
+	}
+	// Duplicate ACK.
+	if c.sndNxt > c.sndUna && seg.Ack == c.sndUna {
+		c.dupAcks++
+		if c.dupAcks == 3 && !c.recovering {
+			c.recovering = true
+			c.recoverPt = c.sndNxt
+			c.cc.OnLoss()
+			c.retransmitFirst()
+		}
+		if c.recovering {
+			c.sackRetransmit()
+		}
+	}
+}
+
+func (c *Conn) processData(seg *Segment) {
+	end := seg.Seq + uint64(seg.Len)
+	if seg.Kind == SegFIN {
+		c.peerFin = true
+		c.peerFinSeq = seg.Seq
+	}
+	for _, b := range seg.Bounds {
+		c.addRecvBound(b)
+	}
+	if end > c.rcvNxt {
+		if seg.Seq <= c.rcvNxt {
+			c.rcvNxt = end
+			c.mergeOOO()
+		} else {
+			c.addOOO(seg.Seq, end)
+		}
+	}
+	c.ackNow(seg.TSVal)
+	c.deliverReady()
+}
+
+func (c *Conn) ackNow(tsval time.Duration) {
+	var sacks []SackBlock
+	for i := 0; i < len(c.ooo) && i < maxSackBlocks; i++ {
+		sacks = append(sacks, SackBlock{Start: c.ooo[i].seq, End: c.ooo[i].end})
+	}
+	c.emit(&Segment{
+		Kind:  SegACK,
+		Ack:   c.rcvNxt,
+		Wnd:   rcvWindow,
+		TSVal: c.host.sched.Now(),
+		TSEcr: tsval,
+		Sacks: sacks,
+	}, 0)
+}
+
+func (c *Conn) addRecvBound(b Bound) {
+	// A retransmitted segment can carry a boundary that was already
+	// delivered and popped; re-adding it would deliver the message
+	// twice. lastBound is the delivered watermark.
+	if b.End <= c.lastBound {
+		return
+	}
+	// Insert keeping order, ignoring duplicates (retransmits).
+	i := sort.Search(len(c.recvBounds), func(i int) bool { return c.recvBounds[i].End >= b.End })
+	if i < len(c.recvBounds) && c.recvBounds[i].End == b.End {
+		return
+	}
+	c.recvBounds = append(c.recvBounds, Bound{})
+	copy(c.recvBounds[i+1:], c.recvBounds[i:])
+	c.recvBounds[i] = b
+}
+
+// addOOO inserts the range keeping c.ooo sorted and coalesced, so the
+// list stays small and SACK blocks are maximal.
+func (c *Conn) addOOO(seq, end uint64) {
+	i := sort.Search(len(c.ooo), func(i int) bool { return c.ooo[i].seq > seq })
+	c.ooo = append(c.ooo, oooSeg{})
+	copy(c.ooo[i+1:], c.ooo[i:])
+	c.ooo[i] = oooSeg{seq: seq, end: end}
+	// Merge overlapping/adjacent neighbours.
+	merged := c.ooo[:1]
+	for _, o := range c.ooo[1:] {
+		last := &merged[len(merged)-1]
+		if o.seq <= last.end {
+			if o.end > last.end {
+				last.end = o.end
+			}
+		} else {
+			merged = append(merged, o)
+		}
+	}
+	c.ooo = merged
+}
+
+func (c *Conn) mergeOOO() {
+	for {
+		advanced := false
+		keep := c.ooo[:0]
+		for _, o := range c.ooo {
+			switch {
+			case o.end <= c.rcvNxt:
+				// fully consumed
+			case o.seq <= c.rcvNxt:
+				c.rcvNxt = o.end
+				advanced = true
+			default:
+				keep = append(keep, o)
+			}
+		}
+		c.ooo = keep
+		if !advanced {
+			return
+		}
+	}
+}
+
+func (c *Conn) deliverReady() {
+	for len(c.recvBounds) > 0 && c.recvBounds[0].End <= c.rcvNxt {
+		b := c.recvBounds[0]
+		c.recvBounds = c.recvBounds[1:]
+		size := int(b.End - c.lastBound)
+		c.lastBound = b.End
+		c.msgsIn++
+		if c.onMessage != nil {
+			c.onMessage(b.Meta, size)
+		}
+		if c.state == stateClosed {
+			return
+		}
+	}
+	if c.peerFin && c.rcvNxt >= c.peerFinSeq+1 && len(c.recvBounds) == 0 {
+		// Peer finished and everything is delivered.
+		if c.finSent && c.sndUna == c.sndNxt {
+			c.teardown(nil)
+		} else if !c.finQueued {
+			// Passive close: report EOF-style close once our side is
+			// also drained of unsent data.
+			c.teardown(nil)
+		}
+	}
+}

@@ -1,0 +1,173 @@
+package transport
+
+import (
+	"fmt"
+	"time"
+
+	"meshlayer/internal/simnet"
+)
+
+// Host is the per-node transport endpoint: it demultiplexes incoming
+// packets to connections and listeners. Create exactly one per node
+// that terminates transport traffic.
+type Host struct {
+	node  *simnet.Node
+	net   *simnet.Network
+	sched *simnet.Scheduler
+
+	conns     map[simnet.FlowKey]*Conn
+	listeners map[uint16]*Listener
+	nextPort  uint16
+}
+
+// Listener accepts inbound connections on a port.
+type Listener struct {
+	host     *Host
+	port     uint16
+	onAccept func(*Conn)
+	accepted uint64
+}
+
+// Port returns the listening port.
+func (l *Listener) Port() uint16 { return l.port }
+
+// Accepted returns the number of connections accepted.
+func (l *Listener) Accepted() uint64 { return l.accepted }
+
+// Close stops accepting new connections.
+func (l *Listener) Close() { delete(l.host.listeners, l.port) }
+
+// NewHost attaches a transport endpoint to the node, registering the
+// node's local-delivery hook.
+func NewHost(node *simnet.Node) *Host {
+	h := &Host{
+		node:      node,
+		net:       node.Network(),
+		sched:     node.Network().Scheduler(),
+		conns:     make(map[simnet.FlowKey]*Conn),
+		listeners: make(map[uint16]*Listener),
+		nextPort:  32768,
+	}
+	node.SetDeliver(h.deliver)
+	return h
+}
+
+// Node returns the underlying simnet node.
+func (h *Host) Node() *simnet.Node { return h.node }
+
+// Attach (re)installs the host's packet-delivery hook on its node —
+// used to restore connectivity after a simulated network partition
+// replaced the hook with a blackhole.
+func (h *Host) Attach() { h.node.SetDeliver(h.deliver) }
+
+// Scheduler returns the simulation scheduler.
+func (h *Host) Scheduler() *simnet.Scheduler { return h.sched }
+
+// Listen registers an accept callback for the port. The callback runs
+// when the SYN arrives, before any data, so it can install OnMessage.
+func (h *Host) Listen(port uint16, onAccept func(*Conn)) (*Listener, error) {
+	if _, busy := h.listeners[port]; busy {
+		return nil, fmt.Errorf("transport: port %d already listening on %s", port, h.node.Name())
+	}
+	l := &Listener{host: h, port: port, onAccept: onAccept}
+	h.listeners[port] = l
+	return l, nil
+}
+
+// Dial opens a connection to dst:port. The returned Conn is usable
+// immediately — messages queued before the handshake completes are
+// sent once it does.
+func (h *Host) Dial(dst simnet.Addr, port uint16, opts Options) *Conn {
+	flow := simnet.FlowKey{
+		Src:     h.node.Addr(),
+		Dst:     dst,
+		SrcPort: h.allocPort(),
+		DstPort: port,
+		Proto:   simnet.ProtoTCP,
+	}
+	c := &Conn{
+		host:    h,
+		flow:    flow,
+		opts:    opts,
+		state:   stateSynSent,
+		cc:      NewController(opts.CC, h.sched.Now),
+		peerWnd: rcvWindow,
+	}
+	h.conns[flow] = c
+	h.sendSYN(c)
+	return c
+}
+
+func (h *Host) sendSYN(c *Conn) {
+	if c.state != stateSynSent {
+		return
+	}
+	c.synTries++
+	if c.synTries > 4 {
+		c.teardown(ErrConnectTimeout)
+		return
+	}
+	c.emit(&Segment{Kind: SegSYN, Wnd: rcvWindow, TSVal: h.sched.Now()}, 0)
+	backoff := time.Second << uint(c.synTries-1)
+	c.synTimer = h.sched.After(backoff, func() { h.sendSYN(c) })
+}
+
+func (h *Host) allocPort() uint16 {
+	for {
+		p := h.nextPort
+		h.nextPort++
+		if h.nextPort < 32768 {
+			h.nextPort = 32768
+		}
+		// Cheap collision check against active conns.
+		free := true
+		for k := range h.conns {
+			if k.SrcPort == p {
+				free = false
+				break
+			}
+		}
+		if free {
+			return p
+		}
+	}
+}
+
+func (h *Host) removeConn(c *Conn) { delete(h.conns, c.flow) }
+
+// ConnCount returns the number of live connections (debug/tests).
+func (h *Host) ConnCount() int { return len(h.conns) }
+
+func (h *Host) deliver(p *simnet.Packet) {
+	seg, ok := p.Payload.(*Segment)
+	if !ok {
+		return // not transport traffic
+	}
+	local := p.Flow.Reverse()
+	if c, ok := h.conns[local]; ok {
+		c.handle(seg)
+		return
+	}
+	if seg.Kind == SegSYN {
+		l, ok := h.listeners[p.Flow.DstPort]
+		if !ok {
+			return // connection refused: silently dropped in this model
+		}
+		c := &Conn{
+			host:      h,
+			flow:      local,
+			opts:      Options{CC: "reno"},
+			state:     stateEstablished,
+			cc:        NewController("reno", h.sched.Now),
+			peerWnd:   seg.Wnd,
+			lastTSVal: seg.TSVal,
+		}
+		h.conns[local] = c
+		l.accepted++
+		if l.onAccept != nil {
+			l.onAccept(c)
+		}
+		c.emit(&Segment{Kind: SegSYNACK, Wnd: rcvWindow, TSVal: h.sched.Now(), TSEcr: seg.TSVal}, 0)
+	}
+	// Non-SYN for unknown connection: stale packet after close; ignore.
+}

@@ -1,0 +1,167 @@
+package transport
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"meshlayer/internal/simnet"
+)
+
+// TestPropertyReliableDeliveryUnderLoss is the transport's core
+// invariant: whatever the loss rate, jitter, message sizes, and
+// congestion controller, every message arrives exactly once, in order,
+// with its exact size.
+func TestPropertyReliableDeliveryUnderLoss(t *testing.T) {
+	f := func(seed int64, rawLoss uint8, ccPick uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		lossProb := float64(rawLoss%30) / 100 // 0..0.29
+		cc := []string{"reno", "cubic", "ledbat", "lp"}[int(ccPick)%4]
+
+		s := simnet.NewScheduler()
+		n := simnet.NewNetwork(s)
+		a := n.AddNode("a")
+		b := n.AddNode("b")
+		n.Connect(a, b, simnet.LinkConfig{Rate: 50 * simnet.Mbps, Delay: time.Millisecond})
+		a.NICs()[0].Impair(simnet.Impairment{LossProb: lossProb, JitterMax: 2 * time.Millisecond, Seed: seed})
+		b.NICs()[0].Impair(simnet.Impairment{LossProb: lossProb / 2, Seed: seed + 1})
+
+		ha, hb := NewHost(a), NewHost(b)
+		type rcv struct {
+			meta any
+			size int
+		}
+		var got []rcv
+		hb.Listen(80, func(c *Conn) {
+			c.SetOnMessage(func(meta any, size int) { got = append(got, rcv{meta, size}) })
+		})
+		// Use a tight MinRTO so lossy runs converge quickly.
+		conn := ha.Dial(b.Addr(), 80, Options{CC: cc, MinRTO: 20 * time.Millisecond})
+
+		nMsgs := 5 + rng.Intn(20)
+		sizes := make([]int, nMsgs)
+		for i := range sizes {
+			sizes[i] = 1 + rng.Intn(60000)
+			conn.SendMessage(i, sizes[i])
+		}
+		s.RunUntil(5 * time.Minute)
+
+		if len(got) != nMsgs {
+			t.Logf("seed=%d loss=%.2f cc=%s: delivered %d/%d", seed, lossProb, cc, len(got), nMsgs)
+			return false
+		}
+		for i, r := range got {
+			if r.meta.(int) != i || r.size != sizes[i] {
+				t.Logf("seed=%d: message %d got (%v,%d) want (%d,%d)", seed, i, r.meta, r.size, i, sizes[i])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyBidirectionalEcho: random request/response sizes echo
+// back intact over a lossy link.
+func TestPropertyBidirectionalEcho(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := simnet.NewScheduler()
+		n := simnet.NewNetwork(s)
+		a := n.AddNode("a")
+		b := n.AddNode("b")
+		n.Connect(a, b, simnet.LinkConfig{Rate: 100 * simnet.Mbps, Delay: 500 * time.Microsecond})
+		a.NICs()[0].Impair(simnet.Impairment{LossProb: 0.05, Seed: seed})
+		b.NICs()[0].Impair(simnet.Impairment{LossProb: 0.05, Seed: seed + 9})
+
+		ha, hb := NewHost(a), NewHost(b)
+		hb.Listen(80, func(c *Conn) {
+			c.SetOnMessage(func(meta any, size int) {
+				c.SendMessage(meta, size) // echo
+			})
+		})
+		conn := ha.Dial(b.Addr(), 80, Options{MinRTO: 20 * time.Millisecond})
+		nMsgs := 3 + rng.Intn(8)
+		sent := map[int]int{}
+		var echoed []int
+		conn.SetOnMessage(func(meta any, size int) {
+			if sent[meta.(int)] != size {
+				size = -1
+			}
+			echoed = append(echoed, size)
+		})
+		for i := 0; i < nMsgs; i++ {
+			sz := 1 + rng.Intn(30000)
+			sent[i] = sz
+			conn.SendMessage(i, sz)
+		}
+		s.RunUntil(2 * time.Minute)
+		if len(echoed) != nMsgs {
+			return false
+		}
+		for _, sz := range echoed {
+			if sz < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyBytesConservation: acked bytes never exceed sent stream
+// length and eventually equal it.
+func TestPropertyBytesConservation(t *testing.T) {
+	f := func(seed int64, nMsg uint8) bool {
+		s := simnet.NewScheduler()
+		n := simnet.NewNetwork(s)
+		a := n.AddNode("a")
+		b := n.AddNode("b")
+		n.Connect(a, b, simnet.LinkConfig{Rate: 100 * simnet.Mbps, Delay: time.Millisecond})
+		a.NICs()[0].Impair(simnet.Impairment{LossProb: 0.1, Seed: seed})
+		ha, hb := NewHost(a), NewHost(b)
+		hb.Listen(80, func(c *Conn) { c.SetOnMessage(func(any, int) {}) })
+		conn := ha.Dial(b.Addr(), 80, Options{MinRTO: 20 * time.Millisecond})
+		total := 0
+		rng := rand.New(rand.NewSource(seed))
+		count := 1 + int(nMsg)%10
+		for i := 0; i < count; i++ {
+			sz := 1 + rng.Intn(20000)
+			total += sz
+			conn.SendMessage(i, sz)
+		}
+		s.RunUntil(time.Minute)
+		return conn.BytesAcked() == uint64(total)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHeavyLossEventuallyDelivers stresses RTO-driven recovery.
+func TestHeavyLossEventuallyDelivers(t *testing.T) {
+	s := simnet.NewScheduler()
+	n := simnet.NewNetwork(s)
+	a := n.AddNode("a")
+	b := n.AddNode("b")
+	n.Connect(a, b, simnet.LinkConfig{Rate: 10 * simnet.Mbps, Delay: time.Millisecond})
+	a.NICs()[0].Impair(simnet.Impairment{LossProb: 0.25, Seed: 5})
+	ha, hb := NewHost(a), NewHost(b)
+	done := false
+	hb.Listen(80, func(c *Conn) { c.SetOnMessage(func(any, int) { done = true }) })
+	conn := ha.Dial(b.Addr(), 80, Options{MinRTO: 50 * time.Millisecond})
+	conn.SendMessage("x", 500_000)
+	s.RunUntil(10 * time.Minute)
+	if !done {
+		t.Fatalf("500KB never delivered at 25%% loss (rtx=%d timeouts=%d acked=%d)",
+			conn.Retransmits(), conn.Timeouts(), conn.BytesAcked())
+	}
+	if conn.Retransmits() == 0 {
+		t.Fatal("no retransmissions at 25% loss?")
+	}
+}

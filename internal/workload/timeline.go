@@ -1,0 +1,105 @@
+package workload
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"meshlayer/internal/hdr"
+)
+
+// Timeline records latency distributions in fixed time buckets, giving
+// per-interval percentiles — the "latency over time" view that makes
+// transient events (a partition, a config push, an arriving batch job)
+// visible where a whole-run histogram would smear them out.
+type Timeline struct {
+	bucket  time.Duration
+	start   time.Duration
+	buckets []*timeBucket
+}
+
+type timeBucket struct {
+	hist   hdr.Histogram
+	errors uint64
+}
+
+// NewTimeline returns a timeline with the given bucket width, starting
+// at time start.
+func NewTimeline(start, bucket time.Duration) *Timeline {
+	if bucket <= 0 {
+		panic("workload: timeline bucket must be positive")
+	}
+	return &Timeline{bucket: bucket, start: start}
+}
+
+func (tl *Timeline) at(t time.Duration) *timeBucket {
+	idx := int((t - tl.start) / tl.bucket)
+	if idx < 0 {
+		idx = 0
+	}
+	for len(tl.buckets) <= idx {
+		tl.buckets = append(tl.buckets, &timeBucket{})
+	}
+	return tl.buckets[idx]
+}
+
+// Record adds a completed request's latency at completion time t.
+func (tl *Timeline) Record(t time.Duration, latency time.Duration) {
+	tl.at(t).hist.RecordDuration(latency)
+}
+
+// RecordError adds a failed request at completion time t.
+func (tl *Timeline) RecordError(t time.Duration) {
+	tl.at(t).errors++
+}
+
+// Len returns the number of buckets materialized so far.
+func (tl *Timeline) Len() int { return len(tl.buckets) }
+
+// Point is one timeline bucket's summary.
+type Point struct {
+	Start    time.Duration
+	Count    uint64
+	Errors   uint64
+	P50, P99 time.Duration
+}
+
+// Points summarizes all buckets in order.
+func (tl *Timeline) Points() []Point {
+	out := make([]Point, len(tl.buckets))
+	for i, b := range tl.buckets {
+		out[i] = Point{
+			Start:  tl.start + time.Duration(i)*tl.bucket,
+			Count:  b.hist.Count(),
+			Errors: b.errors,
+			P50:    b.hist.QuantileDuration(0.50),
+			P99:    b.hist.QuantileDuration(0.99),
+		}
+	}
+	return out
+}
+
+// CSV renders the timeline for external plotting.
+func (tl *Timeline) CSV() string {
+	var b strings.Builder
+	b.WriteString("t_s,count,errors,p50_ms,p99_ms\n")
+	for _, p := range tl.Points() {
+		fmt.Fprintf(&b, "%.1f,%d,%d,%.3f,%.3f\n",
+			p.Start.Seconds(), p.Count, p.Errors,
+			float64(p.P50)/float64(time.Millisecond),
+			float64(p.P99)/float64(time.Millisecond))
+	}
+	return b.String()
+}
+
+// Observer returns an OnComplete hook recording into the timeline;
+// assign it to Spec.OnComplete.
+func (tl *Timeline) Observer() func(at, latency time.Duration, failed bool) {
+	return func(at, latency time.Duration, failed bool) {
+		if failed {
+			tl.RecordError(at)
+			return
+		}
+		tl.Record(at, latency)
+	}
+}

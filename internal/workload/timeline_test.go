@@ -1,0 +1,75 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"meshlayer/internal/app"
+)
+
+func TestTimelineBucketsAndPoints(t *testing.T) {
+	tl := NewTimeline(0, time.Second)
+	tl.Record(100*time.Millisecond, 5*time.Millisecond)
+	tl.Record(900*time.Millisecond, 15*time.Millisecond)
+	tl.Record(2500*time.Millisecond, 50*time.Millisecond)
+	tl.RecordError(2600 * time.Millisecond)
+	pts := tl.Points()
+	if len(pts) != 3 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	if pts[0].Count != 2 || pts[1].Count != 0 || pts[2].Count != 1 {
+		t.Fatalf("counts: %+v", pts)
+	}
+	if pts[2].Errors != 1 {
+		t.Fatalf("errors: %+v", pts[2])
+	}
+	if pts[0].P50 < 5*time.Millisecond || pts[0].P99 > 16*time.Millisecond {
+		t.Fatalf("bucket0 percentiles: %+v", pts[0])
+	}
+	if pts[1].Start != time.Second {
+		t.Fatalf("bucket start: %v", pts[1].Start)
+	}
+}
+
+func TestTimelineCSV(t *testing.T) {
+	tl := NewTimeline(0, time.Second)
+	tl.Record(0, 10*time.Millisecond)
+	csv := tl.CSV()
+	if !strings.HasPrefix(csv, "t_s,count,errors,p50_ms,p99_ms\n") {
+		t.Fatalf("header: %q", csv)
+	}
+	if !strings.Contains(csv, "0.0,1,0,10") {
+		t.Fatalf("row: %q", csv)
+	}
+}
+
+func TestTimelineValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero bucket accepted")
+		}
+	}()
+	NewTimeline(0, 0)
+}
+
+func TestTimelineIntegratesWithGenerator(t *testing.T) {
+	e := app.BuildELibrary(app.DefaultELibraryConfig())
+	tl := NewTimeline(0, time.Second)
+	spec := testSpec(30, 6)
+	spec.OnComplete = tl.Observer()
+	g := Start(e.Sched, e.Gateway, spec)
+	e.Sched.RunUntil(14 * time.Second)
+	e.Sched.Run()
+	r := g.Results()
+	var total uint64
+	for _, p := range tl.Points() {
+		total += p.Count + p.Errors
+	}
+	if total != r.Completed {
+		t.Fatalf("timeline total %d != completed %d", total, r.Completed)
+	}
+	if tl.Len() < 10 {
+		t.Fatalf("timeline buckets = %d, want >= 10", tl.Len())
+	}
+}
