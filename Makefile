@@ -1,0 +1,17 @@
+# Developer entry points. CI (.github/workflows/ci.yml) runs `make check`.
+
+.PHONY: check build vet test bench
+
+check: build vet test
+
+build:
+	go build ./...
+
+vet:
+	go vet ./...
+
+test:
+	go test -race ./...
+
+bench:
+	go test -bench=. -benchtime=1x -run=^$$ .

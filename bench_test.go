@@ -10,6 +10,8 @@ package meshlayer
 import (
 	"testing"
 	"time"
+
+	"meshlayer/internal/admission"
 )
 
 // benchWindow is the shortened measured window used by benchmarks.
@@ -158,4 +160,61 @@ func BenchmarkQdiscComparison(b *testing.B) {
 			b.ReportMetric(msf(r.LSP99), names[j]+"_ls_p99_ms")
 		}
 	}
+}
+
+// BenchmarkOverload runs E14 (extension): LS latency and goodput at 2x
+// capacity with admission control on vs off.
+func BenchmarkOverload(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := RunOverload(1, 2*time.Second, benchWindow)
+		// rows alternate (0.5x, 2.0x) per config: disabled, deadline
+		// only, admission, admission+deadline.
+		b.ReportMetric(msf(rows[1].LSP99), "disabled_2x_ls_p99_ms")
+		b.ReportMetric(msf(rows[5].LSP99), "admission_2x_ls_p99_ms")
+		b.ReportMetric(100*rows[5].LSGoodput, "admission_2x_ls_goodput_pct")
+		b.ReportMetric(float64(rows[3].Cancelled), "deadline_2x_cancelled")
+	}
+}
+
+// BenchmarkAdmissionQueue microbenchmarks the admission queue's
+// enqueue/shed hot path: a full queue absorbing LS arrivals by
+// displacing queued LI requests, and the CoDel pop law draining a
+// stale backlog.
+func BenchmarkAdmissionQueue(b *testing.B) {
+	b.Run("push_displace", func(b *testing.B) {
+		q := admission.NewQueue(admission.QueueConfig{Limit: 256})
+		noop := func() {}
+		noopShed := func(admission.Reason) {}
+		for i := 0; i < 256; i++ {
+			q.Push(admission.Item{Class: admission.LI, Run: noop, Shed: noopShed}, 0)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			// Full queue: every LS push displaces the newest LI, and
+			// the LI push refills it.
+			q.Push(admission.Item{Class: admission.LS, Run: noop, Shed: noopShed}, 0)
+			q.Push(admission.Item{Class: admission.LI, Run: noop, Shed: noopShed}, 0)
+		}
+	})
+	b.Run("pop_shed_drain", func(b *testing.B) {
+		noop := func() {}
+		noopShed := func(admission.Reason) {}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			q := admission.NewQueue(admission.QueueConfig{Limit: 1024, Target: time.Millisecond, Interval: time.Millisecond})
+			for j := 0; j < 512; j++ {
+				q.Push(admission.Item{Class: admission.LI, Run: noop, Shed: noopShed}, 0)
+			}
+			b.StartTimer()
+			// Stale backlog: the delay law sheds almost everything.
+			now := 100 * time.Millisecond
+			for {
+				if _, ok := q.Pop(now); !ok {
+					break
+				}
+				now += time.Microsecond
+			}
+		}
+	})
 }

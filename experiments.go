@@ -794,6 +794,201 @@ func FormatResilience(rows []ResilienceRow) string {
 	return "E12 — one reviews replica partitioned mid-run (LS workload)\n" + t.String()
 }
 
+// ---------- E14: overload protection (extension) ----------
+
+// Overload experiment fixed points: a single-pod api tier with
+// overloadAPIWorkers workers of overloadAPITime service time, so its
+// capacity is workers/serviceTime = 200 requests/second — small enough
+// to overload cheaply, large enough for stable statistics.
+const (
+	overloadAPIWorkers = 4
+	overloadAPITime    = 20 * time.Millisecond
+	overloadBudget     = 200 * time.Millisecond
+	// overloadLSShare is the latency-sensitive fraction of offered
+	// load; the rest is low-importance.
+	overloadLSShare = 0.25
+)
+
+// OverloadCapacity returns the api tier's nominal capacity in
+// requests per second.
+func OverloadCapacity() float64 {
+	return float64(overloadAPIWorkers) / overloadAPITime.Seconds()
+}
+
+// OverloadRow is one (configuration, offered load) cell of the
+// overload experiment.
+type OverloadRow struct {
+	Config string
+	// Load is the offered load as a multiple of api capacity.
+	Load         float64
+	LSP50, LSP99 time.Duration
+	// LSGoodput and LIGoodput are in-window successful completions as
+	// a fraction of that class's offered load.
+	LSGoodput, LIGoodput float64
+	// Shed counts admission rejections (503/504) at the api sidecar.
+	Shed uint64
+	// Cancelled counts child calls cancelled by deadline propagation
+	// before reaching the backend.
+	Cancelled uint64
+	// BackendWork counts requests the backend actually executed — the
+	// downstream work metric deadline propagation is meant to cut.
+	BackendWork uint64
+}
+
+// RunOverload measures the admission-control subsystem under offered
+// loads below and past the api tier's capacity, across four
+// configurations: no protection, deadline propagation only, admission
+// (queue + adaptive concurrency limit) only, and both. The topology is
+// gateway -> api (the bottleneck) -> backend, with a 1:3 LS:LI mix and
+// retries disabled so shed fast-fails are not re-amplified.
+func RunOverload(seed int64, warmup, measure time.Duration) []OverloadRow {
+	if warmup <= 0 {
+		warmup = 2 * time.Second
+	}
+	if measure <= 0 {
+		measure = 20 * time.Second
+	}
+	configs := []struct {
+		name                string
+		admission, deadline bool
+	}{
+		{"disabled", false, false},
+		{"deadline only", false, true},
+		{"admission", true, false},
+		{"admission + deadline", true, true},
+	}
+	var out []OverloadRow
+	for _, cfg := range configs {
+		for _, load := range []float64{0.5, 2.0} {
+			out = append(out, runOverloadOnce(cfg.name, cfg.admission, cfg.deadline, load, seed, warmup, measure))
+		}
+	}
+	return out
+}
+
+func runOverloadOnce(name string, admit, deadline bool, load float64, seed int64, warmup, measure time.Duration) OverloadRow {
+	sched := simnet.NewScheduler()
+	net := simnet.NewNetwork(sched)
+	cl := cluster.New(net)
+	gwPod := cl.AddPod(cluster.PodSpec{Name: "gateway", Labels: map[string]string{"app": "gateway"}})
+	apiPod := cl.AddPod(cluster.PodSpec{Name: "api-1", Labels: map[string]string{"app": "api"}, Workers: overloadAPIWorkers})
+	bePod := cl.AddPod(cluster.PodSpec{Name: "backend-1", Labels: map[string]string{"app": "backend"}, Workers: 32})
+	cl.AddService("api", 9080, map[string]string{"app": "api"})
+	cl.AddService("backend", 9080, map[string]string{"app": "backend"})
+
+	m := mesh.New(cl, mesh.Config{Seed: seed})
+	gw := m.NewGateway(gwPod)
+	apiSC := m.InjectSidecar(apiPod)
+	beSC := m.InjectSidecar(bePod)
+	gw.SetClassifier(mesh.PathClassifier(map[string]string{
+		"/ls": mesh.PriorityHigh,
+		"/li": mesh.PriorityLow,
+	}, mesh.PriorityHigh))
+
+	cp := m.ControlPlane()
+	// Sheds and deadline rejections are deliberate fast-fails;
+	// retrying them would re-amplify exactly the load being shed.
+	cp.SetRetryPolicy("api", mesh.RetryPolicy{})
+	cp.SetRetryPolicy("backend", mesh.RetryPolicy{})
+	pol := mesh.AdmissionPolicy{
+		Enabled:            admit,
+		QueueLimit:         128,
+		QueueTarget:        10 * time.Millisecond,
+		QueueLSTarget:      50 * time.Millisecond,
+		QueueInterval:      50 * time.Millisecond,
+		InitialConcurrency: overloadAPIWorkers,
+		MinConcurrency:     2,
+		// Under sustained overload every latency sample includes
+		// worker-pool queueing, so the limiter's no-load floor drifts
+		// up and stops pulling the limit down; the Max bound encodes
+		// what the floor cannot rediscover — the pod has 4 workers, so
+		// concurrency past ~2x workers only buys queueing delay.
+		MaxConcurrency: 2 * overloadAPIWorkers,
+	}
+	if deadline {
+		pol.Budget = overloadBudget
+	}
+	cp.SetAdmissionPolicy("api", pol)
+
+	var backendWork uint64
+	beSC.RegisterApp(func(req *httpsim.Request, respond func(*httpsim.Response)) {
+		backendWork++
+		bePod.Exec(time.Millisecond, func() { respond(httpsim.NewResponse(httpsim.StatusOK)) })
+	})
+	apiSC.RegisterApp(func(req *httpsim.Request, respond func(*httpsim.Response)) {
+		apiPod.Exec(overloadAPITime, func() {
+			child := httpsim.NewRequest("GET", "/data")
+			child.Headers.Set(mesh.HeaderHost, "backend")
+			app.CopyTrace(req, child)
+			apiSC.Call(child, func(resp *httpsim.Response, err error) {
+				if err != nil {
+					respond(httpsim.NewResponse(httpsim.StatusBadGateway))
+					return
+				}
+				respond(httpsim.NewResponse(resp.Status))
+			})
+		})
+	})
+
+	capacity := OverloadCapacity()
+	lsRate := overloadLSShare * load * capacity
+	liRate := (1 - overloadLSShare) * load * capacity
+
+	// Goodput counts successful completions inside the measure window
+	// by completion time, against the class's offered load — so work
+	// finished late (after cooldown) or shed doesn't count.
+	winLo, winHi := warmup, warmup+measure
+	goodCounter := func(good *uint64) func(at, latency time.Duration, failed bool) {
+		return func(at, latency time.Duration, failed bool) {
+			if !failed && at >= winLo && at < winHi {
+				*good++
+			}
+		}
+	}
+	var lsGood, liGood uint64
+	mkSpec := func(wlName, path string, rate float64, seedOff int64, good *uint64) workload.Spec {
+		return workload.Spec{
+			Name: wlName, Rate: rate, Seed: seed + seedOff,
+			NewRequest: func() *httpsim.Request {
+				r := httpsim.NewRequest("GET", path)
+				r.Headers.Set(mesh.HeaderHost, "api")
+				return r
+			},
+			Warmup: warmup, Measure: measure, Cooldown: time.Second,
+			OnComplete: goodCounter(good),
+		}
+	}
+	ls := workload.Start(sched, gw, mkSpec("ls", "/ls", lsRate, 11, &lsGood))
+	workload.Start(sched, gw, mkSpec("li", "/li", liRate, 13, &liGood))
+	sched.RunFor(warmup + measure + 2*time.Second)
+
+	lsRes := ls.Results()
+	reg := m.Metrics()
+	return OverloadRow{
+		Config:      name,
+		Load:        load,
+		LSP50:       lsRes.P50(),
+		LSP99:       lsRes.P99(),
+		LSGoodput:   float64(lsGood) / (lsRate * measure.Seconds()),
+		LIGoodput:   float64(liGood) / (liRate * measure.Seconds()),
+		Shed:        reg.CounterTotal("mesh_admission_shed_total"),
+		Cancelled:   reg.CounterTotal("mesh_admission_cancelled_total"),
+		BackendWork: backendWork,
+	}
+}
+
+// FormatOverload renders the E14 table.
+func FormatOverload(rows []OverloadRow) string {
+	t := newTable("configuration", "load", "LS p50", "LS p99", "LS goodput", "LI goodput", "shed", "cancelled", "backend work")
+	for _, r := range rows {
+		t.row(r.Config, fmt.Sprintf("%.1fx", r.Load), ms(r.LSP50), ms(r.LSP99),
+			fmt.Sprintf("%.1f%%", 100*r.LSGoodput), fmt.Sprintf("%.1f%%", 100*r.LIGoodput),
+			fmt.Sprint(r.Shed), fmt.Sprint(r.Cancelled), fmt.Sprint(r.BackendWork))
+	}
+	return fmt.Sprintf("E14 — overload protection (api capacity %.0f RPS, LS:LI = 1:3, budget %v)\n%s",
+		OverloadCapacity(), overloadBudget, t.String())
+}
+
 // ---------- formatting helpers ----------
 
 func ms(d time.Duration) string {

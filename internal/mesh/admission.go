@@ -1,0 +1,200 @@
+package mesh
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"meshlayer/internal/admission"
+	"meshlayer/internal/httpsim"
+	"meshlayer/internal/metrics"
+	"meshlayer/internal/trace"
+)
+
+// AdmissionPolicy configures a service's overload protection: the
+// bounded two-class priority queue, the adaptive concurrency limiter,
+// and the end-to-end deadline budget stamped at the ingress. Zero
+// numeric fields select the admission package defaults. The policy is
+// pushed per destination service, like every other traffic policy.
+type AdmissionPolicy struct {
+	// Enabled turns queueing + concurrency limiting on for the
+	// service's sidecars. Deadline propagation works regardless: any
+	// request carrying a budget header is tracked and cancelled when
+	// exhausted, so budgets can be deployed before (or without)
+	// admission control proper.
+	Enabled bool
+
+	// QueueLimit bounds the total queued requests per sidecar.
+	QueueLimit int
+	// QueueTarget is the low-importance (LI) sojourn-time target for
+	// CoDel-style delay shedding.
+	QueueTarget time.Duration
+	// QueueLSTarget is the latency-sensitive (LS) class's last-resort
+	// sojourn target (default 20x QueueTarget).
+	QueueLSTarget time.Duration
+	// QueueInterval is how long a class's queue delay must stay above
+	// target before shedding starts.
+	QueueInterval time.Duration
+
+	// InitialConcurrency seeds the adaptive limiter; Min/MaxConcurrency
+	// clamp it.
+	InitialConcurrency int
+	MinConcurrency     int
+	MaxConcurrency     int
+	// Tolerance is the latency multiple over the no-load floor the
+	// limiter accepts before backing off.
+	Tolerance float64
+	// Window is the limiter's samples-per-adjustment count.
+	Window int
+
+	// Budget is the end-to-end deadline the gateway stamps on external
+	// requests bound for this service. Zero disables stamping.
+	Budget time.Duration
+}
+
+// SetAdmissionPolicy installs (replacing) the admission policy for a
+// service. Like all policy pushes it honours the control plane's push
+// delay.
+func (cp *ControlPlane) SetAdmissionPolicy(service string, p AdmissionPolicy) {
+	if service == "" {
+		panic("mesh: admission policy needs a service")
+	}
+	cp.apply(func() { cp.admission[service] = p })
+}
+
+// AdmissionPolicyFor returns the service's admission policy (disabled
+// zero value by default).
+func (cp *ControlPlane) AdmissionPolicyFor(service string) AdmissionPolicy {
+	return cp.admission[service]
+}
+
+// classOf maps the request's provenance-carried priority to an
+// admission class: explicitly low-priority traffic is load-sheddable
+// (LI); everything else — including unclassified traffic — is treated
+// as latency-sensitive (LS), matching the fail-open posture of the
+// ingress classifier.
+func classOf(req *httpsim.Request) admission.Class {
+	if req.Headers.Get(HeaderPriority) == PriorityLow {
+		return admission.LI
+	}
+	return admission.LS
+}
+
+// admissionFor returns the controller matching the pushed policy,
+// rebuilding it when the policy changed, or nil when admission is
+// disabled. Rebuilding discards learned limiter state — acceptable,
+// since policy pushes are rare operator actions.
+func (sc *Sidecar) admissionFor(p AdmissionPolicy) *admission.Controller {
+	if !p.Enabled {
+		sc.admitCtl, sc.admitPol = nil, p
+		return nil
+	}
+	if sc.admitCtl == nil || sc.admitPol != p {
+		sc.admitPol = p
+		sc.admitCtl = admission.New(admission.Config{
+			Queue: admission.QueueConfig{
+				Limit:    p.QueueLimit,
+				Target:   p.QueueTarget,
+				LSTarget: p.QueueLSTarget,
+				Interval: p.QueueInterval,
+			},
+			Limiter: admission.LimiterConfig{
+				Initial:   p.InitialConcurrency,
+				Min:       p.MinConcurrency,
+				Max:       p.MaxConcurrency,
+				Tolerance: p.Tolerance,
+				Window:    p.Window,
+			},
+			Now: sc.mesh.sched.Now,
+		})
+	}
+	return sc.admitCtl
+}
+
+// recordInboundDeadline reads the remaining-budget header stamped by
+// the previous hop and records the absolute expiry under the request's
+// trace ID, so this sidecar's outbound path can decrement (or cancel)
+// the child calls of this request. Returns the effective expiry (0 =
+// no deadline). The earliest observation for a trace wins: retries and
+// hedges must not refresh the budget.
+func (sc *Sidecar) recordInboundDeadline(req *httpsim.Request) time.Duration {
+	b := req.Headers.Get(HeaderBudget)
+	if b == "" {
+		return 0
+	}
+	us, err := strconv.ParseInt(b, 10, 64)
+	if err != nil {
+		return 0
+	}
+	now := sc.mesh.sched.Now()
+	expiry := now + time.Duration(us)*time.Microsecond
+	if us <= 0 {
+		expiry = now
+	}
+	if tid := req.Headers.Get(trace.HeaderRequestID); tid != "" {
+		sc.deadlines.Observe(tid, expiry, now)
+		if e, ok := sc.deadlines.Expiry(tid); ok {
+			expiry = e
+		}
+	}
+	return expiry
+}
+
+// applyOutboundDeadline enforces the end-to-end budget on one outbound
+// call: when the calling request's budget is exhausted the call is
+// cancelled locally with 504 — the wasted downstream work the paper's
+// cross-layer view is meant to avoid — and otherwise the budget header
+// is rewritten to the remaining amount so the next hop sees a budget
+// net of this hop's queueing and service time. Reports whether the
+// call may proceed.
+func (sc *Sidecar) applyOutboundDeadline(c *call) bool {
+	tid := c.req.Headers.Get(trace.HeaderRequestID)
+	if tid == "" {
+		return true
+	}
+	now := sc.mesh.sched.Now()
+	rem, ok := sc.deadlines.Remaining(tid, now)
+	if !ok {
+		return true
+	}
+	if rem <= 0 {
+		sc.mesh.metrics.Counter("mesh_admission_cancelled_total",
+			metrics.Labels{"service": sc.service, "upstream": c.service}).Inc()
+		c.finish(httpsim.NewResponse(httpsim.StatusGatewayTimeout), nil)
+		return false
+	}
+	c.req.Headers.Set(HeaderBudget, strconv.FormatInt(rem.Microseconds(), 10))
+	return true
+}
+
+// shedInbound fast-fails a request the admission controller refused:
+// 503 for load sheds, 504 for exhausted deadlines.
+func (sc *Sidecar) shedInbound(cls admission.Class, why admission.Reason, respond func(*httpsim.Response)) {
+	status := httpsim.StatusServiceUnavailable
+	if why == admission.ShedDeadline {
+		status = httpsim.StatusGatewayTimeout
+	}
+	m := sc.mesh
+	m.metrics.Counter("mesh_admission_shed_total",
+		metrics.Labels{"service": sc.service, "class": cls.String(), "reason": why.String()}).Inc()
+	m.metrics.Counter("mesh_requests_total",
+		metrics.Labels{"service": sc.service, "direction": "inbound", "code": fmt.Sprint(status)}).Inc()
+	respond(httpsim.NewResponse(status))
+}
+
+// observeAdmission exports the controller's queue depths and current
+// concurrency limit as gauges.
+func (sc *Sidecar) observeAdmission(ctl *admission.Controller) {
+	m := sc.mesh
+	for _, cls := range []admission.Class{admission.LS, admission.LI} {
+		m.metrics.Gauge("mesh_admission_queue_depth",
+			metrics.Labels{"service": sc.service, "class": cls.String()}).
+			Set(float64(ctl.Queue().Depth(cls)))
+	}
+	m.metrics.Gauge("mesh_admission_limit",
+		metrics.Labels{"service": sc.service}).Set(float64(ctl.Limiter().Limit()))
+}
+
+// AdmissionController exposes the sidecar's live controller (nil when
+// admission is disabled) — introspection for tests and meshbench.
+func (sc *Sidecar) AdmissionController() *admission.Controller { return sc.admitCtl }

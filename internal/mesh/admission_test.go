@@ -1,0 +1,170 @@
+package mesh
+
+import (
+	"strconv"
+	"testing"
+	"time"
+
+	"meshlayer/internal/cluster"
+	"meshlayer/internal/httpsim"
+	"meshlayer/internal/metrics"
+	"meshlayer/internal/trace"
+)
+
+func TestAdmissionShedsOverload(t *testing.T) {
+	tb := buildBed(t, Config{SidecarDelayMean: -1}, func(pod *cluster.Pod, req *httpsim.Request, respond func(*httpsim.Response)) {
+		pod.Exec(20*time.Millisecond, func() { respond(httpsim.NewResponse(httpsim.StatusOK)) })
+	})
+	cp := tb.m.ControlPlane()
+	// Sheds are deliberate fast-fails; retrying them re-amplifies load.
+	cp.SetRetryPolicy("frontend", RetryPolicy{})
+	cp.SetAdmissionPolicy("frontend", AdmissionPolicy{
+		Enabled:            true,
+		InitialConcurrency: 1,
+		MaxConcurrency:     1,
+		QueueLimit:         2,
+		QueueTarget:        time.Second, // delay law out of the way
+	})
+
+	codes := map[int]int{}
+	for i := 0; i < 10; i++ {
+		tb.gw.Serve(extReq("/x"), func(r *httpsim.Response, err error) {
+			if err != nil {
+				t.Fatal(err)
+			}
+			codes[r.Status]++
+		})
+	}
+	tb.sched.Run()
+
+	// 1 inflight + 2 queued survive; the rest shed as queue-full.
+	if codes[httpsim.StatusOK] != 3 || codes[httpsim.StatusServiceUnavailable] != 7 {
+		t.Fatalf("codes = %v, want 3x200 7x503", codes)
+	}
+	shed := tb.m.Metrics().Counter("mesh_admission_shed_total",
+		metrics.Labels{"service": "frontend", "class": "ls", "reason": "queue_full"}).Value()
+	if shed != 7 {
+		t.Fatalf("shed counter = %d, want 7", shed)
+	}
+}
+
+func TestAdmissionLSDisplacesQueuedLI(t *testing.T) {
+	tb := buildBed(t, Config{SidecarDelayMean: -1}, func(pod *cluster.Pod, req *httpsim.Request, respond func(*httpsim.Response)) {
+		pod.Exec(50*time.Millisecond, func() { respond(httpsim.NewResponse(httpsim.StatusOK)) })
+	})
+	cp := tb.m.ControlPlane()
+	cp.SetRetryPolicy("frontend", RetryPolicy{})
+	cp.SetAdmissionPolicy("frontend", AdmissionPolicy{
+		Enabled:            true,
+		InitialConcurrency: 1,
+		MaxConcurrency:     1,
+		QueueLimit:         1,
+		QueueTarget:        time.Second,
+	})
+
+	serve := func(at time.Duration, prio string, got map[string]int) {
+		tb.sched.At(at, func() {
+			r := extReq("/x")
+			if prio != "" {
+				r.Headers.Set(HeaderPriority, prio)
+			}
+			tb.gw.Serve(r, func(resp *httpsim.Response, err error) {
+				if err != nil {
+					t.Fatal(err)
+				}
+				got[prio+":"+strconv.Itoa(resp.Status)]++
+			})
+		})
+	}
+	got := map[string]int{}
+	serve(0, PriorityLow, got)                   // dispatched (slot free)
+	serve(1*time.Millisecond, PriorityLow, got)  // queued
+	serve(2*time.Millisecond, PriorityHigh, got) // full: displaces the queued LI
+	tb.sched.Run()
+
+	if got["low:200"] != 1 || got["low:503"] != 1 || got["high:200"] != 1 {
+		t.Fatalf("got = %v; want the queued LI displaced by the LS arrival", got)
+	}
+}
+
+func TestDeadlineCancelsChildCall(t *testing.T) {
+	backendSaw := 0
+	tb := buildBed(t, Config{SidecarDelayMean: -1}, func(pod *cluster.Pod, req *httpsim.Request, respond func(*httpsim.Response)) {
+		backendSaw++
+		respond(httpsim.NewResponse(httpsim.StatusOK))
+	})
+	// Frontend burns 10ms before calling backend; the 5ms budget is
+	// spent by then, so the sidecar cancels the child call locally.
+	tb.fe.RegisterApp(func(req *httpsim.Request, respond func(*httpsim.Response)) {
+		tb.sched.After(10*time.Millisecond, func() {
+			child := httpsim.NewRequest("GET", req.Path)
+			child.Headers.Set(HeaderHost, "backend")
+			child.Headers.Set(trace.HeaderRequestID, req.Headers.Get(trace.HeaderRequestID))
+			tb.fe.Call(child, func(resp *httpsim.Response, err error) {
+				if err != nil {
+					respond(httpsim.NewResponse(httpsim.StatusBadGateway))
+					return
+				}
+				respond(resp.Clone())
+			})
+		})
+	})
+	// No retries: a deadline 504 would otherwise be retried by the
+	// gateway, re-running the cancel.
+	tb.m.ControlPlane().SetRetryPolicy("frontend", RetryPolicy{})
+	tb.m.ControlPlane().SetAdmissionPolicy("frontend", AdmissionPolicy{Budget: 5 * time.Millisecond})
+
+	var status int
+	tb.gw.Serve(extReq("/x"), func(r *httpsim.Response, err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		status = r.Status
+	})
+	tb.sched.Run()
+
+	if status != httpsim.StatusGatewayTimeout {
+		t.Fatalf("status = %d, want 504", status)
+	}
+	if backendSaw != 0 {
+		t.Fatalf("backend saw %d requests; the cancelled call must never leave the sidecar", backendSaw)
+	}
+	cancelled := tb.m.Metrics().Counter("mesh_admission_cancelled_total",
+		metrics.Labels{"service": "frontend", "upstream": "backend"}).Value()
+	if cancelled != 1 {
+		t.Fatalf("cancelled counter = %d, want 1", cancelled)
+	}
+}
+
+func TestBudgetDecrementsAcrossHops(t *testing.T) {
+	var backendBudget string
+	tb := buildBed(t, Config{}, func(pod *cluster.Pod, req *httpsim.Request, respond func(*httpsim.Response)) {
+		backendBudget = req.Headers.Get(HeaderBudget)
+		respond(httpsim.NewResponse(httpsim.StatusOK))
+	})
+	budget := 500 * time.Millisecond
+	tb.m.ControlPlane().SetAdmissionPolicy("frontend", AdmissionPolicy{Budget: budget})
+
+	var status int
+	tb.gw.Serve(extReq("/x"), func(r *httpsim.Response, err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		status = r.Status
+	})
+	tb.sched.Run()
+
+	if status != httpsim.StatusOK {
+		t.Fatalf("status = %d", status)
+	}
+	if backendBudget == "" {
+		t.Fatal("backend saw no budget header")
+	}
+	us, err := strconv.ParseInt(backendBudget, 10, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if us <= 0 || us >= budget.Microseconds() {
+		t.Fatalf("backend budget = %dus; want decremented below %dus but positive", us, budget.Microseconds())
+	}
+}

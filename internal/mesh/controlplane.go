@@ -103,10 +103,11 @@ type ControlPlane struct {
 	hedge   map[string]HedgePolicy
 	// authz[dst] = set of allowed source services; absent dst = allow
 	// all (permissive mode).
-	authz  map[string]map[string]bool
-	fault  map[string]FaultPolicy
-	mirror map[string]MirrorPolicy
-	rate   map[string]RateLimitPolicy
+	authz     map[string]map[string]bool
+	fault     map[string]FaultPolicy
+	mirror    map[string]MirrorPolicy
+	rate      map[string]RateLimitPolicy
+	admission map[string]AdmissionPolicy
 
 	certs      map[uint64]*Cert
 	certSerial uint64
@@ -122,17 +123,18 @@ type ControlPlane struct {
 
 func newControlPlane(m *Mesh) *ControlPlane {
 	return &ControlPlane{
-		mesh:    m,
-		rules:   make(map[string]*RouteRule),
-		lb:      make(map[string]LBPolicy),
-		retry:   make(map[string]RetryPolicy),
-		breaker: make(map[string]CircuitBreakerPolicy),
-		hedge:   make(map[string]HedgePolicy),
-		authz:   make(map[string]map[string]bool),
-		fault:   make(map[string]FaultPolicy),
-		mirror:  make(map[string]MirrorPolicy),
-		rate:    make(map[string]RateLimitPolicy),
-		certs:   make(map[uint64]*Cert),
+		mesh:      m,
+		rules:     make(map[string]*RouteRule),
+		lb:        make(map[string]LBPolicy),
+		retry:     make(map[string]RetryPolicy),
+		breaker:   make(map[string]CircuitBreakerPolicy),
+		hedge:     make(map[string]HedgePolicy),
+		authz:     make(map[string]map[string]bool),
+		fault:     make(map[string]FaultPolicy),
+		mirror:    make(map[string]MirrorPolicy),
+		rate:      make(map[string]RateLimitPolicy),
+		admission: make(map[string]AdmissionPolicy),
+		certs:     make(map[uint64]*Cert),
 	}
 }
 

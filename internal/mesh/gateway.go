@@ -2,6 +2,7 @@ package mesh
 
 import (
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -57,6 +58,13 @@ func (g *Gateway) Serve(req *httpsim.Request, cb func(*httpsim.Response, error))
 	req.Headers.Set(trace.HeaderRequestID, traceID)
 	if g.classifier != nil {
 		g.classifier(req)
+	}
+	// Stamp the end-to-end deadline budget (unless the external caller
+	// supplied one) from the destination service's admission policy.
+	if !req.Headers.Has(HeaderBudget) {
+		if b := m.cp.AdmissionPolicyFor(req.Headers.Get(HeaderHost)).Budget; b > 0 {
+			req.Headers.Set(HeaderBudget, strconv.FormatInt(b.Microseconds(), 10))
+		}
 	}
 
 	root := &trace.Span{

@@ -35,6 +35,12 @@ const (
 	// classification assigned at ingress and carried with the request
 	// through the whole call tree (§4.3 component 1-2).
 	HeaderPriority = "x-mesh-priority"
+	// HeaderBudget carries the request's remaining end-to-end deadline
+	// budget in integer microseconds. The gateway stamps the total;
+	// each sidecar rewrites it on the outbound path net of its own
+	// queueing and service time, and cancels child calls once it hits
+	// zero.
+	HeaderBudget = "x-mesh-budget"
 )
 
 // Priority header values.

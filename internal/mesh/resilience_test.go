@@ -1,10 +1,14 @@
 package mesh
 
 import (
+	"errors"
 	"testing"
 	"time"
 
+	"meshlayer/internal/cluster"
 	"meshlayer/internal/httpsim"
+	"meshlayer/internal/simnet"
+	"meshlayer/internal/transport"
 )
 
 func TestWeightedCanaryRouting(t *testing.T) {
@@ -208,5 +212,175 @@ func TestPartitionedPodRecoveredByRetries(t *testing.T) {
 	tb.cl.Pod("backend-1").Partition(false)
 	if tb.cl.Pod("backend-1").Partitioned() {
 		t.Fatal("partition not cleared")
+	}
+}
+
+// --- httpsim timeout / ErrTimeout interplay with retries and hedging ---
+
+func TestPerTryTimeoutRetryRecovers(t *testing.T) {
+	// backend-1 swallows requests; the per-try timeout surfaces
+	// ErrTimeout and the retry lands on backend-2.
+	tb := buildBed(t, Config{Seed: 27}, func(pod *cluster.Pod, req *httpsim.Request, respond func(*httpsim.Response)) {
+		if pod.Name() == "backend-1" {
+			return // never responds
+		}
+		echoBackend(pod, req, respond)
+	})
+	tb.m.ControlPlane().SetRetryPolicy("backend", RetryPolicy{MaxRetries: 2, PerTryTimeout: 100 * time.Millisecond})
+
+	var got *httpsim.Response
+	tb.gw.Serve(extReq("/x"), func(r *httpsim.Response, err error) {
+		if err != nil {
+			t.Fatalf("retry did not mask the timeout: %v", err)
+		}
+		got = r
+	})
+	tb.sched.Run()
+	if got == nil || got.Status != httpsim.StatusOK {
+		t.Fatalf("response = %+v", got)
+	}
+	if got.Headers.Get("x-backend") != "backend-2" {
+		t.Fatalf("served by %s, want the healthy replica", got.Headers.Get("x-backend"))
+	}
+}
+
+func TestPerTryTimeoutExhaustionReturnsErrTimeout(t *testing.T) {
+	// Every replica swallows; once retries are exhausted the caller
+	// sees ErrTimeout (wrapped or not — errors.Is must hold).
+	tb := buildBed(t, Config{Seed: 28}, func(pod *cluster.Pod, req *httpsim.Request, respond func(*httpsim.Response)) {})
+	tb.m.ControlPlane().SetRetryPolicy("backend", RetryPolicy{MaxRetries: 1, PerTryTimeout: 50 * time.Millisecond})
+
+	var gotErr error
+	fired := 0
+	tb.gw.Serve(extReq("/x"), func(r *httpsim.Response, err error) {
+		fired++
+		gotErr = err
+	})
+	tb.sched.Run()
+	if fired != 1 {
+		t.Fatalf("callback fired %d times", fired)
+	}
+	// The frontend's app maps the upstream error to 502 before the
+	// gateway sees it, so probe the frontend sidecar directly.
+	child := httpsim.NewRequest("GET", "/probe")
+	child.Headers.Set(HeaderHost, "backend")
+	var direct error
+	tb.fe.Call(child, func(r *httpsim.Response, err error) { direct = err })
+	tb.sched.Run()
+	if !errors.Is(direct, ErrTimeout) {
+		t.Fatalf("direct call error = %v, want ErrTimeout", direct)
+	}
+	_ = gotErr
+}
+
+func TestHedgeRacesSlowReplica(t *testing.T) {
+	// backend-1 answers after 1s, backend-2 immediately. With a 100ms
+	// hedge the redundant attempt wins long before the slow reply.
+	tb := buildBed(t, Config{Seed: 29}, func(pod *cluster.Pod, req *httpsim.Request, respond func(*httpsim.Response)) {
+		if pod.Name() == "backend-1" {
+			pod.Exec(time.Second, func() { echoBackend(pod, req, respond) })
+			return
+		}
+		echoBackend(pod, req, respond)
+	})
+	tb.m.ControlPlane().SetRetryPolicy("backend", RetryPolicy{})
+	tb.m.ControlPlane().SetHedgePolicy("backend", HedgePolicy{Delay: 100 * time.Millisecond})
+
+	var got *httpsim.Response
+	var done time.Duration
+	fired := 0
+	tb.gw.Serve(extReq("/x"), func(r *httpsim.Response, err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		fired++
+		got = r
+		done = tb.sched.Now()
+	})
+	tb.sched.Run()
+	if fired != 1 || got == nil || got.Status != httpsim.StatusOK {
+		t.Fatalf("fired=%d response=%+v", fired, got)
+	}
+	if got.Headers.Get("x-backend") != "backend-2" {
+		t.Fatalf("served by %s, want the hedged fast replica", got.Headers.Get("x-backend"))
+	}
+	if done >= time.Second {
+		t.Fatalf("finished at %v; hedge did not beat the slow replica", done)
+	}
+}
+
+func TestTimeoutCondemnsPooledConnection(t *testing.T) {
+	// A per-try timeout aborts the pooled connection; the next call
+	// must transparently re-dial rather than reuse the dead conn.
+	seen := 0
+	tb := buildBed(t, Config{Seed: 30}, func(pod *cluster.Pod, req *httpsim.Request, respond func(*httpsim.Response)) {
+		seen++
+		if seen == 1 {
+			return // swallow the first request -> client times out
+		}
+		echoBackend(pod, req, respond)
+	})
+	cp := tb.m.ControlPlane()
+	// Pin to backend-1 so both requests share one pooled connection.
+	cp.SetRouteRule(RouteRule{Service: "backend", DefaultSubset: SubsetRef{Key: "version", Value: "v1"}})
+	cp.SetRetryPolicy("backend", RetryPolicy{MaxRetries: 0, PerTryTimeout: 100 * time.Millisecond})
+
+	first := httpsim.NewRequest("GET", "/a")
+	first.Headers.Set(HeaderHost, "backend")
+	var firstErr error
+	tb.fe.Call(first, func(r *httpsim.Response, err error) { firstErr = err })
+	tb.sched.Run()
+	if !errors.Is(firstErr, ErrTimeout) {
+		t.Fatalf("first call error = %v, want ErrTimeout", firstErr)
+	}
+	var condemned *transport.Conn
+	tb.fe.ForEachPool(func(class string, dst simnet.Addr, conn *transport.Conn) { condemned = conn })
+
+	second := httpsim.NewRequest("GET", "/b")
+	second.Headers.Set(HeaderHost, "backend")
+	var got *httpsim.Response
+	tb.fe.Call(second, func(r *httpsim.Response, err error) {
+		if err != nil {
+			t.Fatalf("second call failed: %v", err)
+		}
+		got = r
+	})
+	tb.sched.Run()
+	if got == nil || got.Status != httpsim.StatusOK {
+		t.Fatalf("second response = %+v", got)
+	}
+	var fresh *transport.Conn
+	tb.fe.ForEachPool(func(class string, dst simnet.Addr, conn *transport.Conn) { fresh = conn })
+	if fresh == condemned {
+		t.Fatal("condemned connection was reused")
+	}
+	if tb.fe.PoolSize() != 1 {
+		t.Fatalf("pool size = %d, want the dead conn replaced in place", tb.fe.PoolSize())
+	}
+}
+
+func TestClientDeadlinePreemptsRetries(t *testing.T) {
+	// The external client's deadline fires while the mesh is still
+	// burning retries; the late mesh outcome must not re-fire the cb.
+	tb := buildBed(t, Config{Seed: 31}, func(pod *cluster.Pod, req *httpsim.Request, respond func(*httpsim.Response)) {})
+	tb.m.ControlPlane().SetRetryPolicy("backend", RetryPolicy{MaxRetries: 5, PerTryTimeout: 200 * time.Millisecond})
+
+	fired := 0
+	var gotErr error
+	var at time.Duration
+	tb.gw.ServeWithDeadline(extReq("/x"), 300*time.Millisecond, func(r *httpsim.Response, err error) {
+		fired++
+		gotErr = err
+		at = tb.sched.Now()
+	})
+	tb.sched.Run()
+	if fired != 1 {
+		t.Fatalf("callback fired %d times", fired)
+	}
+	if !errors.Is(gotErr, ErrTimeout) {
+		t.Fatalf("error = %v, want ErrTimeout", gotErr)
+	}
+	if at != 300*time.Millisecond {
+		t.Fatalf("deadline fired at %v, want exactly 300ms", at)
 	}
 }

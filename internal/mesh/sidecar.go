@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"meshlayer/internal/admission"
 	"meshlayer/internal/cluster"
 	"meshlayer/internal/httpsim"
 	"meshlayer/internal/metrics"
@@ -71,6 +72,14 @@ type Sidecar struct {
 	connHook        func(*transport.Conn, ConnClass)
 	bucket          *tokenBucket
 	identity        *Cert
+
+	// Overload protection (internal/admission): the controller is built
+	// lazily from the pushed AdmissionPolicy; the deadline index tracks
+	// every budget-carrying request regardless of whether admission is
+	// enabled.
+	admitCtl  *admission.Controller
+	admitPol  AdmissionPolicy
+	deadlines *admission.Deadlines
 }
 
 // InjectSidecar pairs a sidecar with the pod. The pod's service
@@ -90,6 +99,7 @@ func (m *Mesh) InjectSidecar(pod *cluster.Pod) *Sidecar {
 		pools:      make(map[poolKey]*httpsim.Client),
 		endpoints:  make(map[simnet.Addr]*endpointState),
 		rrCounters: make(map[string]uint64),
+		deadlines:  admission.NewDeadlines(),
 	}
 	srv, err := httpsim.NewServer(pod.Host(), InboundPort, sc.handleInbound)
 	if err != nil {
@@ -171,15 +181,11 @@ func (sc *Sidecar) handleInbound(ctx httpsim.Ctx, req *httpsim.Request, respond 
 			f(ctx, req)
 		}
 
-		m.metrics.Counter("mesh_requests_total",
-			metrics.Labels{"service": sc.service, "direction": "inbound", "code": "ok"}).Inc()
+		// Deadline propagation: remember this request's remaining
+		// budget so outbound child calls can decrement or cancel.
+		expiry := sc.recordInboundDeadline(req)
 
-		app := sc.app
-		if app == nil {
-			respond(httpsim.NewResponse(httpsim.StatusNotFound))
-			return
-		}
-		app(req, func(resp *httpsim.Response) {
+		respondFinal := func(resp *httpsim.Response) {
 			m.sched.After(m.proxyDelay(), func() {
 				if span != nil {
 					span.End = m.sched.Now()
@@ -191,6 +197,49 @@ func (sc *Sidecar) handleInbound(ctx httpsim.Ctx, req *httpsim.Request, respond 
 					m.sched.Now()-start)
 				respond(resp)
 			})
+		}
+
+		app := sc.app
+		if app == nil {
+			m.metrics.Counter("mesh_requests_total",
+				metrics.Labels{"service": sc.service, "direction": "inbound", "code": "ok"}).Inc()
+			respond(httpsim.NewResponse(httpsim.StatusNotFound))
+			return
+		}
+
+		ctl := sc.admissionFor(m.cp.AdmissionPolicyFor(sc.service))
+		if ctl == nil {
+			m.metrics.Counter("mesh_requests_total",
+				metrics.Labels{"service": sc.service, "direction": "inbound", "code": "ok"}).Inc()
+			app(req, respondFinal)
+			return
+		}
+
+		// Admission enabled: route the dispatch through the bounded
+		// priority queue + concurrency limiter. Exactly one of Run/Shed
+		// fires, possibly later when a slot frees.
+		cls := classOf(req)
+		ctl.Offer(admission.Item{
+			Class:    cls,
+			Enqueued: m.sched.Now(),
+			Expiry:   expiry,
+			Run: func() {
+				m.metrics.Counter("mesh_requests_total",
+					metrics.Labels{"service": sc.service, "direction": "inbound", "code": "ok"}).Inc()
+				sc.observeAdmission(ctl)
+				dispatched := m.sched.Now()
+				app(req, func(resp *httpsim.Response) {
+					// Queue wait is excluded from the limiter's latency
+					// sample: the limiter tracks service time, not its
+					// own queueing.
+					ctl.Done(m.sched.Now()-dispatched, resp.Status < 500)
+					sc.observeAdmission(ctl)
+					respondFinal(resp)
+				})
+			},
+			Shed: func(why admission.Reason) {
+				sc.shedInbound(cls, why, respondFinal)
+			},
 		})
 	})
 }
@@ -255,6 +304,12 @@ func (sc *Sidecar) Call(req *httpsim.Request, cb func(*httpsim.Response, error))
 	m.sched.After(m.proxyDelay(), func() {
 		for _, f := range sc.outboundFilters {
 			f(req)
+		}
+		// End-to-end deadline: cancel the call when the calling
+		// request's budget is already spent, otherwise forward the
+		// decremented budget.
+		if !sc.applyOutboundDeadline(c) {
+			return
 		}
 		sc.maybeMirror(service, req)
 

@@ -6,9 +6,11 @@ package metrics
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"meshlayer/internal/hdr"
@@ -43,36 +45,49 @@ func (l Labels) key() string {
 // String renders labels in {k=v,...} form.
 func (l Labels) String() string { return "{" + l.key() + "}" }
 
-// Counter is a monotonically increasing value.
+// Counter is a monotonically increasing value, safe for concurrent use.
 type Counter struct {
-	v uint64
+	v atomic.Uint64
 }
 
 // Inc adds 1.
-func (c *Counter) Inc() { c.v++ }
+func (c *Counter) Inc() { c.v.Add(1) }
 
 // Add adds n.
-func (c *Counter) Add(n uint64) { c.v += n }
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
 
 // Value returns the current count.
-func (c *Counter) Value() uint64 { return c.v }
+func (c *Counter) Value() uint64 { return c.v.Load() }
 
-// Gauge is a value that can go up and down.
+// Gauge is a value that can go up and down, safe for concurrent use
+// (the float64 is stored as its IEEE-754 bits in a uint64).
 type Gauge struct {
-	v float64
+	bits atomic.Uint64
 }
 
 // Set assigns the gauge.
-func (g *Gauge) Set(v float64) { g.v = v }
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
 
 // Add adjusts the gauge by delta.
-func (g *Gauge) Add(delta float64) { g.v += delta }
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
 
 // Value returns the current value.
-func (g *Gauge) Value() float64 { return g.v }
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
 
-// Registry holds named metric families. It is safe for concurrent use,
-// though the simulator itself is single-threaded.
+// Registry holds named metric families. Series lookup, counters, and
+// gauges are safe for concurrent use (the maps are mutex-guarded, the
+// values atomic). Histograms are the exception: the underlying hdr
+// buckets are not synchronized, so recording into the same histogram
+// series must stay single-goroutine — the deterministic simulator's
+// standing invariant.
 type Registry struct {
 	mu         sync.Mutex
 	counters   map[string]map[string]*Counter

@@ -2,6 +2,7 @@ package metrics
 
 import (
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -50,6 +51,32 @@ func TestGauge(t *testing.T) {
 	g.Add(-1)
 	if g.Value() != 2 {
 		t.Fatalf("gauge = %g", g.Value())
+	}
+}
+
+// Exercised under -race in CI: counters and gauges must tolerate
+// concurrent writers (histograms deliberately excluded — see the
+// Registry doc comment).
+func TestConcurrentCountersAndGauges(t *testing.T) {
+	r := NewRegistry()
+	const goroutines, per = 8, 1000
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				r.Counter("hits", Labels{"svc": "a"}).Inc()
+				r.Gauge("depth", Labels{"svc": "a"}).Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("hits", Labels{"svc": "a"}).Value(); got != goroutines*per {
+		t.Fatalf("counter = %d, want %d", got, goroutines*per)
+	}
+	if got := r.Gauge("depth", Labels{"svc": "a"}).Value(); got != goroutines*per {
+		t.Fatalf("gauge = %g, want %d", got, goroutines*per)
 	}
 }
 

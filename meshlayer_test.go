@@ -1,6 +1,7 @@
 package meshlayer
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 	"time"
@@ -314,5 +315,54 @@ func TestParseOptimizations(t *testing.T) {
 	}
 	if _, err := ParseOptimizations("warpdrive"); err == nil {
 		t.Fatal("unknown optimization accepted")
+	}
+}
+
+// TestOverloadProtection asserts E14's acceptance shape on shortened
+// windows: with admission on at 2x offered load the latency-sensitive
+// class keeps its goodput and a bounded p99, while the unprotected
+// baseline collapses; deadline propagation cancels doomed child calls
+// before they reach the backend.
+func TestOverloadProtection(t *testing.T) {
+	rows := RunOverload(1, 2*time.Second, 6*time.Second)
+	if len(rows) != 8 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byKey := map[string]OverloadRow{}
+	for _, r := range rows {
+		byKey[fmt.Sprintf("%s@%.1f", r.Config, r.Load)] = r
+	}
+
+	// Unprotected overload collapses LS latency by an order of magnitude.
+	dis, disOver := byKey["disabled@0.5"], byKey["disabled@2.0"]
+	if float64(disOver.LSP99) < 10*float64(dis.LSP99) {
+		t.Fatalf("disabled overload p99 %v vs %v: expected collapse", disOver.LSP99, dis.LSP99)
+	}
+
+	// Admission keeps LS p99 within 2x its pre-overload value and LS
+	// goodput >= 95% of offered.
+	adm, admOver := byKey["admission@0.5"], byKey["admission@2.0"]
+	if float64(admOver.LSP99) > 2*float64(adm.LSP99) {
+		t.Fatalf("admission overload p99 %v vs %v: bound exceeded", admOver.LSP99, adm.LSP99)
+	}
+	if admOver.LSGoodput < 0.95 {
+		t.Fatalf("admission LS goodput = %.1f%%, want >= 95%%", 100*admOver.LSGoodput)
+	}
+	if admOver.Shed == 0 {
+		t.Fatal("admission shed nothing under 2x overload")
+	}
+
+	// Deadline propagation cancels doomed child calls, cutting backend
+	// work relative to the unprotected run.
+	dl := byKey["deadline only@2.0"]
+	if dl.Cancelled == 0 {
+		t.Fatal("deadline propagation cancelled no child calls")
+	}
+	if dl.BackendWork >= disOver.BackendWork {
+		t.Fatalf("backend work %d with deadlines vs %d without: no waste cut", dl.BackendWork, disOver.BackendWork)
+	}
+
+	if !strings.Contains(FormatOverload(rows), "E14") {
+		t.Fatal("format broken")
 	}
 }
