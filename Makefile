@@ -1,8 +1,8 @@
 # Developer entry points. CI (.github/workflows/ci.yml) runs `make check`.
 
-.PHONY: check build vet test bench
+.PHONY: check build vet test bench chaos-smoke
 
-check: build vet test
+check: build vet test chaos-smoke
 
 build:
 	go build ./...
@@ -11,7 +11,16 @@ vet:
 	go vet ./...
 
 test:
-	go test -race ./...
+	go test -race -timeout 30m ./...
 
 bench:
 	go test -bench=. -benchtime=1x -run=^$$ .
+
+# Determinism golden check: the same seed must reproduce the E15 chaos
+# run byte-for-byte.
+chaos-smoke:
+	@a=$$(mktemp) && b=$$(mktemp) && \
+	go run ./cmd/meshbench -exp chaos -warmup 1s -measure 4s -seed 7 > $$a && \
+	go run ./cmd/meshbench -exp chaos -warmup 1s -measure 4s -seed 7 > $$b && \
+	cmp $$a $$b && echo "chaos-smoke: deterministic" ; \
+	rc=$$? ; rm -f $$a $$b ; exit $$rc

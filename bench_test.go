@@ -176,6 +176,24 @@ func BenchmarkOverload(b *testing.B) {
 	}
 }
 
+// BenchmarkChaos reproduces E15: the e-library under the scripted
+// chaos suite, undefended vs the full self-healing stack.
+func BenchmarkChaos(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := RunChaos(1, 2*time.Second, benchWindow)
+		// rows: fault-free, no defenses, retries+breaker, +hc+outlier,
+		// +budgets+backoff.
+		undefended, full := rows[1], rows[4]
+		b.ReportMetric(msf(rows[0].LSP99), "faultfree_ls_p99_ms")
+		b.ReportMetric(100*undefended.LSErrRate, "undefended_ls_err_pct")
+		b.ReportMetric(msf(undefended.LSP99), "undefended_ls_p99_ms")
+		b.ReportMetric(100*full.LSErrRate, "defended_ls_err_pct")
+		b.ReportMetric(msf(full.LSP99), "defended_ls_p99_ms")
+		b.ReportMetric(float64(rows[3].Retries), "unbudgeted_retries")
+		b.ReportMetric(float64(full.Retries), "budgeted_retries")
+	}
+}
+
 // BenchmarkAdmissionQueue microbenchmarks the admission queue's
 // enqueue/shed hot path: a full queue absorbing LS arrivals by
 // displacing queued LI requests, and the CoDel pop law draining a

@@ -1,0 +1,68 @@
+package meshlayer
+
+import (
+	"testing"
+	"time"
+)
+
+// Short windows keep the three simulated runs affordable under -race;
+// cmd/meshbench -exp chaos is the paper-scale version of the same
+// comparison.
+// The 2 s warmup matters: it keeps the first fault clear of the
+// cold-start congestion transient, which otherwise dominates short
+// windows.
+const (
+	chaosTestWarmup  = 2 * time.Second
+	chaosTestMeasure = 4 * time.Second
+)
+
+// TestChaosDefensesBeatUndefended is E15's headline claim at test
+// scale: under the scripted chaos suite the fully-defended mesh keeps
+// the LS error rate near zero while the undefended run degrades.
+func TestChaosDefensesBeatUndefended(t *testing.T) {
+	undefended := runChaosOnce("undefended", 0, true, 1, chaosTestWarmup, chaosTestMeasure)
+	defended := runChaosOnce("defended", 3, true, 1, chaosTestWarmup, chaosTestMeasure)
+
+	if undefended.LSErrRate <= 0.01 {
+		t.Fatalf("undefended LS error rate = %.2f%%, want measurable degradation", 100*undefended.LSErrRate)
+	}
+	if defended.LSErrRate >= 0.01 {
+		t.Fatalf("defended LS error rate = %.2f%%, want < 1%%", 100*defended.LSErrRate)
+	}
+	if defended.LSErrRate >= undefended.LSErrRate {
+		t.Fatalf("defended err %.2f%% not better than undefended %.2f%%",
+			100*defended.LSErrRate, 100*undefended.LSErrRate)
+	}
+}
+
+// TestChaosRetryBudgetCutsRetries: with the same faults, adding retry
+// budgets (level 3) must issue strictly fewer retries than the
+// unbudgeted defense stack (level 2), and must actually deny some.
+func TestChaosRetryBudgetCutsRetries(t *testing.T) {
+	unbudgeted := runChaosOnce("unbudgeted", 2, true, 1, chaosTestWarmup, chaosTestMeasure)
+	budgeted := runChaosOnce("budgeted", 3, true, 1, chaosTestWarmup, chaosTestMeasure)
+
+	if unbudgeted.Retries == 0 {
+		t.Fatal("unbudgeted run issued no retries; faults not exercising the retry path")
+	}
+	if budgeted.Retries >= unbudgeted.Retries {
+		t.Fatalf("budgeted retries = %d, want strictly fewer than unbudgeted %d",
+			budgeted.Retries, unbudgeted.Retries)
+	}
+	if budgeted.BudgetDenied == 0 {
+		t.Fatal("budgeted run denied no retries; budget never bound")
+	}
+}
+
+// TestChaosDeterministic: equal seeds must reproduce the scenario
+// byte-for-byte, recorder buckets and all.
+func TestChaosDeterministic(t *testing.T) {
+	a := runChaosOnce("run", 3, true, 9, chaosTestWarmup, chaosTestMeasure)
+	b := runChaosOnce("run", 3, true, 9, chaosTestWarmup, chaosTestMeasure)
+	if a != b {
+		t.Fatalf("same seed diverged:\n%+v\n%+v", a, b)
+	}
+	if FormatChaos([]ChaosRow{a}) != FormatChaos([]ChaosRow{b}) {
+		t.Fatal("formatted output diverged")
+	}
+}

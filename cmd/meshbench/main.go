@@ -22,7 +22,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: fig4|licost|overhead|ablation|scavenger|adaptivelb|redundant|hops|bottleneck|skew|resilience|qdisc|overload|all")
+		exp     = flag.String("exp", "all", "experiment: fig4|licost|overhead|ablation|scavenger|adaptivelb|redundant|hops|bottleneck|skew|resilience|qdisc|overload|chaos|all")
 		seed    = flag.Int64("seed", 1, "random seed (same seed = identical run)")
 		rps     = flag.Float64("rps", 40, "per-workload RPS for the ablation experiment")
 		levels  = flag.String("levels", "10,20,30,40,50", "comma-separated RPS levels for the fig4 sweep")
@@ -116,6 +116,10 @@ func main() {
 	if want("overload") {
 		ran = true
 		fmt.Println(meshlayer.FormatOverload(meshlayer.RunOverload(*seed, *warmup, *measure)))
+	}
+	if want("chaos") {
+		ran = true
+		fmt.Println(meshlayer.FormatChaos(meshlayer.RunChaos(*seed, *warmup, *measure)))
 	}
 	if !ran {
 		fmt.Fprintf(os.Stderr, "meshbench: unknown experiment %q\n", *exp)

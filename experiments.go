@@ -7,6 +7,7 @@ import (
 
 	"meshlayer/internal/app"
 	"meshlayer/internal/asciiplot"
+	"meshlayer/internal/chaos"
 	"meshlayer/internal/cluster"
 	"meshlayer/internal/hdr"
 	"meshlayer/internal/httpsim"
@@ -987,6 +988,187 @@ func FormatOverload(rows []OverloadRow) string {
 	}
 	return fmt.Sprintf("E14 — overload protection (api capacity %.0f RPS, LS:LI = 1:3, budget %v)\n%s",
 		OverloadCapacity(), overloadBudget, t.String())
+}
+
+// ---------- E15: chaos suite vs self-healing defenses (extension) ----------
+
+// ChaosRow is one defense configuration measured under the scripted
+// chaos suite.
+type ChaosRow struct {
+	Config         string
+	LSP50, LSP99   time.Duration
+	LSErrRate      float64
+	LIP99          time.Duration
+	LIErrRate      float64
+	Retries        uint64
+	BudgetDenied   uint64
+	CrashTTR       time.Duration
+	CrashRecovered bool
+	Faults         bool
+}
+
+// chaosDefenseLevel selects how much of the self-healing stack is on:
+// 0 = nothing (single attempts, breaker effectively off), 1 = retries
+// + circuit breaking, 2 = + active health checks + outlier detection,
+// 3 = + retry budgets with exponential backoff.
+func applyChaosDefenses(cp *mesh.ControlPlane, level int) {
+	services := []string{"frontend", "details", "reviews", "ratings"}
+	for _, svc := range services {
+		// Per-try timeouts are tuned per service at every level (they
+		// are base config, not a defense rung): they must sit above the
+		// worst-case legitimate latency — 2 MB LI transfers queue up to
+		// ~330 ms at 30 RPS on the reviews/ratings/frontend paths — or
+		// the mesh aborts healthy transfers and retry-amplifies the
+		// congestion it caused. details only ever answers in ~3 ms, so
+		// it gets a tight timeout that beats transport RTO recovery.
+		perTry := time.Second
+		if svc == "details" {
+			perTry = 60 * time.Millisecond
+		}
+		retry := mesh.RetryPolicy{MaxRetries: 0, PerTryTimeout: perTry}
+		breaker := mesh.CircuitBreakerPolicy{ConsecutiveFailures: 1 << 30, OpenFor: time.Second}
+		if level >= 1 {
+			retry = mesh.RetryPolicy{MaxRetries: 2, PerTryTimeout: perTry, RetryOn5xx: true}
+			breaker = mesh.CircuitBreakerPolicy{ConsecutiveFailures: 5, OpenFor: 2 * time.Second}
+		}
+		if level >= 3 {
+			retry.BackoffBase = time.Millisecond
+			retry.BackoffMax = 20 * time.Millisecond
+			// Ratio bounds sustained retry traffic; the burst floor
+			// must absorb one aborted-connection batch (several
+			// pipelined requests retrying at once) without turning
+			// first retries into user-visible failures.
+			retry.BudgetRatio = 0.25
+			retry.BudgetBurst = 10
+		}
+		cp.SetRetryPolicy(svc, retry)
+		cp.SetCircuitBreaker(svc, breaker)
+		if level >= 2 {
+			cp.SetHealthCheck(svc, mesh.HealthCheckPolicy{
+				Interval: 25 * time.Millisecond, Timeout: 20 * time.Millisecond,
+				UnhealthyThreshold: 2, HealthyThreshold: 2,
+				SlowStart: 1500 * time.Millisecond,
+			})
+			cp.SetOutlierPolicy(svc, mesh.OutlierPolicy{
+				Interval: 100 * time.Millisecond, MinRequests: 3,
+				FailureThreshold: 0.4, LatencyFactor: 5,
+				BaseEjection: 3 * time.Second, PanicThreshold: 0.5,
+			})
+		}
+	}
+}
+
+// chaosSuite is the scripted fault sequence E15 replays against every
+// configuration: a pod crash, an error-rate gray failure, a slow-pod
+// gray failure, and a loss burst, in disjoint windows across the
+// measured interval. Returns the scenario and the crash injection time
+// (the TTR anchor).
+func chaosSuite(seed int64, warmup, measure time.Duration) (chaos.Scenario, time.Duration) {
+	w, m := warmup, measure
+	crashAt := w + m/10
+	return chaos.Scenario{
+		Name: "e15-suite",
+		Events: []chaos.Event{
+			{At: crashAt, Duration: 3 * m / 20, Fault: chaos.PodCrash{Pod: "reviews-2"}},
+			{At: w + 7*m/20, Duration: 3 * m / 20, Fault: chaos.ErrorRate{
+				Pod: "ratings-1", Prob: 0.35, Status: 500, Delay: 5 * time.Millisecond, Seed: seed*31 + 1,
+			}},
+			{At: w + 11*m/20, Duration: 3 * m / 20, Fault: chaos.SlowPod{Pod: "reviews-1", Factor: 20}},
+			{At: w + 16*m/20, Duration: m / 10, Fault: chaos.LossBurst{
+				Pod: "details-1", Loss: 0.015, Jitter: 300 * time.Microsecond, Seed: seed*31 + 2,
+			}},
+		},
+	}, crashAt
+}
+
+// RunChaos measures the e-library under the chaos suite across the
+// defense ladder, plus a fault-free baseline for reference. Error
+// rates and TTR come from a chaos.Recorder on the LS stream.
+func RunChaos(seed int64, warmup, measure time.Duration) []ChaosRow {
+	if warmup <= 0 {
+		warmup = 2 * time.Second
+	}
+	if measure <= 0 {
+		measure = 20 * time.Second
+	}
+	configs := []struct {
+		name   string
+		level  int
+		faults bool
+	}{
+		{"fault-free baseline", 3, false},
+		{"no defenses", 0, true},
+		{"retries + breaker", 1, true},
+		{"+ health checks + outlier detection", 2, true},
+		{"+ retry budgets + backoff", 3, true},
+	}
+	var out []ChaosRow
+	for _, c := range configs {
+		out = append(out, runChaosOnce(c.name, c.level, c.faults, seed, warmup, measure))
+	}
+	return out
+}
+
+func runChaosOnce(name string, level int, withFaults bool, seed int64, warmup, measure time.Duration) ChaosRow {
+	s := NewScenario(ScenarioConfig{Seed: seed})
+	e := s.App
+	applyChaosDefenses(e.Mesh.ControlPlane(), level)
+
+	suite, crashAt := chaosSuite(seed, warmup, measure)
+	if withFaults {
+		eng := chaos.NewEngine(&chaos.Target{Sched: e.Sched, Cluster: e.Cluster, Mesh: e.Mesh})
+		eng.Schedule(suite)
+	}
+
+	// Bucket width is sized so each bucket holds ~10+ LS samples at
+	// 30 RPS; much finer and empty buckets read as spurious recovery.
+	rec := chaos.NewRecorder(measure / 40)
+	r := s.RunMixed(MixedConfig{
+		RPS: 30, Seed: seed, Warmup: warmup, Measure: measure,
+		LSObserver: rec.Observe,
+	})
+
+	errRate := func(ws WorkloadStats) float64 {
+		total := ws.Count + ws.Errors
+		if total == 0 {
+			return 0
+		}
+		return float64(ws.Errors) / float64(total)
+	}
+	ttr, recovered := rec.RecoveryTime(crashAt, 3)
+	return ChaosRow{
+		Config:         name,
+		LSP50:          r.LS.P50,
+		LSP99:          r.LS.P99,
+		LSErrRate:      errRate(r.LS),
+		LIP99:          r.LI.P99,
+		LIErrRate:      errRate(r.LI),
+		Retries:        e.Mesh.Metrics().CounterTotal("mesh_retries_total"),
+		BudgetDenied:   e.Mesh.Metrics().CounterTotal("mesh_retry_budget_exhausted_total"),
+		CrashTTR:       ttr,
+		CrashRecovered: recovered,
+		Faults:         withFaults,
+	}
+}
+
+// FormatChaos renders the E15 table.
+func FormatChaos(rows []ChaosRow) string {
+	t := newTable("configuration", "LS p50", "LS p99", "LS err", "LI p99", "LI err", "retries", "denied", "crash TTR")
+	for _, r := range rows {
+		ttr := "-"
+		if r.Faults {
+			if r.CrashRecovered {
+				ttr = ms(r.CrashTTR)
+			} else {
+				ttr = "never"
+			}
+		}
+		t.row(r.Config, ms(r.LSP50), ms(r.LSP99),
+			fmt.Sprintf("%.2f%%", 100*r.LSErrRate),
+			ms(r.LIP99), fmt.Sprintf("%.2f%%", 100*r.LIErrRate),
+			fmt.Sprint(r.Retries), fmt.Sprint(r.BudgetDenied), ttr)
+	}
+	return "E15 — chaos suite (crash, error-rate, slow-pod, loss burst) vs self-healing defenses (30 RPS mixed)\n" + t.String()
 }
 
 // ---------- formatting helpers ----------

@@ -1,0 +1,202 @@
+package chaos
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"meshlayer/internal/cluster"
+	"meshlayer/internal/mesh"
+	"meshlayer/internal/simnet"
+)
+
+// testTarget builds a two-pod cluster with a mesh, enough substrate
+// for every fault type.
+func testTarget(t *testing.T) *Target {
+	t.Helper()
+	sched := simnet.NewScheduler()
+	net := simnet.NewNetwork(sched)
+	cl := cluster.New(net)
+	a := cl.AddPod(cluster.PodSpec{Name: "alpha", Labels: map[string]string{"app": "alpha"}})
+	b := cl.AddPod(cluster.PodSpec{Name: "beta", Labels: map[string]string{"app": "beta"}})
+	m := mesh.New(cl, mesh.Config{Seed: 1})
+	m.InjectSidecar(a)
+	m.InjectSidecar(b)
+	return &Target{Sched: sched, Cluster: cl, Mesh: m}
+}
+
+// fakeFault records its injection/reversion times.
+type fakeFault struct {
+	injected, reverted []time.Duration
+}
+
+func (f *fakeFault) Name() string     { return "fake" }
+func (f *fakeFault) Inject(t *Target) { f.injected = append(f.injected, t.Sched.Now()) }
+func (f *fakeFault) Revert(t *Target) { f.reverted = append(f.reverted, t.Sched.Now()) }
+
+func TestEngineSchedulesAndReverts(t *testing.T) {
+	tg := testTarget(t)
+	e := NewEngine(tg)
+	f := &fakeFault{}
+	perm := &fakeFault{}
+	e.Schedule(Scenario{Name: "s", Events: []Event{
+		{At: 100 * time.Millisecond, Duration: 50 * time.Millisecond, Fault: f},
+		{At: 10 * time.Millisecond, Fault: perm}, // Duration 0: never reverted
+	}})
+	tg.Sched.Run()
+	if len(f.injected) != 1 || f.injected[0] != 100*time.Millisecond {
+		t.Fatalf("injected at %v", f.injected)
+	}
+	if len(f.reverted) != 1 || f.reverted[0] != 150*time.Millisecond {
+		t.Fatalf("reverted at %v", f.reverted)
+	}
+	if len(perm.injected) != 1 || len(perm.reverted) != 0 {
+		t.Fatalf("permanent fault: injected %v reverted %v", perm.injected, perm.reverted)
+	}
+	log := strings.Join(e.Log(), "\n")
+	if !strings.Contains(log, "inject fake") || !strings.Contains(log, "revert fake") {
+		t.Fatalf("log missing entries:\n%s", log)
+	}
+}
+
+func TestScheduleValidatesFaults(t *testing.T) {
+	tg := testTarget(t)
+	e := NewEngine(tg)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown pod accepted")
+		}
+	}()
+	e.Schedule(Scenario{Name: "bad", Events: []Event{
+		{At: 0, Fault: PodCrash{Pod: "nope"}},
+	}})
+}
+
+func TestPodCrashPartitionsAndRestores(t *testing.T) {
+	tg := testTarget(t)
+	e := NewEngine(tg)
+	e.Schedule(Scenario{Events: []Event{
+		{At: time.Second, Duration: time.Second, Fault: PodCrash{Pod: "alpha"}},
+	}})
+	pod := tg.Cluster.Pod("alpha")
+	tg.Sched.At(1500*time.Millisecond, func() {
+		if !pod.Partitioned() {
+			t.Error("pod not partitioned during fault")
+		}
+	})
+	tg.Sched.Run()
+	if pod.Partitioned() {
+		t.Fatal("pod still partitioned after revert")
+	}
+}
+
+func TestLinkFlapToggles(t *testing.T) {
+	tg := testTarget(t)
+	e := NewEngine(tg)
+	e.Schedule(Scenario{Events: []Event{
+		{At: 0, Duration: time.Second, Fault: &LinkFlap{
+			Pod: "alpha", Period: 200 * time.Millisecond, DownFor: 50 * time.Millisecond,
+		}},
+	}})
+	nic := tg.Cluster.Pod("alpha").Uplink().A()
+	downs, ups := 0, 0
+	// Sample mid-down (t % 200 in [0,50)) and mid-up windows.
+	for i := 0; i < 5; i++ {
+		base := time.Duration(i) * 200 * time.Millisecond
+		tg.Sched.At(base+25*time.Millisecond, func() {
+			if nic.Impaired() {
+				downs++
+			}
+		})
+		tg.Sched.At(base+125*time.Millisecond, func() {
+			if !nic.Impaired() {
+				ups++
+			}
+		})
+	}
+	tg.Sched.Run()
+	if downs != 5 || ups != 5 {
+		t.Fatalf("downs=%d ups=%d, want 5/5", downs, ups)
+	}
+	if nic.Impaired() {
+		t.Fatal("link still impaired after revert")
+	}
+}
+
+func TestLossBurstAppliesBothDirections(t *testing.T) {
+	tg := testTarget(t)
+	f := LossBurst{Pod: "beta", Loss: 0.1, Jitter: time.Millisecond, Seed: 9}
+	f.Inject(tg)
+	l := tg.Cluster.Pod("beta").Uplink()
+	if !l.A().Impaired() || !l.B().Impaired() {
+		t.Fatal("impairment not applied to both directions")
+	}
+	f.Revert(tg)
+	if l.A().Impaired() || l.B().Impaired() {
+		t.Fatal("impairment not cleared")
+	}
+}
+
+func TestSlowPodScalesExec(t *testing.T) {
+	tg := testTarget(t)
+	f := SlowPod{Pod: "alpha", Factor: 8}
+	f.Inject(tg)
+	if got := tg.Cluster.Pod("alpha").ExecFactor(); got != 8 {
+		t.Fatalf("exec factor = %v", got)
+	}
+	f.Revert(tg)
+	if got := tg.Cluster.Pod("alpha").ExecFactor(); got != 1 {
+		t.Fatalf("exec factor after revert = %v", got)
+	}
+}
+
+func TestCPStaleDelaysPush(t *testing.T) {
+	tg := testTarget(t)
+	e := NewEngine(tg)
+	e.Schedule(Scenario{Events: []Event{
+		{At: 0, Duration: time.Second, Fault: CPStale{Delay: 500 * time.Millisecond}},
+	}})
+	cp := tg.Mesh.ControlPlane()
+	tg.Sched.At(100*time.Millisecond, func() {
+		cp.SetLBPolicy("beta", mesh.LBRandom)
+		if cp.LBPolicyFor("beta") != mesh.LBRoundRobin {
+			t.Error("policy applied immediately under CP staleness")
+		}
+	})
+	tg.Sched.At(700*time.Millisecond, func() {
+		if cp.LBPolicyFor("beta") != mesh.LBRandom {
+			t.Error("policy never arrived")
+		}
+	})
+	tg.Sched.Run()
+}
+
+func TestRecorderErrorRateAndRecovery(t *testing.T) {
+	r := NewRecorder(100 * time.Millisecond)
+	// Buckets 0-4: bucket 1 and 2 have failures, rest clean.
+	r.Observe(50*time.Millisecond, time.Millisecond, false)
+	r.Observe(150*time.Millisecond, time.Millisecond, true)
+	r.Observe(160*time.Millisecond, time.Millisecond, false)
+	r.Observe(250*time.Millisecond, time.Millisecond, true)
+	r.Observe(350*time.Millisecond, time.Millisecond, false)
+	r.Observe(450*time.Millisecond, time.Millisecond, false)
+
+	if got := r.ErrorRate(0, 500*time.Millisecond); got != 2.0/6.0 {
+		t.Fatalf("ErrorRate = %v", got)
+	}
+	if got := r.ErrorRate(300*time.Millisecond, 500*time.Millisecond); got != 0 {
+		t.Fatalf("clean-window ErrorRate = %v", got)
+	}
+	// Fault at 150ms: first clean run of 2 buckets starts at bucket 3
+	// (300ms) → TTR = 150ms.
+	ttr, ok := r.RecoveryTime(150*time.Millisecond, 2)
+	if !ok || ttr != 150*time.Millisecond {
+		t.Fatalf("RecoveryTime = %v, %v", ttr, ok)
+	}
+	// Never-recovered stream.
+	r2 := NewRecorder(100 * time.Millisecond)
+	r2.Observe(50*time.Millisecond, 0, true)
+	if _, ok := r2.RecoveryTime(0, 2); ok {
+		t.Fatal("recovery reported for all-failing stream")
+	}
+}

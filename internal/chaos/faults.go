@@ -1,0 +1,237 @@
+package chaos
+
+import (
+	"fmt"
+	"time"
+
+	"meshlayer/internal/mesh"
+	"meshlayer/internal/simnet"
+)
+
+// PodCrash kills a pod for the event's duration: its sockets die with
+// the process and its network blackholes until the restart. The
+// orchestrator is deliberately not told (no readiness flip): detecting
+// the loss is the mesh's job, via timeouts, circuit breakers, and
+// active health checks.
+type PodCrash struct {
+	Pod string
+}
+
+// Name implements Fault.
+func (f PodCrash) Name() string { return "pod-crash/" + f.Pod }
+
+// Inject implements Fault.
+func (f PodCrash) Inject(t *Target) {
+	pod := t.Cluster.Pod(f.Pod)
+	pod.Partition(true)
+	// A crashed process takes its connections with it. Without this,
+	// the pod's half-open peers would keep retransmitting responses
+	// nobody wants and flood the network when the partition heals.
+	pod.Host().ResetConns()
+}
+
+// Revert implements Fault.
+func (f PodCrash) Revert(t *Target) { t.Cluster.Pod(f.Pod).Partition(false) }
+
+func (f PodCrash) validate(t *Target) error { return needPod(t, f.Pod) }
+
+// LinkFlap repeatedly takes a pod's uplink down for DownFor out of
+// every Period — the flapping-interface failure that defeats naive
+// "mark dead on first error" logic. Use a pointer in scenarios: the
+// flap loop lives on the value.
+type LinkFlap struct {
+	Pod string
+	// Period is the flap cycle length.
+	Period time.Duration
+	// DownFor is how long the link stays down each cycle (< Period).
+	DownFor time.Duration
+
+	active bool
+}
+
+// Name implements Fault.
+func (f *LinkFlap) Name() string { return "link-flap/" + f.Pod }
+
+// Inject implements Fault.
+func (f *LinkFlap) Inject(t *Target) {
+	f.active = true
+	f.cycle(t)
+}
+
+// Revert implements Fault.
+func (f *LinkFlap) Revert(t *Target) {
+	f.active = false
+	setLinkDown(t, f.Pod, false)
+}
+
+// cycle takes the link down, schedules it back up after DownFor, and
+// re-arms for the next period while the fault is active.
+func (f *LinkFlap) cycle(t *Target) {
+	if !f.active {
+		return
+	}
+	setLinkDown(t, f.Pod, true)
+	t.Sched.After(f.DownFor, func() {
+		if f.active {
+			setLinkDown(t, f.Pod, false)
+		}
+	})
+	t.Sched.After(f.Period, func() { f.cycle(t) })
+}
+
+func (f *LinkFlap) validate(t *Target) error {
+	if err := needPod(t, f.Pod); err != nil {
+		return err
+	}
+	if f.Period <= 0 || f.DownFor <= 0 || f.DownFor >= f.Period {
+		return fmt.Errorf("link-flap/%s: need 0 < DownFor < Period", f.Pod)
+	}
+	return nil
+}
+
+// setLinkDown blackholes (or restores) both directions of the pod's
+// uplink via a LossProb-1 impairment.
+func setLinkDown(t *Target, pod string, down bool) {
+	l := t.Cluster.Pod(pod).Uplink()
+	var cfg simnet.Impairment
+	if down {
+		cfg = simnet.Impairment{LossProb: 1}
+	}
+	l.A().Impair(cfg)
+	l.B().Impair(cfg)
+}
+
+// LossBurst degrades a pod's uplink with random loss and jitter in
+// both directions — the congested/flaky-path failure the transport
+// layer absorbs with retransmissions at a latency cost.
+type LossBurst struct {
+	Pod string
+	// Loss is the per-packet drop probability in [0, 1].
+	Loss float64
+	// Jitter adds U(0, Jitter) propagation delay per packet.
+	Jitter time.Duration
+	// Seed drives the impairment PRNGs.
+	Seed int64
+}
+
+// Name implements Fault.
+func (f LossBurst) Name() string { return "loss-burst/" + f.Pod }
+
+// Inject implements Fault.
+func (f LossBurst) Inject(t *Target) {
+	l := t.Cluster.Pod(f.Pod).Uplink()
+	l.A().Impair(simnet.Impairment{LossProb: f.Loss, JitterMax: f.Jitter, Seed: f.Seed})
+	l.B().Impair(simnet.Impairment{LossProb: f.Loss, JitterMax: f.Jitter, Seed: f.Seed + 1})
+}
+
+// Revert implements Fault.
+func (f LossBurst) Revert(t *Target) {
+	l := t.Cluster.Pod(f.Pod).Uplink()
+	l.A().Impair(simnet.Impairment{})
+	l.B().Impair(simnet.Impairment{})
+}
+
+func (f LossBurst) validate(t *Target) error {
+	if err := needPod(t, f.Pod); err != nil {
+		return err
+	}
+	if f.Loss < 0 || f.Loss > 1 {
+		return fmt.Errorf("loss-burst/%s: Loss must be in [0, 1]", f.Pod)
+	}
+	return nil
+}
+
+// SlowPod inflates a pod's service times by Factor — the gray failure
+// where a sick replica keeps answering 200s, slowly. Active health
+// probes (answered by the sidecar) stay green; only latency-aware
+// outlier detection sees it.
+type SlowPod struct {
+	Pod    string
+	Factor float64
+}
+
+// Name implements Fault.
+func (f SlowPod) Name() string { return "slow-pod/" + f.Pod }
+
+// Inject implements Fault.
+func (f SlowPod) Inject(t *Target) { t.Cluster.Pod(f.Pod).SetExecFactor(f.Factor) }
+
+// Revert implements Fault.
+func (f SlowPod) Revert(t *Target) { t.Cluster.Pod(f.Pod).SetExecFactor(1) }
+
+func (f SlowPod) validate(t *Target) error {
+	if err := needPod(t, f.Pod); err != nil {
+		return err
+	}
+	if f.Factor < 1 {
+		return fmt.Errorf("slow-pod/%s: Factor must be >= 1", f.Pod)
+	}
+	return nil
+}
+
+// ErrorRate makes a pod's application answer a fraction of requests
+// with an error status (optionally after a stall) — the intermittent
+// 5xx gray failure. Health probes keep passing by design; success-rate
+// outlier detection is the defense that catches it.
+type ErrorRate struct {
+	Pod string
+	// Prob is the per-request error probability.
+	Prob float64
+	// Status is the injected code (default 500).
+	Status int
+	// Delay stalls each injected error.
+	Delay time.Duration
+	// Seed drives the fault's PRNG.
+	Seed int64
+}
+
+// Name implements Fault.
+func (f ErrorRate) Name() string { return "error-rate/" + f.Pod }
+
+// Inject implements Fault.
+func (f ErrorRate) Inject(t *Target) {
+	t.Mesh.Sidecar(f.Pod).SetServerFault(mesh.ServerFault{
+		Prob: f.Prob, Status: f.Status, Delay: f.Delay, Seed: f.Seed,
+	})
+}
+
+// Revert implements Fault.
+func (f ErrorRate) Revert(t *Target) {
+	t.Mesh.Sidecar(f.Pod).SetServerFault(mesh.ServerFault{})
+}
+
+func (f ErrorRate) validate(t *Target) error {
+	if err := needPod(t, f.Pod); err != nil {
+		return err
+	}
+	if t.Mesh.Sidecar(f.Pod) == nil {
+		return fmt.Errorf("error-rate/%s: pod has no sidecar", f.Pod)
+	}
+	if f.Prob <= 0 || f.Prob > 1 {
+		return fmt.Errorf("error-rate/%s: Prob must be in (0, 1]", f.Pod)
+	}
+	return nil
+}
+
+// CPStale delays control-plane configuration propagation — the stale
+// xDS failure where operators' pushes take effect long after they were
+// applied. Policies already in force keep working; only changes lag.
+type CPStale struct {
+	Delay time.Duration
+}
+
+// Name implements Fault.
+func (f CPStale) Name() string { return fmt.Sprintf("cp-stale/%v", f.Delay) }
+
+// Inject implements Fault.
+func (f CPStale) Inject(t *Target) { t.Mesh.ControlPlane().SetPushDelay(f.Delay) }
+
+// Revert implements Fault.
+func (f CPStale) Revert(t *Target) { t.Mesh.ControlPlane().SetPushDelay(0) }
+
+func needPod(t *Target, name string) error {
+	if t.Cluster.Pod(name) == nil {
+		return fmt.Errorf("unknown pod %q", name)
+	}
+	return nil
+}

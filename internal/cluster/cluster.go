@@ -41,6 +41,7 @@ type Pod struct {
 	workers     *WorkerPool
 	notReady    bool
 	partitioned bool
+	execFactor  float64 // 0 or 1 = nominal speed
 }
 
 // Name returns the pod name.
@@ -69,8 +70,34 @@ func (p *Pod) Uplink() *simnet.Link { return p.uplink }
 func (p *Pod) NIC() *simnet.NIC { return p.uplink.A() }
 
 // Exec runs fn after acquiring a worker and holding it for
-// serviceTime — the pod's compute model.
-func (p *Pod) Exec(serviceTime time.Duration, fn func()) { p.workers.Run(serviceTime, fn) }
+// serviceTime — the pod's compute model. The time is scaled by the
+// pod's exec factor, which chaos scenarios inflate to model gray
+// degradation (CPU throttling, lock contention, a sick disk).
+func (p *Pod) Exec(serviceTime time.Duration, fn func()) {
+	if f := p.execFactor; f > 0 && f != 1 {
+		serviceTime = time.Duration(float64(serviceTime) * f)
+	}
+	p.workers.Run(serviceTime, fn)
+}
+
+// ExecFactor returns the pod's service-time multiplier (1 = nominal).
+func (p *Pod) ExecFactor() float64 {
+	if p.execFactor <= 0 {
+		return 1
+	}
+	return p.execFactor
+}
+
+// SetExecFactor scales all subsequent Exec service times by f. Values
+// <= 0 reset to nominal speed. In-flight executions are unaffected —
+// the degradation applies to work admitted after the fault starts,
+// matching how real gray failures creep in.
+func (p *Pod) SetExecFactor(f float64) {
+	if f <= 0 {
+		f = 1
+	}
+	p.execFactor = f
+}
 
 // Ready reports whether the pod passes its readiness probe. Unready
 // pods are excluded from service endpoints (Kubernetes semantics), but

@@ -3,6 +3,7 @@ package httpsim
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"meshlayer/internal/simnet"
 	"meshlayer/internal/transport"
@@ -85,7 +86,16 @@ func (c *Client) onClose(err error) {
 	if err == nil {
 		err = ErrConnClosed
 	}
-	for id, cb := range c.pending {
+	// Fail pending requests in issue order: map iteration order would
+	// leak nondeterminism into retry scheduling when a torn-down
+	// connection had several requests in flight.
+	ids := make([]uint64, 0, len(c.pending))
+	for id := range c.pending {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		cb := c.pending[id]
 		delete(c.pending, id)
 		cb(nil, err)
 	}

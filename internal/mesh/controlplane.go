@@ -58,6 +58,54 @@ type RetryPolicy struct {
 	// RetryOn5xx also retries server errors (not just transport
 	// failures).
 	RetryOn5xx bool
+
+	// BackoffBase, when > 0, spaces retries with full-jitter
+	// exponential backoff: attempt n waits U(0, min(Base<<(n-1), Max)]
+	// instead of re-firing immediately, de-synchronizing retry waves
+	// under overload. Zero keeps the legacy immediate retry.
+	BackoffBase time.Duration
+	// BackoffMax caps the backoff window. Zero with a non-zero
+	// BackoffBase means 10× the base.
+	BackoffMax time.Duration
+
+	// BudgetRatio, when > 0, enables a Finagle-style token-bucket
+	// retry budget: every new logical call deposits BudgetRatio tokens
+	// and each retry spends one, so sustained retry traffic is capped
+	// at that fraction of request traffic. Denied retries surface the
+	// underlying failure. Zero disables the budget (unlimited retries
+	// up to MaxRetries).
+	BudgetRatio float64
+	// BudgetBurst caps accumulated tokens (and is the initial fill).
+	// Zero with a non-zero BudgetRatio means 3.
+	BudgetBurst float64
+}
+
+// backoffFor returns the wait before retry attempt n (1-based), or 0
+// for an immediate retry.
+func (p RetryPolicy) backoffFor(n int) time.Duration {
+	if p.BackoffBase <= 0 || n < 1 {
+		return 0
+	}
+	max := p.BackoffMax
+	if max <= 0 {
+		max = 10 * p.BackoffBase
+	}
+	d := p.BackoffBase
+	for i := 1; i < n && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	return d
+}
+
+// budgetBurst returns the effective token cap.
+func (p RetryPolicy) budgetBurst() float64 {
+	if p.BudgetBurst > 0 {
+		return p.BudgetBurst
+	}
+	return 3
 }
 
 // DefaultRetryPolicy mirrors a conservative Envoy default.
@@ -72,6 +120,95 @@ type CircuitBreakerPolicy struct {
 
 // DefaultCircuitBreaker is applied to services with no explicit policy.
 var DefaultCircuitBreaker = CircuitBreakerPolicy{ConsecutiveFailures: 5, OpenFor: 30 * time.Second}
+
+// HealthCheckPolicy enables active health checking for a service:
+// every sidecar probes each endpoint on a timer and removes endpoints
+// failing UnhealthyThreshold consecutive probes from LB rotation until
+// HealthyThreshold consecutive probes succeed — Envoy's HTTP health
+// checker. Probes are answered by the destination sidecar itself, so
+// they detect crashes and partitions but deliberately not gray
+// application failures (that is outlier detection's job).
+type HealthCheckPolicy struct {
+	// Interval between probes of each endpoint.
+	Interval time.Duration
+	// Timeout fails a probe that has not answered in time. Zero means
+	// half the interval.
+	Timeout time.Duration
+	// UnhealthyThreshold consecutive failures mark an endpoint
+	// unhealthy (default 2).
+	UnhealthyThreshold int
+	// HealthyThreshold consecutive successes restore it (default 2).
+	HealthyThreshold int
+	// SlowStart, when > 0, ramps a freshly-recovered endpoint's traffic
+	// share linearly over this window instead of returning it to full
+	// rotation at once (Envoy's LB slow-start mode). Without it, a
+	// recovered endpoint is slammed with a full load burst over cold
+	// connections, and the resulting queue spike shows up as a latency
+	// wave across the whole service.
+	SlowStart time.Duration
+}
+
+// IsZero reports whether health checking is disabled.
+func (p HealthCheckPolicy) IsZero() bool { return p.Interval <= 0 }
+
+// withDefaults fills unset fields.
+func (p HealthCheckPolicy) withDefaults() HealthCheckPolicy {
+	if p.Timeout <= 0 {
+		p.Timeout = p.Interval / 2
+	}
+	if p.UnhealthyThreshold <= 0 {
+		p.UnhealthyThreshold = 2
+	}
+	if p.HealthyThreshold <= 0 {
+		p.HealthyThreshold = 2
+	}
+	return p
+}
+
+// OutlierPolicy enables passive (success-rate and latency) outlier
+// detection: each sidecar periodically sweeps its per-endpoint request
+// windows and temporarily ejects endpoints that fail too often or run
+// far slower than their best peer — Envoy's outlier detection, the
+// mesh's answer to gray failures that active probes cannot see.
+type OutlierPolicy struct {
+	// Interval between sweeps.
+	Interval time.Duration
+	// MinRequests is the minimum window size to judge an endpoint
+	// (default 5).
+	MinRequests int
+	// FailureThreshold ejects an endpoint whose windowed failure ratio
+	// reaches this value (default 0.5).
+	FailureThreshold float64
+	// LatencyFactor, when > 0, also ejects an endpoint whose latency
+	// EWMA exceeds this multiple of the best peer's — catching
+	// slow-pod gray failures that still answer 200s.
+	LatencyFactor float64
+	// BaseEjection is how long an ejected endpoint stays out of
+	// rotation (default 10s).
+	BaseEjection time.Duration
+	// PanicThreshold stops ejections (and re-admits everything for
+	// routing) when the available fraction of endpoints would drop
+	// below it — Envoy's panic routing, trading failure isolation for
+	// capacity when most of the fleet looks bad (default 0, disabled).
+	PanicThreshold float64
+}
+
+// IsZero reports whether outlier detection is disabled.
+func (p OutlierPolicy) IsZero() bool { return p.Interval <= 0 }
+
+// withDefaults fills unset fields.
+func (p OutlierPolicy) withDefaults() OutlierPolicy {
+	if p.MinRequests <= 0 {
+		p.MinRequests = 5
+	}
+	if p.FailureThreshold <= 0 {
+		p.FailureThreshold = 0.5
+	}
+	if p.BaseEjection <= 0 {
+		p.BaseEjection = 10 * time.Second
+	}
+	return p
+}
 
 // HedgePolicy issues a redundant request to a second replica if the
 // first has not answered within Delay — the "low latency via
@@ -108,6 +245,8 @@ type ControlPlane struct {
 	mirror    map[string]MirrorPolicy
 	rate      map[string]RateLimitPolicy
 	admission map[string]AdmissionPolicy
+	health    map[string]HealthCheckPolicy
+	outlier   map[string]OutlierPolicy
 
 	certs      map[uint64]*Cert
 	certSerial uint64
@@ -134,6 +273,8 @@ func newControlPlane(m *Mesh) *ControlPlane {
 		mirror:    make(map[string]MirrorPolicy),
 		rate:      make(map[string]RateLimitPolicy),
 		admission: make(map[string]AdmissionPolicy),
+		health:    make(map[string]HealthCheckPolicy),
+		outlier:   make(map[string]OutlierPolicy),
 		certs:     make(map[uint64]*Cert),
 	}
 }
@@ -230,6 +371,39 @@ func (cp *ControlPlane) CircuitBreakerFor(service string) CircuitBreakerPolicy {
 		return p
 	}
 	return DefaultCircuitBreaker
+}
+
+// SetHealthCheck configures active health checking for a service's
+// endpoints. A zero policy disables it.
+func (cp *ControlPlane) SetHealthCheck(service string, p HealthCheckPolicy) {
+	if p.Interval < 0 {
+		panic("mesh: health-check interval must be >= 0")
+	}
+	cp.apply(func() { cp.health[service] = p })
+}
+
+// HealthCheckFor returns the service's health-check policy (disabled
+// by default).
+func (cp *ControlPlane) HealthCheckFor(service string) HealthCheckPolicy {
+	return cp.health[service]
+}
+
+// SetOutlierPolicy configures passive outlier detection for a
+// service's endpoints. A zero policy disables it.
+func (cp *ControlPlane) SetOutlierPolicy(service string, p OutlierPolicy) {
+	if p.FailureThreshold < 0 || p.FailureThreshold > 1 {
+		panic("mesh: outlier FailureThreshold must be in [0, 1]")
+	}
+	if p.PanicThreshold < 0 || p.PanicThreshold > 1 {
+		panic("mesh: outlier PanicThreshold must be in [0, 1]")
+	}
+	cp.apply(func() { cp.outlier[service] = p })
+}
+
+// OutlierFor returns the service's outlier policy (disabled by
+// default).
+func (cp *ControlPlane) OutlierFor(service string) OutlierPolicy {
+	return cp.outlier[service]
 }
 
 // SetHedgePolicy configures redundant requests for a service.

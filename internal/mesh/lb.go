@@ -7,29 +7,78 @@ import (
 	"meshlayer/internal/simnet"
 )
 
+// breakerPhase is the circuit breaker's position for one endpoint.
+type breakerPhase int
+
+const (
+	breakerClosed breakerPhase = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
 // endpointState is the sidecar's local view of one upstream endpoint:
-// outstanding requests, a latency EWMA, and circuit-breaker state.
+// outstanding requests, a latency EWMA, circuit-breaker state, active
+// health-check verdict, outlier-ejection state, and the request window
+// the outlier sweeper judges.
 type endpointState struct {
-	inflight  int
-	ewma      float64 // nanoseconds; 0 = no sample yet
+	inflight int
+	ewma     float64 // nanoseconds; 0 = no sample yet
+
+	// Circuit breaker (consecutive failures → open → half-open trial).
 	fails     int
+	phase     breakerPhase
 	openUntil time.Duration
+	trial     bool // a half-open trial request is in flight
+
+	// Active health checking.
+	unhealthy bool
+	hcFails   int
+	hcOKs     int
+
+	// LB slow-start after a health recovery: the endpoint's traffic
+	// share ramps linearly from 0 at warmSince to full at warmUntil.
+	warmSince time.Duration
+	warmUntil time.Duration
+
+	// Outlier detection: ejection plus the current sweep window.
+	ejectedUntil time.Duration
+	winTotal     int
+	winFail      int
 }
 
 // ewmaAlpha weights new latency samples (~last 10 responses dominate).
 const ewmaAlpha = 0.2
 
-func (s *endpointState) observe(lat time.Duration, failed bool, cb CircuitBreakerPolicy, now time.Duration) {
+// observe folds one completed attempt into the endpoint's state. trial
+// marks the half-open probe request, whose outcome alone decides
+// whether the breaker closes or re-opens.
+func (s *endpointState) observe(lat time.Duration, failed, trial bool, cb CircuitBreakerPolicy, now time.Duration) {
+	s.winTotal++
 	if failed {
+		s.winFail++
+	}
+	if trial {
+		s.trial = false
+		if failed {
+			s.phase = breakerOpen
+			s.openUntil = now + cb.OpenFor
+		} else {
+			s.phase = breakerClosed
+			s.fails = 0
+		}
+	} else if s.phase == breakerClosed && failed {
 		s.fails++
 		if cb.ConsecutiveFailures > 0 && s.fails >= cb.ConsecutiveFailures {
+			s.phase = breakerOpen
 			s.openUntil = now + cb.OpenFor
 			s.fails = 0
 		}
-		return
+	} else if s.phase == breakerClosed {
+		s.fails = 0
 	}
-	s.fails = 0
-	if lat > 0 {
+	// Stragglers finishing while the breaker is open/half-open don't
+	// move it; only the trial request does.
+	if !failed && lat > 0 {
 		if s.ewma == 0 {
 			s.ewma = float64(lat)
 		} else {
@@ -38,10 +87,35 @@ func (s *endpointState) observe(lat time.Duration, failed bool, cb CircuitBreake
 	}
 }
 
-func (s *endpointState) open(now time.Duration) bool { return now < s.openUntil }
+// breakerAvailable reports whether the breaker admits a request now,
+// transitioning open → half-open once OpenFor has elapsed. In
+// half-open only a single trial request is admitted at a time.
+func (s *endpointState) breakerAvailable(now time.Duration) bool {
+	switch s.phase {
+	case breakerOpen:
+		if now < s.openUntil {
+			return false
+		}
+		s.phase = breakerHalfOpen
+		return !s.trial
+	case breakerHalfOpen:
+		return !s.trial
+	default:
+		return true
+	}
+}
+
+// available reports whether the endpoint is in LB rotation: not marked
+// unhealthy by active probes, not ejected by outlier detection, and
+// admitted by the circuit breaker.
+func (s *endpointState) available(now time.Duration) bool {
+	return !s.unhealthy && now >= s.ejectedUntil && s.breakerAvailable(now)
+}
 
 // pickEndpoint applies the service's LB policy over eligible endpoints.
-// Circuit-open endpoints are skipped unless every endpoint is open.
+// Endpoints that are circuit-open, probe-unhealthy, or outlier-ejected
+// are skipped — unless so few remain that panic routing (or the
+// legacy all-open fail-open) re-admits everything.
 func (sc *Sidecar) pickEndpoint(service string, eps []*cluster.Pod) *cluster.Pod {
 	if len(eps) == 0 {
 		return nil
@@ -49,9 +123,32 @@ func (sc *Sidecar) pickEndpoint(service string, eps []*cluster.Pod) *cluster.Pod
 	now := sc.mesh.sched.Now()
 	eligible := eps[:0:0]
 	for _, ep := range eps {
-		if !sc.epState(ep.Addr()).open(now) {
+		if sc.epState(ep.Addr()).available(now) {
 			eligible = append(eligible, ep)
 		}
+	}
+	// LB slow-start: a warming endpoint is admitted with probability
+	// equal to its ramp fraction, so recovered hosts take load
+	// gradually. Skipped when it would empty the eligible set.
+	if len(eligible) > 1 {
+		kept := eligible[:0:0]
+		for _, ep := range eligible {
+			st := sc.epState(ep.Addr())
+			if now < st.warmUntil && st.warmUntil > st.warmSince {
+				frac := float64(now-st.warmSince) / float64(st.warmUntil-st.warmSince)
+				if sc.mesh.rng.Float64() >= frac {
+					continue
+				}
+			}
+			kept = append(kept, ep)
+		}
+		if len(kept) > 0 {
+			eligible = kept
+		}
+	}
+	if pf := sc.mesh.cp.OutlierFor(service).PanicThreshold; pf > 0 &&
+		float64(len(eligible)) < pf*float64(len(eps)) {
+		eligible = eps // panic routing: too few healthy hosts, use them all
 	}
 	if len(eligible) == 0 {
 		eligible = eps // all breakers open: fail open rather than refuse

@@ -35,6 +35,12 @@ const (
 	// classification assigned at ingress and carried with the request
 	// through the whole call tree (§4.3 component 1-2).
 	HeaderPriority = "x-mesh-priority"
+	// HeaderHealth marks a request as an active health-check probe.
+	// The destination sidecar answers probes itself (Envoy's health
+	// check filter), so they test the pod's reachability and proxy
+	// liveness without exercising — or being fooled by — the
+	// application.
+	HeaderHealth = "x-mesh-health"
 	// HeaderBudget carries the request's remaining end-to-end deadline
 	// budget in integer microseconds. The gateway stamps the total;
 	// each sidecar rewrites it on the outbound path net of its own

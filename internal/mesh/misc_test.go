@@ -73,29 +73,41 @@ func TestMeshRequestDurationRecorded(t *testing.T) {
 func TestEndpointStateObserve(t *testing.T) {
 	st := &endpointState{}
 	cb := CircuitBreakerPolicy{ConsecutiveFailures: 2, OpenFor: time.Second}
-	st.observe(10*time.Millisecond, false, cb, 0)
+	st.observe(10*time.Millisecond, false, false, cb, 0)
 	if st.ewma == 0 {
 		t.Fatal("no ewma sample")
 	}
 	prior := st.ewma
-	st.observe(20*time.Millisecond, false, cb, 0)
+	st.observe(20*time.Millisecond, false, false, cb, 0)
 	if st.ewma <= prior {
 		t.Fatal("ewma did not move toward slower sample")
 	}
 	// Two failures open the breaker; a success resets the count.
-	st.observe(0, true, cb, 100)
-	st.observe(0, false, cb, 100)
-	st.observe(0, true, cb, 100)
-	if st.open(100) {
+	st.observe(0, true, false, cb, 100)
+	st.observe(0, false, false, cb, 100)
+	st.observe(0, true, false, cb, 100)
+	if !st.available(100) {
 		t.Fatal("breaker opened without consecutive failures")
 	}
-	st.observe(0, true, cb, 100)
-	st.observe(0, true, cb, 100)
-	if !st.open(100) {
+	st.observe(0, true, false, cb, 100)
+	st.observe(0, true, false, cb, 100)
+	if st.available(100) {
 		t.Fatal("breaker did not open")
 	}
-	if st.open(100 + time.Second + 1) {
-		t.Fatal("breaker did not close after OpenFor")
+	// After OpenFor the breaker goes half-open: one trial is admitted,
+	// a second concurrent request is not.
+	later := 100 + time.Second + 1
+	if !st.available(later) {
+		t.Fatal("breaker did not go half-open after OpenFor")
+	}
+	st.trial = true
+	if st.available(later) {
+		t.Fatal("second request admitted during half-open trial")
+	}
+	// A successful trial closes the breaker; a failed one re-opens it.
+	st.observe(0, false, true, cb, later)
+	if st.phase != breakerClosed || !st.available(later) {
+		t.Fatal("trial success did not close breaker")
 	}
 }
 

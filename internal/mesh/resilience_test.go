@@ -384,3 +384,92 @@ func TestClientDeadlinePreemptsRetries(t *testing.T) {
 		t.Fatalf("deadline fired at %v, want exactly 300ms", at)
 	}
 }
+
+// --- Partition(false) restore semantics + E12 x E14 interplay ---
+
+func TestPartitionRestoreRecoversInFlightConnection(t *testing.T) {
+	// A request issued into a partition hangs on transport
+	// retransmission; healing the partition must let the SAME pooled
+	// connection deliver it — no mesh-level retry, no timeout, no
+	// re-dial.
+	tb := buildBed(t, Config{Seed: 33}, echoBackend)
+	cp := tb.m.ControlPlane()
+	cp.SetRouteRule(RouteRule{Service: "backend", DefaultSubset: SubsetRef{Key: "version", Value: "v1"}})
+	cp.SetRetryPolicy("backend", RetryPolicy{MaxRetries: 0}) // no PerTryTimeout either
+
+	tb.cl.Pod("backend-1").Partition(true)
+	tb.sched.At(500*time.Millisecond, func() { tb.cl.Pod("backend-1").Partition(false) })
+
+	var got *httpsim.Response
+	var gotErr error
+	var doneAt time.Duration
+	tb.gw.Serve(extReq("/inflight"), func(r *httpsim.Response, err error) {
+		got, gotErr, doneAt = r, err, tb.sched.Now()
+	})
+	tb.sched.Run()
+
+	if gotErr != nil || got == nil || got.Status != httpsim.StatusOK {
+		t.Fatalf("response = %+v err = %v", got, gotErr)
+	}
+	if doneAt < 500*time.Millisecond {
+		t.Fatalf("completed at %v, before the partition healed", doneAt)
+	}
+	if doneAt > 3*time.Second {
+		t.Fatalf("completed at %v, retransmission should recover within ~2 RTOs", doneAt)
+	}
+
+	// Subsequent requests ride the same restored connection.
+	var conn0 *transport.Conn
+	tb.fe.ForEachPool(func(class string, dst simnet.Addr, c *transport.Conn) { conn0 = c })
+	got = nil
+	tb.gw.Serve(extReq("/later"), func(r *httpsim.Response, err error) { got, gotErr = r, err })
+	tb.sched.Run()
+	if gotErr != nil || got == nil || got.Status != httpsim.StatusOK {
+		t.Fatalf("post-heal response = %+v err = %v", got, gotErr)
+	}
+	var conn1 *transport.Conn
+	pools := 0
+	tb.fe.ForEachPool(func(class string, dst simnet.Addr, c *transport.Conn) { conn1 = c; pools++ })
+	if pools != 1 || conn1 != conn0 {
+		t.Fatalf("pools = %d, conn reused = %v; restore must not re-dial", pools, conn1 == conn0)
+	}
+}
+
+func TestAdmissionShedsWhenPartitionConcentratesLoad(t *testing.T) {
+	// E12 x E14 interplay: partitioning one replica concentrates the
+	// offered load on the survivor, whose admission control starts
+	// shedding — overload protection backstopping the resilience path.
+	tb := buildBed(t, Config{Seed: 34}, func(pod *cluster.Pod, req *httpsim.Request, respond func(*httpsim.Response)) {
+		pod.Exec(5*time.Millisecond, func() { respond(httpsim.NewResponse(httpsim.StatusOK)) })
+	})
+	cp := tb.m.ControlPlane()
+	cp.SetRetryPolicy("backend", RetryPolicy{MaxRetries: 2, PerTryTimeout: 50 * time.Millisecond, RetryOn5xx: true})
+	cp.SetCircuitBreaker("backend", CircuitBreakerPolicy{ConsecutiveFailures: 2, OpenFor: time.Hour})
+	cp.SetAdmissionPolicy("backend", AdmissionPolicy{
+		Enabled: true, QueueLimit: 4,
+		InitialConcurrency: 1, MinConcurrency: 1, MaxConcurrency: 1,
+	})
+
+	// 250 req/s split over two replicas is under capacity (5ms service,
+	// concurrency 1); after the partition the survivor sees all of it.
+	for i := 0; i < 250; i++ {
+		at := time.Duration(i) * 4 * time.Millisecond
+		tb.sched.At(at, func() {
+			tb.gw.Serve(extReq("/load"), func(*httpsim.Response, error) {})
+		})
+	}
+	var shedBefore uint64
+	tb.sched.At(300*time.Millisecond, func() {
+		shedBefore = tb.m.Metrics().CounterTotal("mesh_admission_shed_total")
+		tb.cl.Pod("backend-2").Partition(true)
+	})
+	tb.sched.Run()
+
+	shedAfter := tb.m.Metrics().CounterTotal("mesh_admission_shed_total")
+	if shedBefore != 0 {
+		t.Fatalf("shed %d requests before the partition (load should fit)", shedBefore)
+	}
+	if shedAfter == 0 {
+		t.Fatal("no sheds after the partition concentrated load on one replica")
+	}
+}

@@ -3,6 +3,7 @@ package mesh
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"time"
 
 	"meshlayer/internal/admission"
@@ -80,6 +81,14 @@ type Sidecar struct {
 	admitCtl  *admission.Controller
 	admitPol  AdmissionPolicy
 	deadlines *admission.Deadlines
+
+	// Self-healing defenses: lazily started health-check and outlier
+	// loops per upstream service, token-bucket retry budgets, and the
+	// chaos engine's server-side fault state (nil = healthy).
+	hcActive      map[string]bool
+	outlierActive map[string]bool
+	budgets       map[string]*retryBudget
+	serverFault   *serverFaultState
 }
 
 // InjectSidecar pairs a sidecar with the pod. The pod's service
@@ -93,13 +102,16 @@ func (m *Mesh) InjectSidecar(pod *cluster.Pod) *Sidecar {
 		service = pod.Name()
 	}
 	sc := &Sidecar{
-		mesh:       m,
-		pod:        pod,
-		service:    service,
-		pools:      make(map[poolKey]*httpsim.Client),
-		endpoints:  make(map[simnet.Addr]*endpointState),
-		rrCounters: make(map[string]uint64),
-		deadlines:  admission.NewDeadlines(),
+		mesh:          m,
+		pod:           pod,
+		service:       service,
+		pools:         make(map[poolKey]*httpsim.Client),
+		endpoints:     make(map[simnet.Addr]*endpointState),
+		rrCounters:    make(map[string]uint64),
+		deadlines:     admission.NewDeadlines(),
+		hcActive:      make(map[string]bool),
+		outlierActive: make(map[string]bool),
+		budgets:       make(map[string]*retryBudget),
 	}
 	srv, err := httpsim.NewServer(pod.Host(), InboundPort, sc.handleInbound)
 	if err != nil {
@@ -145,6 +157,29 @@ func (sc *Sidecar) SetConnHook(f func(*transport.Conn, ConnClass)) { sc.connHook
 func (sc *Sidecar) handleInbound(ctx httpsim.Ctx, req *httpsim.Request, respond func(*httpsim.Response)) {
 	m := sc.mesh
 	m.sched.After(m.proxyDelay(), func() {
+		// Health probes are answered by the proxy itself: they prove
+		// the pod is reachable and its sidecar alive, nothing more.
+		if req.Headers.Get(HeaderHealth) != "" {
+			m.metrics.Counter("mesh_health_probe_answered_total",
+				metrics.Labels{"service": sc.service}).Inc()
+			respond(httpsim.NewResponse(httpsim.StatusOK))
+			return
+		}
+		// Chaos-injected gray failure: the "application" intermittently
+		// errors (after an optional stall) while probes above keep
+		// passing — exactly the failure shape outlier detection exists
+		// to catch.
+		if sf := sc.serverFault; sf != nil && sf.rng.Float64() < sf.cfg.Prob {
+			m.metrics.Counter("mesh_server_fault_injected_total",
+				metrics.Labels{"service": sc.service}).Inc()
+			resp := httpsim.NewResponse(sf.status())
+			if sf.cfg.Delay > 0 {
+				m.sched.After(sf.cfg.Delay, func() { respond(resp) })
+			} else {
+				respond(resp)
+			}
+			return
+		}
 		if !sc.applyInboundRateLimit(respond) {
 			return
 		}
@@ -300,6 +335,8 @@ func (sc *Sidecar) Call(req *httpsim.Request, cb func(*httpsim.Response, error))
 		breaker: m.cp.CircuitBreakerFor(service),
 		start:   m.sched.Now(),
 	}
+	sc.ensureDefenses(service)
+	sc.depositRetryTokens(service, c.retry)
 
 	m.sched.After(m.proxyDelay(), func() {
 		for _, f := range sc.outboundFilters {
@@ -385,6 +422,13 @@ func (c *call) launch() {
 	ep := sc.pickEndpoint(c.service, eps)
 	st := sc.epState(ep.Addr())
 	st.inflight++
+	// If the breaker is half-open this attempt is the single trial
+	// request whose outcome decides close vs re-open.
+	trial := false
+	if st.phase == breakerHalfOpen && !st.trial {
+		st.trial = true
+		trial = true
+	}
 
 	class := DefaultConnClass
 	if sc.connClassifier != nil {
@@ -406,24 +450,35 @@ func (c *call) launch() {
 		st.inflight--
 		lat := m.sched.Now() - attemptStart
 		failed := err != nil || resp.Status >= 500
-		st.observe(lat, failed, c.breaker, m.sched.Now())
+		st.observe(lat, failed, trial, c.breaker, m.sched.Now())
 		if c.done {
 			return
 		}
 		if failed && c.shouldRetry(resp, err) {
-			c.launch()
+			if !sc.spendRetryToken(c.service, c.retry) {
+				m.metrics.Counter("mesh_retry_budget_exhausted_total",
+					metrics.Labels{"service": c.service}).Inc()
+				c.finish(resp, err)
+				return
+			}
+			c.scheduleRetry()
 			return
 		}
 		c.finish(resp, err)
 	}
 	if c.retry.PerTryTimeout > 0 {
 		timer = m.sched.After(c.retry.PerTryTimeout, func() {
-			// A per-try timeout condemns the pooled connection, not
-			// just the request: tear it down so the next attempt
-			// re-dials instead of waiting out retransmission backoff
-			// to a possibly-partitioned peer.
+			// A per-try timeout condemns the pooled connection for
+			// future attempts — evict it so the next attempt re-dials
+			// instead of waiting out retransmission backoff to a
+			// possibly-partitioned peer — but does NOT abort it:
+			// requests pipelined behind this one may be merely queued
+			// behind congestion, and killing the connection would turn
+			// one slow request into a batch of failures. Against a
+			// truly dead peer each pipelined request times out and
+			// retries on its own per-try timer.
+			sc.evictPool(poolKey{addr: ep.Addr(), class: class.Name}, client)
 			settle(nil, ErrTimeout)
-			client.Conn().Abort()
 		})
 	}
 	client.Do(c.req.Clone(), func(resp *httpsim.Response, err error) { settle(resp, err) })
@@ -437,6 +492,26 @@ func (c *call) shouldRetry(resp *httpsim.Response, err error) bool {
 		return true
 	}
 	return c.retry.RetryOn5xx && resp.Status >= 500
+}
+
+// scheduleRetry launches the next attempt, after the policy's
+// full-jitter exponential backoff when one is configured (retries are
+// immediate otherwise, the legacy behaviour).
+func (c *call) scheduleRetry() {
+	m := c.sc.mesh
+	m.metrics.Counter("mesh_retries_total",
+		metrics.Labels{"service": c.service}).Inc()
+	d := c.retry.backoffFor(c.attempts)
+	if d <= 0 {
+		c.launch()
+		return
+	}
+	wait := time.Duration(m.rng.Int63n(int64(d))) + 1 // U(0, d]
+	m.sched.After(wait, func() {
+		if !c.done {
+			c.launch()
+		}
+	})
 }
 
 func (c *call) finish(resp *httpsim.Response, err error) {
@@ -468,27 +543,28 @@ func (c *call) finish(resp *httpsim.Response, err error) {
 // clientFor returns (creating/replacing as needed) the pooled client
 // for an endpoint and connection class.
 func (sc *Sidecar) clientFor(ep *cluster.Pod, class ConnClass) *httpsim.Client {
-	key := poolKey{addr: ep.Addr(), class: class.Name}
-	cl, ok := sc.pools[key]
-	if !ok || cl.Closed() {
-		cl = httpsim.NewClient(sc.pod.Host(), ep.Addr(), InboundPort, class.Options)
-		sc.pools[key] = cl
-		if sc.connHook != nil {
-			sc.connHook(cl.Conn(), class)
-		}
-	}
-	return cl
+	return sc.clientForAddr(ep.Addr(), class)
 }
 
 // PoolSize returns the number of live pooled connections (tests).
 func (sc *Sidecar) PoolSize() int { return len(sc.pools) }
 
 // ForEachPool visits every pooled upstream connection with its class
-// name and destination — introspection for tests and the meshbench
-// reporting CLI.
+// name and destination, in (addr, class) order — introspection for
+// tests and the meshbench reporting CLI.
 func (sc *Sidecar) ForEachPool(fn func(class string, dst simnet.Addr, conn *transport.Conn)) {
-	for key, cl := range sc.pools {
-		fn(key.class, key.addr, cl.Conn())
+	keys := make([]poolKey, 0, len(sc.pools))
+	for key := range sc.pools {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].addr != keys[j].addr {
+			return keys[i].addr < keys[j].addr
+		}
+		return keys[i].class < keys[j].class
+	})
+	for _, key := range keys {
+		fn(key.class, key.addr, sc.pools[key].Conn())
 	}
 }
 

@@ -30,10 +30,12 @@ type impairedDir struct {
 }
 
 // Impair attaches an impairment to the direction transmitting from
-// this NIC. Passing a zero Impairment clears it.
+// this NIC. Passing a zero Impairment clears it. LossProb of exactly 1
+// blackholes the direction — how chaos scenarios model a link going
+// down entirely.
 func (n *NIC) Impair(cfg Impairment) {
-	if cfg.LossProb < 0 || cfg.LossProb >= 1 {
-		panic("simnet: LossProb must be in [0, 1)")
+	if cfg.LossProb < 0 || cfg.LossProb > 1 {
+		panic("simnet: LossProb must be in [0, 1]")
 	}
 	if cfg.LossProb == 0 && cfg.JitterMax == 0 {
 		n.impair = nil
@@ -41,6 +43,9 @@ func (n *NIC) Impair(cfg Impairment) {
 	}
 	n.impair = &impairedDir{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
 }
+
+// Impaired reports whether an impairment is currently attached.
+func (n *NIC) Impaired() bool { return n.impair != nil }
 
 // ImpairLost returns packets dropped by this direction's impairment.
 func (n *NIC) ImpairLost() uint64 {

@@ -84,12 +84,17 @@ func TestImpairClear(t *testing.T) {
 func TestImpairValidation(t *testing.T) {
 	s, _, a, _ := twoNodes(t, LinkConfig{Rate: Gbps})
 	_ = s
+	// LossProb=1 is a valid blackhole (chaos link-down).
+	a.NICs()[0].Impair(Impairment{LossProb: 1})
+	if !a.NICs()[0].Impaired() {
+		t.Fatal("LossProb=1 not attached")
+	}
 	defer func() {
 		if recover() == nil {
-			t.Fatal("LossProb=1 accepted")
+			t.Fatal("LossProb>1 accepted")
 		}
 	}()
-	a.NICs()[0].Impair(Impairment{LossProb: 1})
+	a.NICs()[0].Impair(Impairment{LossProb: 1.5})
 }
 
 func TestImpairOnlyAffectsOneDirection(t *testing.T) {

@@ -24,6 +24,14 @@ type Options struct {
 // DefaultMinRTO mirrors the Linux default minimum RTO.
 const DefaultMinRTO = 200 * time.Millisecond
 
+// maxConsecRTOs bounds back-to-back retransmission timeouts with no
+// forward progress before the connection gives up (Linux
+// tcp_retries2, scaled down for simulation): a peer that stays
+// unreachable kills the connection instead of retransmitting forever.
+// High enough that chains of unlucky losses on a merely-lossy link
+// essentially never trip it.
+const maxConsecRTOs = 12
+
 // rcvWindow is the advertised receive window. Receivers consume
 // instantly in this model, so flow control never binds in practice.
 const rcvWindow = 8 << 20
@@ -42,6 +50,10 @@ var ErrConnectTimeout = errors.New("transport: connect timed out")
 // ErrReset is passed to OnClose when the connection is torn down
 // abruptly by Abort.
 var ErrReset = errors.New("transport: connection reset")
+
+// ErrRetransmitLimit is passed to OnClose when maxConsecRTOs
+// retransmission timeouts elapse without the peer acking anything.
+var ErrRetransmitLimit = errors.New("transport: retransmission limit exceeded")
 
 type segInfo struct {
 	seq    uint64
@@ -95,6 +107,10 @@ type Conn struct {
 	rtoTimer      *simnet.Timer
 	synTimer      *simnet.Timer
 	synTries      int
+
+	// Consecutive RTOs with no ACK progress; the connection dies at
+	// maxConsecRTOs.
+	consecRTOs int
 
 	// Stats.
 	retransmits uint64
@@ -448,6 +464,11 @@ func (c *Conn) onRTO() {
 		return
 	}
 	c.timeouts++
+	c.consecRTOs++
+	if c.consecRTOs >= maxConsecRTOs {
+		c.teardown(ErrRetransmitLimit)
+		return
+	}
 	c.cc.OnTimeout()
 	c.dupAcks = 0
 	// Stay in loss recovery until everything outstanding at the
@@ -532,6 +553,7 @@ func (c *Conn) processAck(seg *Segment) {
 		c.sndUna = seg.Ack
 		c.bytesAcked += uint64(acked)
 		c.dupAcks = 0
+		c.consecRTOs = 0
 		// Prune fully acked segments.
 		i := 0
 		for i < len(c.segs) && c.segs[i].seq+uint64(c.segs[i].length) <= c.sndUna {

@@ -2,6 +2,7 @@ package transport
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"meshlayer/internal/simnet"
@@ -137,6 +138,38 @@ func (h *Host) removeConn(c *Conn) { delete(h.conns, c.flow) }
 
 // ConnCount returns the number of live connections (debug/tests).
 func (h *Host) ConnCount() int { return len(h.conns) }
+
+// ResetConns aborts every live connection on the host, modeling a
+// process crash: sockets die with the process, so no half-open peer
+// keeps retransmitting state the restarted process no longer has.
+// Connections are torn down in flow-key order for determinism.
+func (h *Host) ResetConns() {
+	keys := make([]simnet.FlowKey, 0, len(h.conns))
+	for k := range h.conns {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return flowLess(keys[i], keys[j]) })
+	for _, k := range keys {
+		if c, ok := h.conns[k]; ok {
+			c.Abort()
+		}
+	}
+}
+
+func flowLess(a, b simnet.FlowKey) bool {
+	switch {
+	case a.Src != b.Src:
+		return a.Src < b.Src
+	case a.Dst != b.Dst:
+		return a.Dst < b.Dst
+	case a.SrcPort != b.SrcPort:
+		return a.SrcPort < b.SrcPort
+	case a.DstPort != b.DstPort:
+		return a.DstPort < b.DstPort
+	default:
+		return a.Proto < b.Proto
+	}
+}
 
 func (h *Host) deliver(p *simnet.Packet) {
 	seg, ok := p.Payload.(*Segment)
