@@ -1,6 +1,6 @@
 # Developer entry points. CI (.github/workflows/ci.yml) runs `make check`.
 
-.PHONY: check build vet test bench chaos-smoke
+.PHONY: check build vet test bench bench-json chaos-smoke
 
 check: build vet test chaos-smoke
 
@@ -16,11 +16,19 @@ test:
 bench:
 	go test -bench=. -benchtime=1x -run=^$$ .
 
+# Engine benchmarks as a machine-readable artifact (see EXPERIMENTS.md,
+# E16). Full benchtime for stable numbers; CI runs a 1x smoke instead.
+bench-json:
+	go test ./internal/simnet -run '^$$' -bench 'Scheduler|PacketPath' -benchmem | go run ./cmd/benchjson > BENCH_engine.json
+	@echo "wrote BENCH_engine.json"
+
 # Determinism golden check: the same seed must reproduce the E15 chaos
-# run byte-for-byte.
+# run byte-for-byte — including with the parallel sweep pool disabled,
+# which pins the parallel == sequential output property.
 chaos-smoke:
-	@a=$$(mktemp) && b=$$(mktemp) && \
+	@a=$$(mktemp) && b=$$(mktemp) && c=$$(mktemp) && \
 	go run ./cmd/meshbench -exp chaos -warmup 1s -measure 4s -seed 7 > $$a && \
 	go run ./cmd/meshbench -exp chaos -warmup 1s -measure 4s -seed 7 > $$b && \
-	cmp $$a $$b && echo "chaos-smoke: deterministic" ; \
-	rc=$$? ; rm -f $$a $$b ; exit $$rc
+	go run ./cmd/meshbench -exp chaos -warmup 1s -measure 4s -seed 7 -parallel 1 > $$c && \
+	cmp $$a $$b && cmp $$a $$c && echo "chaos-smoke: deterministic (parallel == sequential)" ; \
+	rc=$$? ; rm -f $$a $$b $$c ; exit $$rc

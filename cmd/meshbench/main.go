@@ -22,17 +22,21 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: fig4|licost|overhead|ablation|scavenger|adaptivelb|redundant|hops|bottleneck|skew|resilience|qdisc|overload|chaos|all")
-		seed    = flag.Int64("seed", 1, "random seed (same seed = identical run)")
-		rps     = flag.Float64("rps", 40, "per-workload RPS for the ablation experiment")
-		levels  = flag.String("levels", "10,20,30,40,50", "comma-separated RPS levels for the fig4 sweep")
-		warmup  = flag.Duration("warmup", 2*time.Second, "warm-up excluded from measurement")
-		measure = flag.Duration("measure", 20*time.Second, "measured window per run")
-		opts    = flag.String("opts", "routing,tc", "optimizations for the fig4 sweep: routing,tc,scavenger,sdn")
-		chart   = flag.Bool("chart", false, "also render fig4 as an ASCII chart")
-		csv     = flag.Bool("csv", false, "emit fig4 as CSV instead of a table")
+		exp      = flag.String("exp", "all", "experiment: fig4|licost|overhead|ablation|scavenger|adaptivelb|redundant|hops|bottleneck|skew|resilience|qdisc|overload|chaos|engine|all (engine is never part of all)")
+		seed     = flag.Int64("seed", 1, "random seed (same seed = identical run)")
+		rps      = flag.Float64("rps", 40, "per-workload RPS for the ablation experiment")
+		levels   = flag.String("levels", "10,20,30,40,50", "comma-separated RPS levels for the fig4 sweep")
+		warmup   = flag.Duration("warmup", 2*time.Second, "warm-up excluded from measurement")
+		measure  = flag.Duration("measure", 20*time.Second, "measured window per run")
+		opts     = flag.String("opts", "routing,tc", "optimizations for the fig4 sweep: routing,tc,scavenger,sdn")
+		chart    = flag.Bool("chart", false, "also render fig4 as an ASCII chart")
+		csv      = flag.Bool("csv", false, "emit fig4 as CSV instead of a table")
+		parallel = flag.Int("parallel", meshlayer.MaxParallel, "max concurrent simulation runs per sweep (1 = sequential; output is identical either way)")
 	)
 	flag.Parse()
+	if *parallel > 0 {
+		meshlayer.MaxParallel = *parallel
+	}
 
 	rpsLevels, err := parseLevels(*levels)
 	if err != nil {
@@ -120,6 +124,12 @@ func main() {
 	if want("chaos") {
 		ran = true
 		fmt.Println(meshlayer.FormatChaos(meshlayer.RunChaos(*seed, *warmup, *measure)))
+	}
+	// E16 measures the simulator itself (wall-clock, host-dependent), so
+	// it runs only when asked for explicitly — never as part of "all".
+	if *exp == "engine" {
+		ran = true
+		fmt.Println(meshlayer.FormatEngine(meshlayer.RunEngineBench(0, 0)))
 	}
 	if !ran {
 		fmt.Fprintf(os.Stderr, "meshbench: unknown experiment %q\n", *exp)

@@ -60,15 +60,23 @@ func RunSweep(cfg SweepConfig) []SweepPoint {
 	if !cfg.Opt.Any() {
 		cfg.Opt = PaperOptimizations()
 	}
-	var out []SweepPoint
-	for _, rps := range cfg.RPSLevels {
-		mixed := MixedConfig{RPS: rps, Seed: cfg.Seed, Warmup: cfg.Warmup, Measure: cfg.Measure, Cooldown: cfg.Cooldown}
-		out = append(out, SweepPoint{
-			RPS:  rps,
-			Base: RunMixedOnce(None(), mixed),
-			Opt:  RunMixedOnce(cfg.Opt, mixed),
-		})
+	// Each (level, arm) pair is an independent simulation; flatten them
+	// so base and opt arms of every level run concurrently. Shared row
+	// fields are filled in before the parallel section; each worker then
+	// writes only its own arm's result slot.
+	out := make([]SweepPoint, len(cfg.RPSLevels))
+	for i, rps := range cfg.RPSLevels {
+		out[i].RPS = rps
 	}
+	runIndexed(2*len(out), func(k int) {
+		i := k / 2
+		mixed := MixedConfig{RPS: out[i].RPS, Seed: cfg.Seed, Warmup: cfg.Warmup, Measure: cfg.Measure, Cooldown: cfg.Cooldown}
+		if k%2 == 0 {
+			out[i].Base = RunMixedOnce(None(), mixed)
+		} else {
+			out[i].Opt = RunMixedOnce(cfg.Opt, mixed)
+		}
+	})
 	return out
 }
 
@@ -189,9 +197,14 @@ func RunSidecarOverhead(n int, seed int64) []OverheadRow {
 		return h
 	}
 
-	base := measure(-1) // proxy processing disabled
-	withProxies := measure(mesh.DefaultSidecarDelay)
-	heavy := measure(4 * mesh.DefaultSidecarDelay)
+	delays := []time.Duration{
+		-1, // proxy processing disabled
+		mesh.DefaultSidecarDelay,
+		4 * mesh.DefaultSidecarDelay,
+	}
+	hists := make([]*hdr.Histogram, len(delays))
+	runIndexed(len(delays), func(i int) { hists[i] = measure(delays[i]) })
+	base, withProxies, heavy := hists[0], hists[1], hists[2]
 
 	mk := func(name string, proxies int, h *hdr.Histogram) OverheadRow {
 		return OverheadRow{
@@ -245,16 +258,17 @@ func RunAblation(rps float64, seed int64, mixed MixedConfig) []AblationRow {
 		{"routing+tc+scavenger", Optimization{Routing: true, TC: true, Scavenger: true}},
 		{"all (+sdn)", AllOptimizations()},
 	}
-	var out []AblationRow
-	for _, c := range combos {
+	out := make([]AblationRow, len(combos))
+	runIndexed(len(combos), func(i int) {
+		c := combos[i]
 		r := RunMixedOnce(c.opt, mixed)
-		out = append(out, AblationRow{
+		out[i] = AblationRow{
 			Name:  c.name,
 			LSP50: r.LS.P50, LSP99: r.LS.P99,
 			LIP99:   r.LI.P99,
 			LSCount: r.LS.Count,
-		})
-	}
+		}
+	})
 	return out
 }
 
@@ -288,20 +302,23 @@ func RunScavenger(seed int64) []ScavengerRow {
 		lsSize     = 100 << 10
 		runFor     = 30 * time.Second
 	)
-	var out []ScavengerRow
-	for _, cc := range []string{"reno", "cubic", "lp", "ledbat"} {
-		// Competing run.
-		fct, bulkBytes := scavengerRun(cc, bottleneck, lsSize, runFor, true)
-		// Solo run: the scavenger must still use an idle link fully.
-		_, soloBytes := scavengerRun(cc, bottleneck, lsSize, runFor, false)
-		out = append(out, ScavengerRow{
-			CC:            cc,
-			LSP50:         fct.QuantileDuration(0.50),
-			LSP99:         fct.QuantileDuration(0.99),
-			BulkMbps:      float64(bulkBytes) * 8 / runFor.Seconds() / 1e6,
-			BulkAloneMbps: float64(soloBytes) * 8 / runFor.Seconds() / 1e6,
-		})
-	}
+	ccs := []string{"reno", "cubic", "lp", "ledbat"}
+	out := make([]ScavengerRow, len(ccs))
+	// Two independent runs per controller: competing (even k) and solo
+	// (odd k — the scavenger must still use an idle link fully).
+	runIndexed(2*len(ccs), func(k int) {
+		cc := ccs[k/2]
+		if k%2 == 0 {
+			fct, bulkBytes := scavengerRun(cc, bottleneck, lsSize, runFor, true)
+			out[k/2].CC = cc
+			out[k/2].LSP50 = fct.QuantileDuration(0.50)
+			out[k/2].LSP99 = fct.QuantileDuration(0.99)
+			out[k/2].BulkMbps = float64(bulkBytes) * 8 / runFor.Seconds() / 1e6
+		} else {
+			_, soloBytes := scavengerRun(cc, bottleneck, lsSize, runFor, false)
+			out[k/2].BulkAloneMbps = float64(soloBytes) * 8 / runFor.Seconds() / 1e6
+		}
+	})
 	return out
 }
 
@@ -381,10 +398,9 @@ func RunAdaptiveLB(rps float64, seed int64) []LBRow {
 	if rps <= 0 {
 		rps = 50
 	}
-	var out []LBRow
-	for _, policy := range []mesh.LBPolicy{mesh.LBRoundRobin, mesh.LBRandom, mesh.LBLeastRequest, mesh.LBEWMA} {
-		out = append(out, runLBOnce(policy, rps, seed))
-	}
+	policies := []mesh.LBPolicy{mesh.LBRoundRobin, mesh.LBRandom, mesh.LBLeastRequest, mesh.LBEWMA}
+	out := make([]LBRow, len(policies))
+	runIndexed(len(policies), func(i int) { out[i] = runLBOnce(policies[i], rps, seed) })
 	return out
 }
 
@@ -494,7 +510,9 @@ func RunRedundant(rps float64, seed int64) []HedgeRow {
 			Count: r.Measured,
 		}
 	}
-	return []HedgeRow{run(false), run(true)}
+	out := make([]HedgeRow, 2)
+	runIndexed(2, func(i int) { out[i] = run(i == 1) })
+	return out
 }
 
 // FormatRedundant renders the E8 table.
@@ -525,8 +543,9 @@ func RunHopDepth(depths []int, n int, seed int64) []HopRow {
 	if n <= 0 {
 		n = 500
 	}
-	var out []HopRow
-	for _, d := range depths {
+	out := make([]HopRow, len(depths))
+	runIndexed(len(depths), func(k int) {
+		d := depths[k]
 		c := app.BuildChain(app.ChainConfig{Depth: d, Mesh: mesh.Config{Seed: seed}})
 		h := hdr.New()
 		var next func(i int)
@@ -542,13 +561,13 @@ func RunHopDepth(depths []int, n int, seed int64) []HopRow {
 		}
 		next(0)
 		c.Sched.Run()
-		out = append(out, HopRow{
+		out[k] = HopRow{
 			Depth:  d,
 			P50:    h.QuantileDuration(0.50),
 			P99:    h.QuantileDuration(0.99),
 			PerHop: h.QuantileDuration(0.50) / time.Duration(d),
-		})
-	}
+		}
+	})
 	return out
 }
 
@@ -581,22 +600,26 @@ func RunBottleneckSweep(ratesGbps []float64, seed int64, mixed MixedConfig) []Bo
 		mixed.RPS = 40
 	}
 	mixed.Seed = seed
-	var out []BottleneckRow
-	for _, g := range ratesGbps {
+	out := make([]BottleneckRow, len(ratesGbps))
+	for i, g := range ratesGbps {
+		out[i].RateGbps = g
+	}
+	runIndexed(2*len(out), func(k int) {
+		i := k / 2
 		appCfg := app.DefaultELibraryConfig()
-		appCfg.BottleneckRate = int64(g * float64(simnet.Gbps))
+		appCfg.BottleneckRate = int64(out[i].RateGbps * float64(simnet.Gbps))
 		run := func(opt Optimization) MixedResult {
 			s := NewScenario(ScenarioConfig{Opt: opt, Seed: seed, App: appCfg})
 			return s.RunMixed(mixed)
 		}
-		base := run(None())
-		opt := run(PaperOptimizations())
-		out = append(out, BottleneckRow{
-			RateGbps: g,
-			BaseP99:  base.LS.P99, OptP99: opt.LS.P99,
-			BaseLIP99: base.LI.P99, OptLIP99: opt.LI.P99,
-		})
-	}
+		if k%2 == 0 {
+			base := run(None())
+			out[i].BaseP99, out[i].BaseLIP99 = base.LS.P99, base.LI.P99
+		} else {
+			opt := run(PaperOptimizations())
+			out[i].OptP99, out[i].OptLIP99 = opt.LS.P99, opt.LI.P99
+		}
+	})
 	return out
 }
 
@@ -631,22 +654,27 @@ func RunSkewSweep(liMB []float64, seed int64, mixed MixedConfig) []SkewRow {
 		mixed.RPS = 40
 	}
 	mixed.Seed = seed
-	var out []SkewRow
-	for _, mb := range liMB {
+	out := make([]SkewRow, len(liMB))
+	for i, mb := range liMB {
 		appCfg := app.DefaultELibraryConfig()
 		appCfg.LIRatingsBytes = int(mb * float64(1<<20))
+		out[i].LIMB = mb
+		out[i].SkewFactor = float64(appCfg.LIRatingsBytes) / float64(appCfg.LSFrontendBytes+appCfg.LSReviewsBytes)
+	}
+	runIndexed(2*len(out), func(k int) {
+		i := k / 2
+		appCfg := app.DefaultELibraryConfig()
+		appCfg.LIRatingsBytes = int(out[i].LIMB * float64(1<<20))
 		run := func(opt Optimization) MixedResult {
 			s := NewScenario(ScenarioConfig{Opt: opt, Seed: seed, App: appCfg})
 			return s.RunMixed(mixed)
 		}
-		base := run(None())
-		opt := run(PaperOptimizations())
-		out = append(out, SkewRow{
-			LIMB:       mb,
-			SkewFactor: float64(appCfg.LIRatingsBytes) / float64(appCfg.LSFrontendBytes+appCfg.LSReviewsBytes),
-			BaseP99:    base.LS.P99, OptP99: opt.LS.P99,
-		})
-	}
+		if k%2 == 0 {
+			out[i].BaseP99 = run(None()).LS.P99
+		} else {
+			out[i].OptP99 = run(PaperOptimizations()).LS.P99
+		}
+	})
 	return out
 }
 
@@ -684,8 +712,9 @@ func RunQdiscComparison(rps float64, seed int64, mixed MixedConfig) []QdiscRow {
 	mixed.Seed = seed
 
 	variants := []string{"fifo (droptail)", "red", "codel", "nearstrict 95% (paper)"}
-	var out []QdiscRow
-	for _, name := range variants {
+	out := make([]QdiscRow, len(variants))
+	runIndexed(len(variants), func(i int) {
+		name := variants[i]
 		s := NewScenario(ScenarioConfig{Opt: Optimization{Routing: true}, Seed: seed})
 		e := s.App
 		clock := e.Sched.Now
@@ -703,8 +732,8 @@ func RunQdiscComparison(rps float64, seed int64, mixed MixedConfig) []QdiscRow {
 			}
 		}
 		r := s.RunMixed(mixed)
-		out = append(out, QdiscRow{Name: name, LSP50: r.LS.P50, LSP99: r.LS.P99, LIP99: r.LI.P99})
-	}
+		out[i] = QdiscRow{Name: name, LSP50: r.LS.P50, LSP99: r.LS.P99, LIP99: r.LI.P99}
+	})
 	return out
 }
 
@@ -783,7 +812,9 @@ func RunResilience(rps float64, seed int64) []ResilienceRow {
 		}
 		return []ResilienceRow{mk("before", g1), mk("during partition", g2), mk("after heal", g3)}
 	}
-	return append(run(false), run(true)...)
+	var halves [2][]ResilienceRow
+	runIndexed(2, func(i int) { halves[i] = run(i == 1) })
+	return append(halves[0], halves[1]...)
 }
 
 // FormatResilience renders the E12 table.
@@ -858,12 +889,13 @@ func RunOverload(seed int64, warmup, measure time.Duration) []OverloadRow {
 		{"admission", true, false},
 		{"admission + deadline", true, true},
 	}
-	var out []OverloadRow
-	for _, cfg := range configs {
-		for _, load := range []float64{0.5, 2.0} {
-			out = append(out, runOverloadOnce(cfg.name, cfg.admission, cfg.deadline, load, seed, warmup, measure))
-		}
-	}
+	loads := []float64{0.5, 2.0}
+	out := make([]OverloadRow, len(configs)*len(loads))
+	runIndexed(len(out), func(k int) {
+		cfg := configs[k/len(loads)]
+		load := loads[k%len(loads)]
+		out[k] = runOverloadOnce(cfg.name, cfg.admission, cfg.deadline, load, seed, warmup, measure)
+	})
 	return out
 }
 
@@ -1102,10 +1134,11 @@ func RunChaos(seed int64, warmup, measure time.Duration) []ChaosRow {
 		{"+ health checks + outlier detection", 2, true},
 		{"+ retry budgets + backoff", 3, true},
 	}
-	var out []ChaosRow
-	for _, c := range configs {
-		out = append(out, runChaosOnce(c.name, c.level, c.faults, seed, warmup, measure))
-	}
+	out := make([]ChaosRow, len(configs))
+	runIndexed(len(configs), func(i int) {
+		c := configs[i]
+		out[i] = runChaosOnce(c.name, c.level, c.faults, seed, warmup, measure)
+	})
 	return out
 }
 

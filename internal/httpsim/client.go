@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 
 	"meshlayer/internal/simnet"
 	"meshlayer/internal/transport"
@@ -15,6 +16,22 @@ type wireMsg struct {
 	id   uint64
 	req  *Request
 	resp *Response
+}
+
+// wireMsgPool recycles the per-message framing structs. The receiver
+// frees a frame as soon as it has extracted the request/response it
+// wraps; the sender's retransmission bookkeeping may still reference a
+// freed frame, but stale boundary metadata is discarded by the
+// transport's delivery watermark without ever being dereferenced. A
+// sync.Pool (rather than a per-run free list) keeps the recycling safe
+// when experiment sweeps run many simulations in parallel.
+var wireMsgPool = sync.Pool{New: func() any { return new(wireMsg) }}
+
+func allocWireMsg() *wireMsg { return wireMsgPool.Get().(*wireMsg) }
+
+func freeWireMsg(m *wireMsg) {
+	*m = wireMsg{}
+	wireMsgPool.Put(m)
 }
 
 // ErrConnClosed is delivered to callbacks whose connection died before
@@ -59,8 +76,11 @@ func (c *Client) Do(req *Request, cb func(*Response, error)) {
 	c.nextID++
 	id := c.nextID
 	c.pending[id] = cb
-	if err := c.conn.SendMessage(&wireMsg{id: id, req: req}, req.WireSize()); err != nil {
+	m := allocWireMsg()
+	m.id, m.req = id, req
+	if err := c.conn.SendMessage(m, req.WireSize()); err != nil {
 		delete(c.pending, id)
+		freeWireMsg(m)
 		cb(nil, err)
 	}
 }
@@ -73,12 +93,14 @@ func (c *Client) onMessage(meta any, _ int) {
 	if !ok || m.resp == nil {
 		return
 	}
-	cb, ok := c.pending[m.id]
+	id, resp := m.id, m.resp
+	freeWireMsg(m)
+	cb, ok := c.pending[id]
 	if !ok {
 		return
 	}
-	delete(c.pending, m.id)
-	cb(m.resp, nil)
+	delete(c.pending, id)
+	cb(resp, nil)
 }
 
 func (c *Client) onClose(err error) {
@@ -149,9 +171,10 @@ func (s *Server) accept(conn *transport.Conn) {
 			return
 		}
 		s.served++
-		id := m.id
+		id, req := m.id, m.req
+		freeWireMsg(m)
 		responded := false
-		s.handler(Ctx{Conn: conn}, m.req, func(resp *Response) {
+		s.handler(Ctx{Conn: conn}, req, func(resp *Response) {
 			if responded {
 				panic("httpsim: respond called twice")
 			}
@@ -162,7 +185,9 @@ func (s *Server) accept(conn *transport.Conn) {
 			if resp.Headers == nil {
 				resp.Headers = make(Header)
 			}
-			conn.SendMessage(&wireMsg{id: id, resp: resp}, resp.WireSize())
+			rm := allocWireMsg()
+			rm.id, rm.resp = id, resp
+			conn.SendMessage(rm, resp.WireSize())
 		})
 	})
 }

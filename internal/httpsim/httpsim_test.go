@@ -314,7 +314,7 @@ func TestPropertyHeadersSurviveTransit(t *testing.T) {
 		e.sched.RunUntil(time.Minute)
 		return ok && done
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+	if err := quick.Check(f, &quick.Config{MaxCount: 30, Rand: rand.New(rand.NewSource(1))}); err != nil {
 		t.Fatal(err)
 	}
 }

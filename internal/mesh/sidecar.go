@@ -438,15 +438,13 @@ func (c *call) launch() {
 
 	attemptStart := m.sched.Now()
 	settled := false
-	var timer *simnet.Timer
+	var timer simnet.Timer
 	settle := func(resp *httpsim.Response, err error) {
 		if settled {
 			return
 		}
 		settled = true
-		if timer != nil {
-			timer.Cancel()
-		}
+		timer.Cancel()
 		st.inflight--
 		lat := m.sched.Now() - attemptStart
 		failed := err != nil || resp.Status >= 500

@@ -1,0 +1,87 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkScheduler measures the event-loop hot path: a steady
+// population of outstanding timers, each firing and rescheduling
+// itself, so every iteration is one schedule + one heap pop + one
+// dispatch. This is the engine cost under every experiment in the
+// repo; events/sec here is the ceiling on simulated traffic.
+func BenchmarkScheduler(b *testing.B) {
+	s := NewScheduler()
+	const population = 1024
+	scheduled := 0
+	var tick func()
+	tick = func() {
+		if scheduled < b.N {
+			scheduled++
+			s.After(time.Duration(scheduled%13+1)*time.Microsecond, tick)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < population && scheduled < b.N; i++ {
+		scheduled++
+		s.After(time.Duration(i%13+1)*time.Microsecond, tick)
+	}
+	s.Run()
+	b.StopTimer()
+	if got := s.Steps(); got != uint64(scheduled) {
+		b.Fatalf("executed %d events, scheduled %d", got, scheduled)
+	}
+}
+
+// BenchmarkSchedulerCancel measures timer churn: schedule + cancel
+// without firing, the retry-timer pattern that dominates chaos runs.
+func BenchmarkSchedulerCancel(b *testing.B) {
+	s := NewScheduler()
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := s.After(time.Duration(i%977+1)*time.Microsecond, fn)
+		t.Cancel()
+		if i%1024 == 1023 {
+			// Drain occasionally so the heap reflects steady-state
+			// cancelled-event handling, not unbounded growth.
+			s.RunFor(time.Microsecond)
+		}
+	}
+	b.StopTimer()
+	s.Run()
+}
+
+// BenchmarkPacketPath measures the packet hot path end to end: inject
+// -> route -> qdisc -> serialize at line rate -> propagate -> deliver,
+// with a fixed window of packets in flight over one 15 Gbps link.
+func BenchmarkPacketPath(b *testing.B) {
+	s := NewScheduler()
+	net := NewNetwork(s)
+	na, nb := net.AddNode("a"), net.AddNode("b")
+	net.Connect(na, nb, LinkConfig{Rate: 15 * Gbps, Delay: 10 * time.Microsecond})
+	flow := FlowKey{Src: na.Addr(), Dst: nb.Addr(), SrcPort: 1, DstPort: 2, Proto: ProtoUDP}
+	const window = 64
+	sent, delivered := 0, 0
+	var send func()
+	send = func() {
+		for sent < b.N && sent-delivered < window {
+			p := net.AllocPacket()
+			p.Flow = flow
+			p.Size = MTU
+			na.Inject(p)
+			sent++
+		}
+	}
+	nb.SetDeliver(func(p *Packet) { delivered++; send() })
+	b.ReportAllocs()
+	b.ResetTimer()
+	send()
+	s.Run()
+	b.StopTimer()
+	if delivered != b.N {
+		b.Fatalf("delivered %d packets, want %d", delivered, b.N)
+	}
+}

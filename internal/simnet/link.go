@@ -77,9 +77,15 @@ type NIC struct {
 	rxPackets, rxBytes uint64
 	dropPackets        uint64
 
-	wakeTimer *Timer
+	wakeTimer Timer
 	impair    *impairedDir
 	tap       Tap
+
+	// txPacket is the packet currently being serialized (one at a time
+	// per direction), and txDone the reusable serialization-finished
+	// callback — allocated once per NIC instead of once per packet.
+	txPacket *Packet
+	txDone   func()
 }
 
 // Node returns the node the NIC belongs to.
@@ -130,6 +136,7 @@ func (n *NIC) Send(p *Packet) {
 	if !n.qdisc.Enqueue(p) {
 		n.dropPackets++
 		n.node.net.notifyDrop(p, n)
+		n.node.net.freePacket(p)
 		return
 	}
 	if !n.busy {
@@ -162,28 +169,36 @@ func (n *NIC) transmitNext() {
 	if n.tap != nil {
 		n.tap(p, sched.Now())
 	}
-	sched.After(tx, func() {
-		// Serialization finished: apply any impairment, propagate,
-		// then free the line.
-		extra := time.Duration(0)
-		deliver := true
-		if n.impair != nil {
-			extra, deliver = n.impair.apply(p)
-		}
-		if deliver {
-			sched.After(n.link.cfg.Delay+extra, func() {
-				n.peer.receive(p)
-			})
-		} else {
-			n.node.net.notifyDrop(p, n)
-		}
-		n.transmitNext()
-	})
+	n.txPacket = p
+	if n.txDone == nil {
+		n.txDone = n.onTxDone
+	}
+	sched.After(tx, n.txDone)
+}
+
+// onTxDone runs when the current packet's last bit hits the wire:
+// apply any impairment, propagate, then free the line.
+func (n *NIC) onTxDone() {
+	p := n.txPacket
+	n.txPacket = nil
+	extra := time.Duration(0)
+	deliver := true
+	if n.impair != nil {
+		extra, deliver = n.impair.apply(p)
+	}
+	if deliver {
+		net := n.node.net
+		net.sched.After(n.link.cfg.Delay+extra, net.allocInFlight(n.peer, p).fn)
+	} else {
+		n.node.net.notifyDrop(p, n)
+		n.node.net.freePacket(p)
+	}
+	n.transmitNext()
 }
 
 func (n *NIC) scheduleWake(at time.Duration) {
 	sched := n.node.net.sched
-	if n.wakeTimer != nil && !n.wakeTimer.Stopped() {
+	if !n.wakeTimer.Stopped() {
 		return
 	}
 	n.wakeTimer = sched.At(at, func() {

@@ -25,6 +25,46 @@ type Network struct {
 
 	onDrop DropFunc
 	pktSeq uint64
+
+	// pktPool recycles Packet structs across the simulation: a packet is
+	// returned here at its single terminal point (local delivery or any
+	// drop) and reused by the next AllocPacket. The whole simulation is
+	// single-threaded on one scheduler, so a plain slice beats sync.Pool.
+	pktPool []*Packet
+
+	// ifPool recycles in-flight propagation carriers (see inFlight).
+	ifPool []*inFlight
+}
+
+// inFlight carries one propagating packet to its receiving NIC without
+// allocating a closure per packet: fn is built once when the entry is
+// first created and reads its targets from the struct, which the pool
+// refills for each flight.
+type inFlight struct {
+	nic *NIC
+	p   *Packet
+	fn  func()
+}
+
+// allocInFlight returns a carrier whose fn delivers p to nic and then
+// recycles the carrier. The carrier frees itself before delivering so
+// that sends triggered by the delivery can reuse it immediately.
+func (n *Network) allocInFlight(nic *NIC, p *Packet) *inFlight {
+	var f *inFlight
+	if k := len(n.ifPool); k > 0 {
+		f = n.ifPool[k-1]
+		n.ifPool = n.ifPool[:k-1]
+	} else {
+		f = &inFlight{}
+		f.fn = func() {
+			nic, p := f.nic, f.p
+			f.nic, f.p = nil, nil
+			n.ifPool = append(n.ifPool, f)
+			nic.receive(p)
+		}
+	}
+	f.nic, f.p = nic, p
+	return f
 }
 
 // NewNetwork returns an empty topology bound to the scheduler.
@@ -103,6 +143,32 @@ func (n *Network) Connect(a, b *Node, cfg LinkConfig) *Link {
 func (n *Network) NextPacketID() uint64 {
 	n.pktSeq++
 	return n.pktSeq
+}
+
+// AllocPacket returns a Packet stamped with a fresh unique ID, recycled
+// from the network's free list when one is available. The network
+// reclaims the packet at its terminal point — local delivery or any
+// drop — so callers must not retain it past that event. Fields are
+// scrubbed here rather than at reclaim time, which keeps the packet
+// readable within the delivery/drop callback that just observed it.
+func (n *Network) AllocPacket() *Packet {
+	var p *Packet
+	if k := len(n.pktPool); k > 0 {
+		p = n.pktPool[k-1]
+		n.pktPool = n.pktPool[:k-1]
+		*p = Packet{}
+	} else {
+		p = &Packet{}
+	}
+	p.ID = n.NextPacketID()
+	return p
+}
+
+// freePacket returns a packet to the free list. Packets constructed
+// directly (tests, benchmarks) funnel in here too; that is harmless —
+// they simply join the pool.
+func (n *Network) freePacket(p *Packet) {
+	n.pktPool = append(n.pktPool, p)
 }
 
 // ComputeRoutes (re)builds all-pairs shortest-path next-hop tables using

@@ -85,6 +85,7 @@ func (n *Node) receive(p *Packet, _ *NIC) {
 	if p.TTL <= 0 {
 		n.ttlDrops++
 		n.net.notifyDrop(p, nil)
+		n.net.freePacket(p)
 		return
 	}
 	n.route(p)
@@ -95,6 +96,7 @@ func (n *Node) deliverLocal(p *Packet) {
 	if n.local != nil {
 		n.local(p)
 	}
+	n.net.freePacket(p)
 }
 
 func (n *Node) route(p *Packet) {
@@ -107,6 +109,7 @@ func (n *Node) route(p *Packet) {
 	if nic == nil {
 		n.noRoute++
 		n.net.notifyDrop(p, nil)
+		n.net.freePacket(p)
 		return
 	}
 	n.forwarded++

@@ -136,9 +136,89 @@ func TestSchedulerNegativeAfterClamped(t *testing.T) {
 	}
 }
 
+// TestSchedulerCancelCompaction is the regression test for lazy
+// deletion: cancelling a large batch of timers must (1) keep Pending an
+// O(1) counter that reflects only live events, and (2) shrink the heap
+// via compaction instead of pinning cancelled entries until their
+// (possibly far-future) deadlines surface at the root.
+func TestSchedulerCancelCompaction(t *testing.T) {
+	s := NewScheduler()
+	const cancelled, keep = 10000, 100
+	fn := func() {}
+	timers := make([]Timer, 0, cancelled)
+	for i := 0; i < cancelled; i++ {
+		timers = append(timers, s.At(time.Duration(i+1)*time.Hour, fn))
+	}
+	fires := 0
+	for i := 0; i < keep; i++ {
+		s.At(time.Duration(i+1)*time.Millisecond, func() { fires++ })
+	}
+	if got := s.Pending(); got != cancelled+keep {
+		t.Fatalf("Pending = %d, want %d", got, cancelled+keep)
+	}
+	for _, tm := range timers {
+		tm.Cancel()
+	}
+	if got := s.Pending(); got != keep {
+		t.Fatalf("Pending after cancel = %d, want %d", got, keep)
+	}
+	// Compaction keeps the cancelled backlog below the live count (plus
+	// the small-heap threshold where compaction never kicks in).
+	if max := 2*keep + compactMinHeap; len(s.heap) > max {
+		t.Fatalf("heap holds %d entries after cancelling %d, want <= %d", len(s.heap), cancelled, max)
+	}
+	if len(s.free) < cancelled-keep-compactMinHeap {
+		t.Fatalf("only %d slots recycled to the free list", len(s.free))
+	}
+	s.Run()
+	if fires != keep {
+		t.Fatalf("surviving timers fired %d times, want %d", fires, keep)
+	}
+}
+
+// TestTimerGenerationAcrossReuse pins the generation-counter contract:
+// a Timer handle whose event has fired (or been cancelled) must stay
+// inert even after its arena slot is recycled for an unrelated event.
+func TestTimerGenerationAcrossReuse(t *testing.T) {
+	s := NewScheduler()
+	fired := 0
+	stale := s.At(time.Millisecond, func() { fired++ })
+	s.Run()
+	if fired != 1 || !stale.Stopped() {
+		t.Fatalf("fired=%d stopped=%v", fired, stale.Stopped())
+	}
+	// The freed slot is recycled for the next event.
+	fresh := s.At(2*time.Millisecond, func() { fired += 10 })
+	if fresh.slot != stale.slot {
+		t.Fatalf("slot not recycled: stale=%d fresh=%d", stale.slot, fresh.slot)
+	}
+	stale.Cancel() // stale handle: must be a no-op
+	if fresh.Stopped() {
+		t.Fatal("stale Cancel killed the event now occupying the slot")
+	}
+	s.Run()
+	if fired != 11 {
+		t.Fatalf("fired = %d, want 11", fired)
+	}
+
+	// Same property when the first event is cancelled rather than fired.
+	c1 := s.After(time.Millisecond, func() { fired += 100 })
+	c1.Cancel()
+	s.Run() // pops the cancelled entry, releasing the slot
+	c2 := s.After(time.Millisecond, func() { fired += 1000 })
+	c1.Cancel()
+	if c2.Stopped() {
+		t.Fatal("double Cancel of a recycled slot killed the new event")
+	}
+	s.Run()
+	if fired != 1011 {
+		t.Fatalf("fired = %d, want 1011", fired)
+	}
+}
+
 func TestTimerCancelDuringRun(t *testing.T) {
 	s := NewScheduler()
-	var second *Timer
+	var second Timer
 	fired := false
 	s.At(1, func() { second.Cancel() })
 	second = s.At(2, func() { fired = true })

@@ -83,7 +83,7 @@ func TestPropertyQdiscConservation(t *testing.T) {
 			}
 			return true
 		}
-		if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		if err := quick.Check(f, &quick.Config{MaxCount: 30, Rand: rand.New(rand.NewSource(1))}); err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
 	}
@@ -116,7 +116,7 @@ func TestPropertyBacklogMatchesContents(t *testing.T) {
 		}
 		return true
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+	if err := quick.Check(f, &quick.Config{MaxCount: 20, Rand: rand.New(rand.NewSource(1))}); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -104,8 +104,8 @@ type Conn struct {
 	rto           time.Duration
 	minRTT        time.Duration
 	lastRTTSample time.Duration
-	rtoTimer      *simnet.Timer
-	synTimer      *simnet.Timer
+	rtoTimer      simnet.Timer
+	synTimer      simnet.Timer
 	synTries      int
 
 	// Consecutive RTOs with no ACK progress; the connection dies at
@@ -239,12 +239,8 @@ func (c *Conn) Abort() {
 
 func (c *Conn) teardown(err error) {
 	c.state = stateClosed
-	if c.rtoTimer != nil {
-		c.rtoTimer.Cancel()
-	}
-	if c.synTimer != nil {
-		c.synTimer.Cancel()
-	}
+	c.rtoTimer.Cancel()
+	c.synTimer.Cancel()
 	c.host.removeConn(c)
 	if c.onClose != nil {
 		fn := c.onClose
@@ -259,14 +255,25 @@ func (c *Conn) teardown(err error) {
 
 // --- sending ---
 
+// seg allocates a pooled segment pre-filled with the fields every
+// outgoing segment carries: the advertised window and the timestamp
+// pair (TSVal now, TSEcr echoing the peer's last TSVal). Callers
+// overwrite TSEcr where the echo must come from a specific segment.
+func (c *Conn) seg(kind SegKind) *Segment {
+	s := c.host.allocSeg()
+	s.Kind = kind
+	s.Wnd = rcvWindow
+	s.TSVal = c.host.sched.Now()
+	s.TSEcr = c.lastTSVal
+	return s
+}
+
 func (c *Conn) emit(seg *Segment, payloadBytes int) {
-	p := &simnet.Packet{
-		ID:      c.host.net.NextPacketID(),
-		Flow:    c.flow,
-		Size:    simnet.HeaderBytes + payloadBytes,
-		Mark:    c.opts.Mark,
-		Payload: seg,
-	}
+	p := c.host.net.AllocPacket()
+	p.Flow = c.flow
+	p.Size = simnet.HeaderBytes + payloadBytes
+	p.Mark = c.opts.Mark
+	p.Payload = seg
 	if seg.Kind != SegDATA && seg.Kind != SegFIN {
 		p.Size = ctrlSize
 	}
@@ -313,15 +320,11 @@ func (c *Conn) sendSegment(seq uint64, length int) {
 	}
 	c.segs = append(c.segs, segInfo{seq: seq, length: length, bounds: bounds})
 	c.bytesSent += uint64(length)
-	c.emit(&Segment{
-		Kind:   SegDATA,
-		Seq:    seq,
-		Len:    length,
-		Wnd:    rcvWindow,
-		TSVal:  c.host.sched.Now(),
-		TSEcr:  c.lastTSVal,
-		Bounds: bounds,
-	}, length)
+	s := c.seg(SegDATA)
+	s.Seq = seq
+	s.Len = length
+	s.Bounds = bounds
+	c.emit(s, length)
 	c.armRTO()
 }
 
@@ -337,14 +340,10 @@ func (c *Conn) maybeSendFIN() {
 	c.sendEnd++ // FIN occupies one sequence byte
 	c.sndNxt++
 	c.segs = append(c.segs, segInfo{seq: finSeq, length: 1})
-	c.emit(&Segment{
-		Kind:  SegFIN,
-		Seq:   finSeq,
-		Len:   1,
-		Wnd:   rcvWindow,
-		TSVal: c.host.sched.Now(),
-		TSEcr: c.lastTSVal,
-	}, 0)
+	s := c.seg(SegFIN)
+	s.Seq = finSeq
+	s.Len = 1
+	c.emit(s, 0)
 	c.armRTO()
 }
 
@@ -357,15 +356,11 @@ func (c *Conn) retransmitSeg(s *segInfo) {
 		kind = SegFIN
 		payload = 0
 	}
-	c.emit(&Segment{
-		Kind:   kind,
-		Seq:    s.seq,
-		Len:    s.length,
-		Wnd:    rcvWindow,
-		TSVal:  c.host.sched.Now(),
-		TSEcr:  c.lastTSVal,
-		Bounds: s.bounds,
-	}, payload)
+	rs := c.seg(kind)
+	rs.Seq = s.seq
+	rs.Len = s.length
+	rs.Bounds = s.bounds
+	c.emit(rs, payload)
 }
 
 func (c *Conn) retransmitFirst() {
@@ -446,17 +441,13 @@ func (c *Conn) currentRTO() time.Duration {
 }
 
 func (c *Conn) armRTO() {
-	if c.rtoTimer != nil {
-		c.rtoTimer.Cancel()
-	}
+	c.rtoTimer.Cancel()
 	c.rtoTimer = c.host.sched.After(c.currentRTO(), c.onRTO)
 }
 
 func (c *Conn) disarmRTO() {
-	if c.rtoTimer != nil {
-		c.rtoTimer.Cancel()
-		c.rtoTimer = nil
-	}
+	c.rtoTimer.Cancel()
+	c.rtoTimer = simnet.Timer{}
 }
 
 func (c *Conn) onRTO() {
@@ -520,16 +511,16 @@ func (c *Conn) handle(seg *Segment) {
 	case SegSYN:
 		// Duplicate SYN: our SYNACK was lost in transit; resend it.
 		c.lastTSVal = seg.TSVal
-		c.emit(&Segment{Kind: SegSYNACK, Wnd: rcvWindow, TSVal: c.host.sched.Now(), TSEcr: seg.TSVal}, 0)
+		c.emit(c.seg(SegSYNACK), 0)
 	case SegSYNACK:
 		if c.state == stateSynSent {
 			c.state = stateEstablished
-			if c.synTimer != nil {
-				c.synTimer.Cancel()
-			}
+			c.synTimer.Cancel()
 			c.peerWnd = seg.Wnd
 			c.sampleRTT(seg.TSEcr)
-			c.emit(&Segment{Kind: SegACK, Ack: 0, Wnd: rcvWindow, TSVal: c.host.sched.Now(), TSEcr: seg.TSVal}, 0)
+			ack := c.seg(SegACK)
+			ack.TSEcr = seg.TSVal
+			c.emit(ack, 0)
 			if c.onEstablished != nil {
 				c.onEstablished()
 			}
@@ -624,18 +615,13 @@ func (c *Conn) processData(seg *Segment) {
 }
 
 func (c *Conn) ackNow(tsval time.Duration) {
-	var sacks []SackBlock
+	s := c.seg(SegACK)
+	s.Ack = c.rcvNxt
+	s.TSEcr = tsval
 	for i := 0; i < len(c.ooo) && i < maxSackBlocks; i++ {
-		sacks = append(sacks, SackBlock{Start: c.ooo[i].seq, End: c.ooo[i].end})
+		s.Sacks = append(s.Sacks, SackBlock{Start: c.ooo[i].seq, End: c.ooo[i].end})
 	}
-	c.emit(&Segment{
-		Kind:  SegACK,
-		Ack:   c.rcvNxt,
-		Wnd:   rcvWindow,
-		TSVal: c.host.sched.Now(),
-		TSEcr: tsval,
-		Sacks: sacks,
-	}, 0)
+	c.emit(s, 0)
 }
 
 func (c *Conn) addRecvBound(b Bound) {

@@ -19,6 +19,34 @@ type Host struct {
 	conns     map[simnet.FlowKey]*Conn
 	listeners map[uint16]*Listener
 	nextPort  uint16
+
+	// segPool recycles Segment structs. Segments are allocated by the
+	// sending connection (via Conn.seg) and reclaimed by the receiving
+	// host once handled, so within one simulation the pools act as a
+	// shared recycling loop between peers. Segments lost in transit
+	// simply fall to the garbage collector.
+	segPool []*Segment
+}
+
+// allocSeg pops a recycled segment (scrubbing it here, at reuse time)
+// or allocates a fresh one. The Sacks backing array is kept: it is
+// exclusively owned by the segment and reused by the next ACK.
+func (h *Host) allocSeg() *Segment {
+	if k := len(h.segPool); k > 0 {
+		s := h.segPool[k-1]
+		h.segPool = h.segPool[:k-1]
+		*s = Segment{Sacks: s.Sacks[:0]}
+		return s
+	}
+	return &Segment{}
+}
+
+// freeSeg returns a handled segment to the pool. Bounds is dropped
+// rather than reused: its backing array aliases the sender's segInfo
+// bookkeeping, which outlives this segment for retransmissions.
+func (h *Host) freeSeg(s *Segment) {
+	s.Bounds = nil
+	h.segPool = append(h.segPool, s)
 }
 
 // Listener accepts inbound connections on a port.
@@ -108,7 +136,7 @@ func (h *Host) sendSYN(c *Conn) {
 		c.teardown(ErrConnectTimeout)
 		return
 	}
-	c.emit(&Segment{Kind: SegSYN, Wnd: rcvWindow, TSVal: h.sched.Now()}, 0)
+	c.emit(c.seg(SegSYN), 0)
 	backoff := time.Second << uint(c.synTries-1)
 	c.synTimer = h.sched.After(backoff, func() { h.sendSYN(c) })
 }
@@ -179,28 +207,29 @@ func (h *Host) deliver(p *simnet.Packet) {
 	local := p.Flow.Reverse()
 	if c, ok := h.conns[local]; ok {
 		c.handle(seg)
+		h.freeSeg(seg)
 		return
 	}
 	if seg.Kind == SegSYN {
-		l, ok := h.listeners[p.Flow.DstPort]
-		if !ok {
-			return // connection refused: silently dropped in this model
+		if l, ok := h.listeners[p.Flow.DstPort]; ok {
+			c := &Conn{
+				host:      h,
+				flow:      local,
+				opts:      Options{CC: "reno"},
+				state:     stateEstablished,
+				cc:        NewController("reno", h.sched.Now),
+				peerWnd:   seg.Wnd,
+				lastTSVal: seg.TSVal,
+			}
+			h.conns[local] = c
+			l.accepted++
+			if l.onAccept != nil {
+				l.onAccept(c)
+			}
+			c.emit(c.seg(SegSYNACK), 0)
 		}
-		c := &Conn{
-			host:      h,
-			flow:      local,
-			opts:      Options{CC: "reno"},
-			state:     stateEstablished,
-			cc:        NewController("reno", h.sched.Now),
-			peerWnd:   seg.Wnd,
-			lastTSVal: seg.TSVal,
-		}
-		h.conns[local] = c
-		l.accepted++
-		if l.onAccept != nil {
-			l.onAccept(c)
-		}
-		c.emit(&Segment{Kind: SegSYNACK, Wnd: rcvWindow, TSVal: h.sched.Now(), TSEcr: seg.TSVal}, 0)
+		// else: connection refused, silently dropped in this model.
 	}
 	// Non-SYN for unknown connection: stale packet after close; ignore.
+	h.freeSeg(seg)
 }

@@ -1,0 +1,48 @@
+package meshlayer
+
+import (
+	"testing"
+	"time"
+)
+
+// withParallelism runs fn with MaxParallel forced to n, restoring the
+// previous value afterwards.
+func withParallelism(n int, fn func()) {
+	old := MaxParallel
+	MaxParallel = n
+	defer func() { MaxParallel = old }()
+	fn()
+}
+
+// TestParallelSweepDeterminism is the property the parallel sweeps are
+// gated on: every run in a sweep is an independent simulation, so the
+// rendered tables must be byte-identical whether the arms execute
+// sequentially or on a worker pool.
+func TestParallelSweepDeterminism(t *testing.T) {
+	cfg := SweepConfig{
+		RPSLevels: []float64{15, 35},
+		Opt:       PaperOptimizations(),
+		Seed:      3,
+		Warmup:    time.Second,
+		Measure:   2 * time.Second,
+	}
+	var seq, par string
+	withParallelism(1, func() { seq = FormatFig4(RunSweep(cfg)) })
+	withParallelism(4, func() { par = FormatFig4(RunSweep(cfg)) })
+	if seq != par {
+		t.Fatalf("parallel sweep diverged from sequential:\n--- sequential ---\n%s--- parallel ---\n%s", seq, par)
+	}
+}
+
+// TestParallelChaosDeterminism covers the heaviest multi-arm runner:
+// the chaos ladder shares a scripted fault suite across five defense
+// configurations, and its table (error rates, retry counters, TTR)
+// must not depend on execution interleaving.
+func TestParallelChaosDeterminism(t *testing.T) {
+	var seq, par string
+	withParallelism(1, func() { seq = FormatChaos(RunChaos(7, time.Second, 2*time.Second)) })
+	withParallelism(4, func() { par = FormatChaos(RunChaos(7, time.Second, 2*time.Second)) })
+	if seq != par {
+		t.Fatalf("parallel chaos run diverged from sequential:\n--- sequential ---\n%s--- parallel ---\n%s", seq, par)
+	}
+}
