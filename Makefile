@@ -1,8 +1,8 @@
 # Developer entry points. CI (.github/workflows/ci.yml) runs `make check`.
 
-.PHONY: check build vet test bench bench-json chaos-smoke
+.PHONY: check build vet lint test race bench bench-json chaos-smoke
 
-check: build vet test chaos-smoke
+check: build vet lint test chaos-smoke
 
 build:
 	go build ./...
@@ -10,8 +10,21 @@ build:
 vet:
 	go vet ./...
 
+# meshvet (cmd/meshvet, internal/lint) machine-checks the simulator's
+# determinism, pooling, and concurrency invariants: no wall clock or
+# global randomness in sim code, no order-dependent range-over-map, no
+# pooled-value retention, index-owned writes in parallel sweeps.
+lint:
+	go run ./cmd/meshvet ./...
+
 test:
 	go test -race -timeout 30m ./...
+
+# Short-mode suite under the race detector: the quick leg that
+# complements the indexowned analyzer (static ownership proofs) with
+# runtime interleaving checks.
+race:
+	go test -race -short -timeout 10m ./...
 
 bench:
 	go test -bench=. -benchtime=1x -run=^$$ .

@@ -3,6 +3,8 @@ package meshlayer
 import (
 	"testing"
 	"time"
+
+	"meshlayer/internal/lint/leakcheck"
 )
 
 // Short windows keep the three simulated runs affordable under -race;
@@ -20,6 +22,7 @@ const (
 // scale: under the scripted chaos suite the fully-defended mesh keeps
 // the LS error rate near zero while the undefended run degrades.
 func TestChaosDefensesBeatUndefended(t *testing.T) {
+	leakcheck.Check(t)
 	undefended := runChaosOnce("undefended", 0, true, 1, chaosTestWarmup, chaosTestMeasure)
 	defended := runChaosOnce("defended", 3, true, 1, chaosTestWarmup, chaosTestMeasure)
 
@@ -39,6 +42,7 @@ func TestChaosDefensesBeatUndefended(t *testing.T) {
 // budgets (level 3) must issue strictly fewer retries than the
 // unbudgeted defense stack (level 2), and must actually deny some.
 func TestChaosRetryBudgetCutsRetries(t *testing.T) {
+	leakcheck.Check(t)
 	unbudgeted := runChaosOnce("unbudgeted", 2, true, 1, chaosTestWarmup, chaosTestMeasure)
 	budgeted := runChaosOnce("budgeted", 3, true, 1, chaosTestWarmup, chaosTestMeasure)
 
@@ -57,6 +61,7 @@ func TestChaosRetryBudgetCutsRetries(t *testing.T) {
 // TestChaosDeterministic: equal seeds must reproduce the scenario
 // byte-for-byte, recorder buckets and all.
 func TestChaosDeterministic(t *testing.T) {
+	leakcheck.Check(t)
 	a := runChaosOnce("run", 3, true, 9, chaosTestWarmup, chaosTestMeasure)
 	b := runChaosOnce("run", 3, true, 9, chaosTestWarmup, chaosTestMeasure)
 	if a != b {

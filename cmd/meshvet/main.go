@@ -1,0 +1,60 @@
+// Command meshvet runs the meshlayer invariant analyzers (see
+// internal/lint) over the module and exits non-zero on any finding.
+// It is the machine-checked form of the determinism, pooling, and
+// concurrency rules that PRs 2–3 established by hand:
+//
+//	walltime    no wall-clock reads in sim code
+//	globalrand  no process-global randomness in sim code
+//	mapiter     no order-dependent work inside range-over-map
+//	poolescape  no retention of //meshvet:pooled values past Release
+//	indexowned  runIndexed workers write only index-owned slots
+//
+// Usage:
+//
+//	go run ./cmd/meshvet [packages]   (default ./...)
+//
+// Run it from inside the module: package loading and the source
+// importer resolve module-local imports through the go command.
+// Justified exceptions are annotated in source with
+// //meshvet:allow <analyzer> <reason>; `meshvet -doc` prints each
+// analyzer's full documentation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/token"
+	"os"
+
+	"meshlayer/internal/lint"
+)
+
+func main() {
+	doc := flag.Bool("doc", false, "print each analyzer's documentation and exit")
+	flag.Parse()
+	if *doc {
+		for _, a := range lint.All {
+			fmt.Printf("%s\n\t%s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	fset := token.NewFileSet()
+	pkgs, err := lint.LoadPackages(fset, patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "meshvet: %v\n", err)
+		os.Exit(2)
+	}
+	diags := lint.Run(fset, pkgs, lint.All)
+	for _, d := range diags {
+		fmt.Println(d.String())
+	}
+	if n := len(diags); n > 0 {
+		fmt.Fprintf(os.Stderr, "meshvet: %d issue(s) in %d package(s)\n", n, len(pkgs))
+		os.Exit(1)
+	}
+}

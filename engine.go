@@ -41,9 +41,9 @@ type EngineBench struct {
 func measured(fn func()) (time.Duration, uint64) {
 	var before, after runtime.MemStats
 	runtime.ReadMemStats(&before)
-	start := time.Now()
+	start := time.Now() //meshvet:allow walltime host-side harness timing, never feeds sim state or goldens
 	fn()
-	elapsed := time.Since(start)
+	elapsed := time.Since(start) //meshvet:allow walltime host-side harness timing, never feeds sim state or goldens
 	runtime.ReadMemStats(&after)
 	return elapsed, after.Mallocs - before.Mallocs
 }

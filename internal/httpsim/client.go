@@ -11,7 +11,11 @@ import (
 )
 
 // wireMsg is the transport-level frame: a request or a response tagged
-// with the request ID it belongs to.
+// with the request ID it belongs to. Recycled through wireMsgPool
+// below; retention past freeWireMsg is enforced away by meshvet's
+// poolescape analyzer.
+//
+//meshvet:pooled
 type wireMsg struct {
 	id   uint64
 	req  *Request

@@ -1,0 +1,159 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// meshvet comment directives.
+//
+//	//meshvet:allow <analyzer> <reason>
+//	    Suppresses <analyzer>'s diagnostics on the directive's own line
+//	    and the line immediately below it, so the directive works both
+//	    trailing the offending statement and on its own line above it.
+//	    The reason is mandatory: an allow is a justified exception, and
+//	    the justification lives next to the code it excuses.
+//
+//	//meshvet:pooled
+//	    Marks the type declaration it documents (doc comment or same
+//	    line) as pool-recycled. poolescape then treats values of that
+//	    type, anywhere in the module, as forbidden from escaping into
+//	    fields, globals, channels, pool-external appends, or closures.
+//
+// Anything else spelled //meshvet: is an error — a typo in a
+// suppression must fail the build, not silently stop suppressing.
+const directivePrefix = "//meshvet:"
+
+// allowKey identifies one suppressed (analyzer, line) cell in a file.
+type allowKey struct {
+	analyzer string
+	line     int
+}
+
+// fileDirectives is the parsed directive state of one file.
+type fileDirectives struct {
+	allows map[allowKey]bool
+}
+
+func (fd *fileDirectives) suppressed(analyzer string, line int) bool {
+	if fd == nil {
+		return false
+	}
+	return fd.allows[allowKey{analyzer, line}]
+}
+
+// parseDirectives scans every comment in file, validates meshvet
+// directives, and returns the suppression table plus the qualified
+// names of types this file marks //meshvet:pooled. Malformed
+// directives are appended to diags under the reserved "directive"
+// analyzer name.
+func parseDirectives(fset *token.FileSet, file *ast.File, pkgPath string, diags *[]Diagnostic) (*fileDirectives, []string) {
+	fd := &fileDirectives{allows: map[allowKey]bool{}}
+	var pooled []string
+
+	report := func(pos token.Pos, format string, args ...any) {
+		p := Pass{Analyzer: &Analyzer{Name: DirectiveAnalyzerName}, Fset: fset, diags: diags}
+		p.Reportf(pos, format, args...)
+	}
+
+	// pooledDeclLines maps a source line to the type name declared
+	// there, so a same-line //meshvet:pooled can find its type. Doc
+	// comments are handled via typeSpecForComment below.
+	typeLines := map[int]string{}
+	ast.Inspect(file, func(n ast.Node) bool {
+		gd, ok := n.(*ast.GenDecl)
+		if !ok || gd.Tok != token.TYPE {
+			return true
+		}
+		for _, spec := range gd.Specs {
+			if ts, ok := spec.(*ast.TypeSpec); ok {
+				typeLines[fset.Position(ts.Pos()).Line] = ts.Name.Name
+			}
+		}
+		return false
+	})
+
+	// docOwner maps each comment-group position to the type it
+	// documents, for //meshvet:pooled inside doc comments.
+	docOwner := map[*ast.Comment]string{}
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch d := n.(type) {
+		case *ast.GenDecl:
+			if d.Tok != token.TYPE {
+				return true
+			}
+			for _, spec := range d.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				for _, cg := range []*ast.CommentGroup{d.Doc, ts.Doc, ts.Comment} {
+					if cg == nil {
+						continue
+					}
+					for _, c := range cg.List {
+						docOwner[c] = ts.Name.Name
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			text := c.Text
+			if !strings.HasPrefix(text, directivePrefix) {
+				continue
+			}
+			rest := strings.TrimPrefix(text, directivePrefix)
+			verb := rest
+			args := ""
+			if i := strings.IndexAny(rest, " \t"); i >= 0 {
+				verb, args = rest[:i], strings.TrimSpace(rest[i+1:])
+			}
+			line := fset.Position(c.Pos()).Line
+			switch verb {
+			case "allow":
+				fields := strings.Fields(args)
+				if len(fields) == 0 {
+					report(c.Pos(), "//meshvet:allow needs an analyzer name and a reason (//meshvet:allow <analyzer> <reason>)")
+					continue
+				}
+				name := fields[0]
+				if !knownAnalyzer(name) {
+					report(c.Pos(), "//meshvet:allow names unknown analyzer %q (known: %s)", name, analyzerNames())
+					continue
+				}
+				if len(fields) < 2 {
+					report(c.Pos(), "//meshvet:allow %s is missing its reason: justify the exception in the directive", name)
+					continue
+				}
+				fd.allows[allowKey{name, line}] = true
+				fd.allows[allowKey{name, line + 1}] = true
+			case "pooled":
+				typeName := docOwner[c]
+				if typeName == "" {
+					typeName = typeLines[line]
+				}
+				if typeName == "" {
+					report(c.Pos(), "//meshvet:pooled must be attached to a type declaration (doc comment or same line)")
+					continue
+				}
+				pooled = append(pooled, pkgPath+"."+typeName)
+			default:
+				report(c.Pos(), "unknown meshvet directive %q (known: allow, pooled)", verb)
+			}
+		}
+	}
+	return fd, pooled
+}
+
+func analyzerNames() string {
+	names := make([]string, len(All))
+	for i, a := range All {
+		names[i] = a.Name
+	}
+	return strings.Join(names, ", ")
+}

@@ -1,0 +1,109 @@
+package lint
+
+import (
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func parseSrc(t *testing.T, src string) (*token.FileSet, *fileDirectives, []string, []Diagnostic) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "dir_test.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	var diags []Diagnostic
+	fd, pooled := parseDirectives(fset, f, "example.com/p", &diags)
+	return fset, fd, pooled, diags
+}
+
+func TestAllowCoversOwnAndNextLine(t *testing.T) {
+	src := `package p
+//meshvet:allow walltime trailing-position reason
+var x = 1
+`
+	_, fd, _, diags := parseSrc(t, src)
+	if len(diags) != 0 {
+		t.Fatalf("unexpected diagnostics: %v", diags)
+	}
+	if !fd.suppressed("walltime", 2) || !fd.suppressed("walltime", 3) {
+		t.Errorf("allow on line 2 must suppress walltime on lines 2 and 3")
+	}
+	if fd.suppressed("walltime", 4) {
+		t.Errorf("allow must not reach line 4")
+	}
+	if fd.suppressed("globalrand", 3) {
+		t.Errorf("allow is per-analyzer; globalrand must not be suppressed")
+	}
+}
+
+func TestAllowNeverSuppressesDirectiveDiagnostics(t *testing.T) {
+	src := `package p
+//meshvet:allow directive trying to silence the validator
+var x = 1
+`
+	_, _, _, diags := parseSrc(t, src)
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "unknown analyzer") {
+		t.Fatalf("allow naming the reserved %q pseudo-analyzer must be rejected, got %v",
+			DirectiveAnalyzerName, diags)
+	}
+}
+
+func TestPooledAttachment(t *testing.T) {
+	src := `package p
+// T is pool-recycled.
+//
+//meshvet:pooled
+type T struct{}
+
+type U struct{} //meshvet:pooled
+
+var NotAType = 1 //meshvet:pooled
+`
+	_, _, pooled, diags := parseSrc(t, src)
+	want := map[string]bool{"example.com/p.T": true, "example.com/p.U": true}
+	if len(pooled) != 2 || !want[pooled[0]] || !want[pooled[1]] {
+		t.Errorf("pooled = %v, want T and U qualified by the package path", pooled)
+	}
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "must be attached to a type declaration") {
+		t.Errorf("detached pooled marker must be a diagnostic, got %v", diags)
+	}
+	if len(diags) == 1 && diags[0].Analyzer != DirectiveAnalyzerName {
+		t.Errorf("directive diagnostics carry the reserved analyzer name, got %q", diags[0].Analyzer)
+	}
+}
+
+func TestMalformedAllowVariants(t *testing.T) {
+	cases := []struct {
+		comment string
+		wantMsg string
+	}{
+		{"//meshvet:allow", "needs an analyzer name and a reason"},
+		{"//meshvet:allow mapiter", "missing its reason"},
+		{"//meshvet:allow nosuch because reasons", `unknown analyzer "nosuch"`},
+		{"//meshvet:frob x", `unknown meshvet directive "frob"`},
+	}
+	for _, c := range cases {
+		_, fd, _, diags := parseSrc(t, "package p\n"+c.comment+"\nvar x = 1\n")
+		if len(diags) != 1 || !strings.Contains(diags[0].Message, c.wantMsg) {
+			t.Errorf("%s: got %v, want message containing %q", c.comment, diags, c.wantMsg)
+		}
+		if len(fd.allows) != 0 {
+			t.Errorf("%s: malformed directive must not suppress anything, got %v", c.comment, fd.allows)
+		}
+	}
+}
+
+func TestNonDirectiveCommentsIgnored(t *testing.T) {
+	src := `package p
+// plain comment mentioning meshvet:allow inside prose is not a directive
+var x = 1 // meshvet:allow walltime spaced-out prefix is prose too
+`
+	_, fd, pooled, diags := parseSrc(t, src)
+	if len(diags) != 0 || len(fd.allows) != 0 || len(pooled) != 0 {
+		t.Errorf("prose mentioning directives must be inert: diags=%v allows=%v pooled=%v",
+			diags, fd.allows, pooled)
+	}
+}

@@ -1,0 +1,94 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Globalrand forbids drawing from process-global randomness. Every
+// random draw in the simulator must come from a *rand.Rand constructed
+// as rand.New(rand.NewSource(seed)) with the per-run seed threaded
+// through the experiment config — that is what makes a sweep a pure
+// function of (config, seed) and lets the chaos goldens demand
+// byte-identical reruns.
+//
+// Flagged: (1) any math/rand package-level function except the
+// constructors New, NewSource, NewZipf — rand.Intn, rand.Float64,
+// rand.Shuffle, rand.Seed, ... all share the unseeded global source;
+// (2) rand.New whose argument is not an inline rand.NewSource(...)
+// call, so the seed's provenance is visible at the construction site.
+var Globalrand = &Analyzer{
+	Name: "globalrand",
+	Doc:  "forbid math/rand global functions and un-seeded rand.New in simulation code",
+	Run:  runGlobalrand,
+}
+
+var randConstructors = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+}
+
+func runGlobalrand(pass *Pass) {
+	// randNewArgs records the first argument of every rand.New call so
+	// the constructor check below can demand an inline NewSource.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if fn := randFunc(pass, n.Fun); fn != nil && fn.Name() == "New" {
+					if len(n.Args) != 1 || !isRandNewSourceCall(pass, n.Args[0]) {
+						pass.Reportf(n.Pos(),
+							"rand.New must be seeded inline as rand.New(rand.NewSource(seed)) with a config-threaded seed")
+					}
+				}
+			case *ast.Ident:
+				fn, ok := pass.Info.Uses[n].(*types.Func)
+				if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "math/rand" {
+					return true
+				}
+				if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+					return true // methods on *rand.Rand are the sanctioned pattern
+				}
+				if randConstructors[fn.Name()] {
+					return true
+				}
+				pass.Reportf(n.Pos(),
+					"rand.%s draws from the process-global source; use the per-run *rand.Rand seeded from the experiment config",
+					fn.Name())
+			}
+			return true
+		})
+	}
+}
+
+// randFunc resolves a call target to a math/rand package-level
+// function, or nil.
+func randFunc(pass *Pass, fun ast.Expr) *types.Func {
+	var id *ast.Ident
+	switch e := fun.(type) {
+	case *ast.SelectorExpr:
+		id = e.Sel
+	case *ast.Ident:
+		id = e
+	default:
+		return nil
+	}
+	fn, ok := pass.Info.Uses[id].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "math/rand" {
+		return nil
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return nil
+	}
+	return fn
+}
+
+func isRandNewSourceCall(pass *Pass, e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn := randFunc(pass, call.Fun)
+	return fn != nil && fn.Name() == "NewSource"
+}

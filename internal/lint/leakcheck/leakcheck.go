@@ -1,0 +1,44 @@
+// Package leakcheck fails tests that abandon goroutines. The parallel
+// sweep pool (runIndexed) must always wind down to zero workers before
+// returning — a worker blocked on a hung simulation or an unclosed
+// channel would silently serialize later sweeps and, under -race,
+// bleed state between tests. The indexowned analyzer proves workers
+// write only their own slots; this check proves the workers themselves
+// go away.
+package leakcheck
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// slack tolerates runtime-internal goroutines (GC workers, the test
+// framework's timeout monitor) that come and go independently of the
+// code under test.
+const slack = 2
+
+// Check snapshots the goroutine count and registers a cleanup that
+// fails t if, after a grace period for normal unwinding, the count
+// stays above the snapshot plus slack. Call it first thing in the
+// test.
+func Check(t testing.TB) {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		var after int
+		deadline := 50 // ~500ms total grace
+		for i := 0; i < deadline; i++ {
+			after = runtime.NumGoroutine()
+			if after <= before+slack {
+				return
+			}
+			//meshvet:allow walltime host-side test harness polling; the sim clock does not exist here
+			time.Sleep(10 * time.Millisecond)
+		}
+		buf := make([]byte, 1<<20)
+		n := runtime.Stack(buf, true)
+		t.Errorf("goroutine leak: %d before, %d after (slack %d); stacks:\n%s",
+			before, after, slack, buf[:n])
+	})
+}

@@ -1,0 +1,134 @@
+// Package linttest is meshvet's analogue of
+// golang.org/x/tools/go/analysis/analysistest: it runs analyzers over
+// a testdata package and checks the reported diagnostics against
+// `// want "regexp"` comments in the sources.
+//
+// Expectation syntax, per line:
+//
+//	code() // want "first diagnostic re" "second diagnostic re"
+//
+// Every diagnostic on a line must match one unclaimed want-pattern on
+// that line and every want-pattern must be claimed by exactly one
+// diagnostic, so both false positives and false negatives fail the
+// test. A line with a violation plus a //meshvet:allow directive and
+// no want comment asserts the suppression path end to end.
+package linttest
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"meshlayer/internal/lint"
+)
+
+// wantRe accepts an optional relative-line anchor: `// want@-1 "re"`
+// claims a diagnostic one line above the comment. Directives that are
+// themselves malformed produce diagnostics on comment-only lines, and
+// a line comment cannot share its line with a second comment, so those
+// expectations live on the next line and point back up.
+var wantRe = regexp.MustCompile(`//\s*want(@[+-]?\d+)?\s+((?:"(?:[^"\\]|\\.)*"\s*)+)`)
+var wantArgRe = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
+
+type want struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	claimed bool
+}
+
+// Run loads the single package in dir and applies analyzers, failing t
+// on any mismatch between reported diagnostics and want comments.
+func Run(t *testing.T, dir string, analyzers ...*lint.Analyzer) {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkg, err := lint.LoadDir(fset, dir, "meshvet/testdata/"+filepath.Base(dir))
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	diags := lint.Run(fset, []*lint.Package{pkg}, analyzers)
+
+	wants, err := collectWants(fset, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, d := range diags {
+		if w := claim(wants, d.Pos.Filename, d.Pos.Line, d.Message); w == nil {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.claimed {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.pattern)
+		}
+	}
+}
+
+func claim(wants []*want, file string, line int, msg string) *want {
+	for _, w := range wants {
+		if !w.claimed && w.file == file && w.line == line && w.pattern.MatchString(msg) {
+			w.claimed = true
+			return w
+		}
+	}
+	return nil
+}
+
+func collectWants(fset *token.FileSet, dir string) ([]*want, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var wants []*want
+	for _, ent := range ents { // ReadDir sorts by name: deterministic want order
+		if !strings.HasSuffix(ent.Name(), ".go") {
+			continue
+		}
+		fname := filepath.Join(dir, ent.Name())
+		f, err := parser.ParseFile(fset, fname, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		{
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := wantRe.FindStringSubmatch(c.Text)
+					if m == nil {
+						if strings.Contains(c.Text, "want ") && strings.Contains(c.Text, `"`) {
+							return nil, fmt.Errorf("%s: malformed want comment: %s", fname, c.Text)
+						}
+						continue
+					}
+					pos := fset.Position(c.Pos())
+					line := pos.Line
+					if m[1] != "" {
+						off, err := strconv.Atoi(m[1][1:])
+						if err != nil {
+							return nil, fmt.Errorf("%s:%d: bad want anchor %q", fname, pos.Line, m[1])
+						}
+						line += off
+					}
+					for _, q := range wantArgRe.FindAllString(m[2], -1) {
+						unq, err := strconv.Unquote(q)
+						if err != nil {
+							return nil, fmt.Errorf("%s:%d: bad want pattern %s: %v", fname, pos.Line, q, err)
+						}
+						re, err := regexp.Compile(unq)
+						if err != nil {
+							return nil, fmt.Errorf("%s:%d: bad want regexp %q: %v", fname, pos.Line, unq, err)
+						}
+						wants = append(wants, &want{file: pos.Filename, line: line, pattern: re})
+					}
+				}
+			}
+		}
+	}
+	return wants, nil
+}

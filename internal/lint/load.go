@@ -1,0 +1,146 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	Path  string
+	Name  string
+	Dir   string
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// LoadPackages resolves patterns with `go list` (so ./... behaves
+// exactly like the go tool: testdata and ignored dirs excluded), then
+// parses and type-checks each matched package from source. Test files
+// are not loaded: the invariants gate sim/production code, and tests
+// legitimately use wall time for harness timeouts.
+//
+// The process working directory must be inside the module, because
+// both `go list` and the source importer resolve module-local import
+// paths through the go command.
+func LoadPackages(fset *token.FileSet, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"list", "-json=ImportPath,Name,Dir,GoFiles"}, patterns...)
+	cmd := exec.Command("go", args...)
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, errb.String())
+	}
+
+	type listPkg struct {
+		ImportPath string
+		Name       string
+		Dir        string
+		GoFiles    []string
+	}
+	var metas []listPkg
+	dec := json.NewDecoder(&out)
+	for dec.More() {
+		var lp listPkg
+		if err := dec.Decode(&lp); err != nil {
+			return nil, fmt.Errorf("decoding go list output: %v", err)
+		}
+		metas = append(metas, lp)
+	}
+	sort.Slice(metas, func(i, j int) bool { return metas[i].ImportPath < metas[j].ImportPath })
+
+	imp := importer.ForCompiler(fset, "source", nil)
+	var pkgs []*Package
+	for _, m := range metas {
+		if len(m.GoFiles) == 0 {
+			continue
+		}
+		var files []*ast.File
+		for _, name := range m.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(m.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, f)
+		}
+		pkg, info, err := typeCheck(fset, m.ImportPath, files, imp)
+		if err != nil {
+			return nil, fmt.Errorf("type-checking %s: %v", m.ImportPath, err)
+		}
+		pkgs = append(pkgs, &Package{
+			Path:  m.ImportPath,
+			Name:  m.Name,
+			Dir:   m.Dir,
+			Files: files,
+			Types: pkg,
+			Info:  info,
+		})
+	}
+	return pkgs, nil
+}
+
+// LoadDir parses and type-checks the single package rooted at dir
+// without consulting `go list` — the loader the linttest harness uses
+// for testdata packages (which the go tool deliberately ignores).
+// Testdata packages may import only the standard library.
+func LoadDir(fset *token.FileSet, dir, asPath string) (*Package, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var pkgName string
+	var files []*ast.File
+	for _, ent := range ents { // ReadDir sorts by name: deterministic file order
+		name := ent.Name()
+		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		pkgName = f.Name.Name
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go source in %s", dir)
+	}
+	imp := importer.ForCompiler(fset, "source", nil)
+	pkg, info, err := typeCheck(fset, asPath, files, imp)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", dir, err)
+	}
+	return &Package{Path: asPath, Name: pkgName, Dir: dir, Files: files, Types: pkg, Info: info}, nil
+}
+
+func typeCheck(fset *token.FileSet, path string, files []*ast.File, imp types.Importer) (*types.Package, *types.Info, error) {
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: imp}
+	pkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pkg, info, nil
+}

@@ -1,0 +1,194 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Mapiter flags order-dependent work inside `range` over a map — the
+// classic golden-drift source: Go randomizes map iteration order per
+// run, so scheduling an event, appending to a result slice, or
+// printing inside such a loop yields output that differs between
+// byte-identical reruns. The sanctioned pattern is collect → sort →
+// iterate; an append whose target is sorted after the loop (sort.* or
+// slices.Sort* in the same function) is recognized and not flagged.
+var Mapiter = &Analyzer{
+	Name: "mapiter",
+	Doc:  "flag event scheduling, result appends, and output writes inside range-over-map without a sort",
+	Run:  runMapiter,
+}
+
+// schedulingNames are callee names that enqueue work on the simulator
+// clock; calling one per map entry schedules events in random order.
+var schedulingNames = map[string]bool{
+	"After":     true,
+	"AfterFunc": true,
+	"At":        true,
+	"Schedule":  true,
+}
+
+func runMapiter(pass *Pass) {
+	for _, f := range pass.Files {
+		// Collect function bodies so each range statement can find its
+		// innermost enclosing function for the sorted-after check.
+		var bodies []*ast.BlockStmt
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					bodies = append(bodies, fn.Body)
+				}
+			case *ast.FuncLit:
+				bodies = append(bodies, fn.Body)
+			}
+			return true
+		})
+		enclosing := func(pos token.Pos) *ast.BlockStmt {
+			var best *ast.BlockStmt
+			for _, b := range bodies {
+				if b.Pos() <= pos && pos < b.End() {
+					if best == nil || b.Pos() > best.Pos() {
+						best = b
+					}
+				}
+			}
+			return best
+		}
+
+		ast.Inspect(f, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pass.TypeOf(rng.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			checkMapRangeBody(pass, rng, enclosing(rng.Pos()))
+			return true
+		})
+	}
+}
+
+func checkMapRangeBody(pass *Pass, rng *ast.RangeStmt, fnBody *ast.BlockStmt) {
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if name, ok := calleeName(n.Fun); ok && schedulingNames[name] {
+				pass.Reportf(n.Pos(),
+					"%s call inside range over map schedules events in random iteration order; iterate a sorted key slice", name)
+			}
+			if fn := fmtPrinter(pass, n.Fun); fn != "" {
+				pass.Reportf(n.Pos(),
+					"fmt.%s inside range over map emits output in random iteration order; iterate a sorted key slice", fn)
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok || !isBuiltinAppend(pass, call) || i >= len(n.Lhs) {
+					continue
+				}
+				id, ok := n.Lhs[i].(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := pass.Info.ObjectOf(id)
+				if obj == nil || insideRange(obj.Pos(), rng) {
+					continue
+				}
+				if sortedAfter(pass, fnBody, rng, obj) {
+					continue
+				}
+				pass.Reportf(n.Pos(),
+					"append to %s inside range over map accumulates in random iteration order; sort %s after the loop or iterate sorted keys",
+					id.Name, id.Name)
+			}
+		}
+		return true
+	})
+}
+
+func insideRange(pos token.Pos, rng *ast.RangeStmt) bool {
+	return rng.Pos() <= pos && pos < rng.End()
+}
+
+func calleeName(fun ast.Expr) (string, bool) {
+	switch e := fun.(type) {
+	case *ast.SelectorExpr:
+		return e.Sel.Name, true
+	case *ast.Ident:
+		return e.Name, true
+	}
+	return "", false
+}
+
+// fmtPrinter returns the function name if fun is an output-producing
+// fmt function (Print*, Fprint*); Sprint* is pure and stays free.
+func fmtPrinter(pass *Pass, fun ast.Expr) string {
+	sel, ok := fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "fmt" {
+		return ""
+	}
+	switch fn.Name() {
+	case "Print", "Printf", "Println", "Fprint", "Fprintf", "Fprintln":
+		return fn.Name()
+	}
+	return ""
+}
+
+func isBuiltinAppend(pass *Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	_, isBuiltin := pass.Info.Uses[id].(*types.Builtin)
+	return isBuiltin
+}
+
+// sortedAfter reports whether obj is passed to a sort.* / slices.*
+// call after the range loop within the same function body — the
+// collect-then-sort idiom that restores determinism.
+func sortedAfter(pass *Pass, fnBody *ast.BlockStmt, rng *ast.RangeStmt, obj types.Object) bool {
+	if fnBody == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return true
+		}
+		if p := fn.Pkg().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(a ast.Node) bool {
+				if id, ok := a.(*ast.Ident); ok && pass.Info.ObjectOf(id) == obj {
+					found = true
+				}
+				return !found
+			})
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,56 @@
+package lint
+
+import (
+	"go/token"
+)
+
+// Run executes analyzers over pkgs and returns the surviving
+// diagnostics in deterministic (file, line, column, analyzer) order.
+//
+// It makes two passes: first every file's directives are parsed, which
+// both builds the per-file suppression tables and collects the
+// module-wide //meshvet:pooled type set (so poolescape sees pooled
+// types across package boundaries); then each analyzer runs on each
+// package and its reports are filtered through the suppression tables.
+// Malformed-directive diagnostics carry the reserved analyzer name
+// "directive" and cannot be suppressed.
+func Run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	pooled := map[string]bool{}
+	directives := map[string]*fileDirectives{}
+
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			fd, pooledNames := parseDirectives(fset, f, pkg.Path, &diags)
+			directives[fset.Position(f.Pos()).Filename] = fd
+			for _, n := range pooledNames {
+				pooled[n] = true
+			}
+		}
+	}
+
+	var raw []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				Pooled:   pooled,
+				diags:    &raw,
+			}
+			a.Run(pass)
+		}
+	}
+
+	for _, d := range raw {
+		if fd := directives[d.Pos.Filename]; fd.suppressed(d.Analyzer, d.Pos.Line) {
+			continue
+		}
+		diags = append(diags, d)
+	}
+	sortDiagnostics(diags)
+	return diags
+}

@@ -1,0 +1,31 @@
+package lint_test
+
+import (
+	"go/token"
+	"testing"
+
+	"meshlayer/internal/lint"
+)
+
+// TestRepoSweepClean runs every analyzer over the whole module — the
+// same sweep as `go run ./cmd/meshvet ./...` — so plain `go test ./...`
+// guards the determinism, pooling, and concurrency invariants even on
+// machines that never invoke make lint. Any finding here either needs
+// a real fix or a justified //meshvet:allow at the site.
+func TestRepoSweepClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("module-wide type-check is not short")
+	}
+	fset := token.NewFileSet()
+	pkgs, err := lint.LoadPackages(fset, "meshlayer/...")
+	if err != nil {
+		t.Fatalf("loading module packages: %v", err)
+	}
+	if len(pkgs) < 20 {
+		t.Fatalf("loaded only %d packages; the sweep should cover the whole module", len(pkgs))
+	}
+	diags := lint.Run(fset, pkgs, lint.All)
+	for _, d := range diags {
+		t.Errorf("%s", d.String())
+	}
+}

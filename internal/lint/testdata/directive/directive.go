@@ -1,0 +1,58 @@
+// Package directivetest seeds malformed meshvet directives: each one
+// must surface as a diagnostic, never be silently ignored. The
+// expectations use linttest's `want@-1` anchor because a malformed
+// directive's diagnostic lands on a comment-only line.
+package directivetest
+
+import "time"
+
+// missingEverything has an allow with no analyzer and no reason.
+func missingEverything() time.Time {
+	//meshvet:allow
+	// want@-1 "//meshvet:allow needs an analyzer name and a reason"
+	return time.Now() // want "time.Now reads the wall clock"
+}
+
+// missingReason names an analyzer but gives no justification, so the
+// suppression must NOT take effect even on the adjacent line.
+func missingReason() time.Time {
+	//meshvet:allow walltime
+	// want@-1 "//meshvet:allow walltime is missing its reason"
+	return time.Now() // want "time.Now reads the wall clock"
+}
+
+// unknownAnalyzer misspells the analyzer name.
+func unknownAnalyzer() time.Time {
+	//meshvet:allow waltime typo in the analyzer name
+	// want@-1 "//meshvet:allow names unknown analyzer \"waltime\""
+	return time.Now() // want "time.Now reads the wall clock"
+}
+
+// unknownVerb uses a directive meshvet does not define.
+func unknownVerb() time.Time {
+	//meshvet:suppress walltime wrong verb entirely
+	// want@-1 "unknown meshvet directive \"suppress\""
+	return time.Now() // want "time.Now reads the wall clock"
+}
+
+// detachedPooled is not attached to any type declaration.
+func detachedPooled() {
+	//meshvet:pooled
+	// want@-1 "//meshvet:pooled must be attached to a type declaration"
+}
+
+// wellFormed is the control: a valid allow with analyzer and reason
+// suppresses the diagnostic on the next line, and a valid pooled
+// marker on a type produces nothing.
+func wellFormed() time.Time {
+	//meshvet:allow walltime valid directive control case
+	return time.Now()
+}
+
+// tracked is a correctly marked pooled type: the marker itself must
+// produce no diagnostic.
+//
+//meshvet:pooled
+type tracked struct{ id int }
+
+var _ = tracked{id: 1}

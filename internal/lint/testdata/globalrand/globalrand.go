@@ -1,0 +1,32 @@
+// Package globalrandtest seeds violations for the globalrand analyzer.
+package globalrandtest
+
+import "math/rand"
+
+// globals draws from the process-global source: every call must be
+// flagged.
+func globals() int {
+	n := rand.Intn(10)                 // want "rand.Intn draws from the process-global source"
+	f := rand.Float64()                // want "rand.Float64 draws from the process-global source"
+	rand.Shuffle(n, func(i, j int) {}) // want "rand.Shuffle draws from the process-global source"
+	return n + int(f)
+}
+
+// seeded is the sanctioned pattern: a per-run source seeded from a
+// config value, with the seed's provenance visible at the call site.
+func seeded(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10) // methods on an owned *rand.Rand are free
+}
+
+// laundered hides the source's construction, so the seed's provenance
+// is invisible at the rand.New site.
+func laundered(src rand.Source) *rand.Rand {
+	return rand.New(src) // want "rand.New must be seeded inline"
+}
+
+// allowed shows a justified exception.
+func allowed() int {
+	//meshvet:allow globalrand testdata fixture exercising the suppression path
+	return rand.Intn(10)
+}

@@ -1,0 +1,67 @@
+// Package mapitertest seeds violations for the mapiter analyzer.
+package mapitertest
+
+import (
+	"fmt"
+	"sort"
+)
+
+// sched stands in for the simulator scheduler.
+type sched struct{}
+
+func (sched) After(d int, fn func()) {}
+
+// scheduleFromMap enqueues one event per map entry: the events land on
+// the clock in random iteration order.
+func scheduleFromMap(s sched, m map[string]int) {
+	for _, d := range m {
+		s.After(d, func() {}) // want "After call inside range over map schedules events in random iteration order"
+	}
+}
+
+// collectUnsorted accumulates results in iteration order and never
+// sorts them: classic golden drift.
+func collectUnsorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want "append to out inside range over map accumulates in random iteration order"
+	}
+	return out
+}
+
+// collectSorted is the sanctioned pattern: collect, sort, then use.
+func collectSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// printFromMap writes output per entry in random order.
+func printFromMap(m map[string]int) {
+	for k, v := range m {
+		fmt.Printf("%s=%d\n", k, v) // want "fmt.Printf inside range over map emits output in random iteration order"
+	}
+}
+
+// sliceRange shows ranging over a slice stays free.
+func sliceRange(s []int) []int {
+	var out []int
+	for _, v := range s {
+		out = append(out, v)
+	}
+	return out
+}
+
+// allowed shows a justified exception: accumulation into a
+// commutative aggregate is order-independent.
+func allowed(m map[string]int) []int {
+	var out []int
+	for _, v := range m {
+		//meshvet:allow mapiter order-independent testdata fixture exercising suppression
+		out = append(out, v)
+	}
+	return out
+}

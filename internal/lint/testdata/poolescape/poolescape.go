@@ -1,0 +1,65 @@
+// Package poolescapetest seeds violations for the poolescape analyzer.
+package poolescapetest
+
+// packet is this fixture's pool-recycled type.
+//
+//meshvet:pooled
+type packet struct {
+	id      uint64
+	payload []byte
+}
+
+type holder struct {
+	last *packet
+}
+
+var lastSeen *packet
+
+// fieldStore retains the packet in a struct field.
+func fieldStore(h *holder, p *packet) {
+	h.last = p // want "pooled packet stored into field last may outlive its Release"
+}
+
+// globalStore retains the packet in a package-level variable.
+func globalStore(p *packet) {
+	lastSeen = p // want "pooled packet stored into package-level lastSeen outlives every Release"
+}
+
+// elementStore retains the packet in a slice element.
+func elementStore(s []*packet, p *packet) {
+	s[0] = p // want "pooled packet stored into a slice/map element may outlive its Release"
+}
+
+// channelSend hands the packet to another owner.
+func channelSend(ch chan *packet, p *packet) {
+	ch <- p // want "pooled packet sent on a channel escapes its owner"
+}
+
+// sliceAppend retains the packet in a growable slice.
+func sliceAppend(batch []*packet, p *packet) []*packet {
+	return append(batch, p) // want "pooled packet appended to a slice is retained past this call"
+}
+
+// closureCapture lets a deferred closure read the packet after the
+// caller may have released it.
+func closureCapture(p *packet, schedule func(func())) {
+	schedule(func() {
+		_ = p.id // want "closure captures pooled packet p"
+	})
+}
+
+// localUse shows that reading fields and passing the value down the
+// stack stays free: the call frame is the sanctioned scope.
+func localUse(p *packet) uint64 {
+	q := p
+	return q.id
+}
+
+// pool is the sanctioned retainer, annotated like the real pools.
+type pool struct {
+	free []*packet
+}
+
+func (pl *pool) put(p *packet) {
+	pl.free = append(pl.free, p) //meshvet:allow poolescape this free list IS the pool: the one sanctioned retainer
+}

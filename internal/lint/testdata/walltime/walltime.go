@@ -1,0 +1,31 @@
+// Package walltimetest seeds violations for the walltime analyzer.
+package walltimetest
+
+import "time"
+
+// simStep stands in for sim-path code: every wall-clock read or timer
+// below must be flagged.
+func simStep() time.Duration {
+	start := time.Now()           // want "time.Now reads the wall clock"
+	time.Sleep(time.Millisecond)  // want "time.Sleep blocks on the wall clock"
+	ch := time.After(time.Second) // want "time.After schedules on the wall clock"
+	<-ch
+	t := time.NewTimer(time.Second) // want "time.NewTimer schedules on the wall clock"
+	t.Stop()
+	k := time.NewTicker(time.Second) // want "time.NewTicker schedules on the wall clock"
+	k.Stop()
+	return time.Since(start) // want "time.Since reads the wall clock"
+}
+
+// durations shows that time.Duration units and arithmetic stay free:
+// they are units, not clocks.
+func durations(d time.Duration) time.Duration {
+	return 3*time.Millisecond + d.Round(time.Microsecond)
+}
+
+// hostSide shows a justified exception: the allow directive suppresses
+// the diagnostic on its own line and the next.
+func hostSide() time.Time {
+	//meshvet:allow walltime host-side harness timing for this testdata fixture
+	return time.Now()
+}

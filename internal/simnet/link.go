@@ -169,7 +169,7 @@ func (n *NIC) transmitNext() {
 	if n.tap != nil {
 		n.tap(p, sched.Now())
 	}
-	n.txPacket = p
+	n.txPacket = p //meshvet:allow poolescape NIC owns the packet while it serializes; handed off or freed in onTxDone
 	if n.txDone == nil {
 		n.txDone = n.onTxDone
 	}

@@ -59,6 +59,13 @@ const (
 // Packet is the unit of transmission. Payload carries the upper layer's
 // segment; Size is the full on-wire size in bytes, which is what links
 // and queues account.
+//
+// Packets are recycled through Network.pktPool: after the terminal
+// delivery/drop point a Packet may be scrubbed and reused at any time,
+// so references must not outlive the callback they were handed to
+// (enforced by meshvet's poolescape analyzer).
+//
+//meshvet:pooled
 type Packet struct {
 	ID      uint64
 	Flow    FlowKey

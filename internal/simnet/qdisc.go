@@ -60,7 +60,7 @@ func (f *FIFO) Enqueue(p *Packet) bool {
 		f.drops++
 		return false
 	}
-	f.queue = append(f.queue, p)
+	f.queue = append(f.queue, p) //meshvet:allow poolescape a queued packet is live; it reaches its terminal free point only after Dequeue
 	f.backlog += p.Size
 	return true
 }

@@ -94,7 +94,7 @@ func (q *RED) Enqueue(p *simnet.Packet) bool {
 			return false
 		}
 	}
-	q.queue = append(q.queue, p)
+	q.queue = append(q.queue, p) //meshvet:allow poolescape a queued packet is live until Dequeue hands it onward
 	q.backlog += p.Size
 	return true
 }
@@ -173,7 +173,7 @@ func (q *CoDel) Enqueue(p *simnet.Packet) bool {
 		return false
 	}
 	p.EnqueuedAt = q.clock()
-	q.queue = append(q.queue, p)
+	q.queue = append(q.queue, p) //meshvet:allow poolescape a queued packet is live until Dequeue hands it onward
 	q.backlog += p.Size
 	return true
 }

@@ -71,7 +71,7 @@ func (d *DRR) Dequeue() *simnet.Packet {
 		idx := d.active[d.cursor]
 		c := d.classes[idx]
 		if c.head == nil {
-			c.head = c.queue.Dequeue()
+			c.head = c.queue.Dequeue() //meshvet:allow poolescape peeked head is still queue-owned until the scheduler emits it
 		}
 		if c.head == nil {
 			// Class drained: deactivate and forfeit the deficit.

@@ -99,7 +99,7 @@ func (c *htbClass) refill(now time.Duration) {
 
 func (c *htbClass) peek() *simnet.Packet {
 	if c.head == nil {
-		c.head = c.queue.Dequeue()
+		c.head = c.queue.Dequeue() //meshvet:allow poolescape peeked head is still queue-owned until the scheduler emits it
 	}
 	return c.head
 }

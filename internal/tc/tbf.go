@@ -63,7 +63,7 @@ func (q *TBF) Enqueue(p *simnet.Packet) bool { return q.inner.Enqueue(p) }
 func (q *TBF) Dequeue() *simnet.Packet {
 	q.refill(q.clock())
 	if q.head == nil {
-		q.head = q.inner.Dequeue()
+		q.head = q.inner.Dequeue() //meshvet:allow poolescape peeked head is still queue-owned until tokens cover it
 	}
 	if q.head == nil {
 		return nil

@@ -273,7 +273,7 @@ func (c *Conn) emit(seg *Segment, payloadBytes int) {
 	p.Flow = c.flow
 	p.Size = simnet.HeaderBytes + payloadBytes
 	p.Mark = c.opts.Mark
-	p.Payload = seg
+	p.Payload = seg //meshvet:allow poolescape the segment rides in the packet; the receiving host frees it after handling
 	if seg.Kind != SegDATA && seg.Kind != SegFIN {
 		p.Size = ctrlSize
 	}

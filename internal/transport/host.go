@@ -46,7 +46,7 @@ func (h *Host) allocSeg() *Segment {
 // bookkeeping, which outlives this segment for retransmissions.
 func (h *Host) freeSeg(s *Segment) {
 	s.Bounds = nil
-	h.segPool = append(h.segPool, s)
+	h.segPool = append(h.segPool, s) //meshvet:allow poolescape this free list IS the pool: the one sanctioned retainer
 }
 
 // Listener accepts inbound connections on a port.

@@ -3,6 +3,8 @@ package meshlayer
 import (
 	"testing"
 	"time"
+
+	"meshlayer/internal/lint/leakcheck"
 )
 
 // withParallelism runs fn with MaxParallel forced to n, restoring the
@@ -19,6 +21,7 @@ func withParallelism(n int, fn func()) {
 // rendered tables must be byte-identical whether the arms execute
 // sequentially or on a worker pool.
 func TestParallelSweepDeterminism(t *testing.T) {
+	leakcheck.Check(t)
 	cfg := SweepConfig{
 		RPSLevels: []float64{15, 35},
 		Opt:       PaperOptimizations(),
@@ -39,6 +42,7 @@ func TestParallelSweepDeterminism(t *testing.T) {
 // configurations, and its table (error rates, retry counters, TTR)
 // must not depend on execution interleaving.
 func TestParallelChaosDeterminism(t *testing.T) {
+	leakcheck.Check(t)
 	var seq, par string
 	withParallelism(1, func() { seq = FormatChaos(RunChaos(7, time.Second, 2*time.Second)) })
 	withParallelism(4, func() { par = FormatChaos(RunChaos(7, time.Second, 2*time.Second)) })
