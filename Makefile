@@ -31,17 +31,25 @@ bench:
 
 # Engine benchmarks as a machine-readable artifact (see EXPERIMENTS.md,
 # E16). Full benchtime for stable numbers; CI runs a 1x smoke instead.
+# E17's availability ladder ships alongside it: each ZoneFail iteration
+# simulates the full correlated-failure suite, so 3x suffices.
 bench-json:
 	go test ./internal/simnet -run '^$$' -bench 'Scheduler|PacketPath' -benchmem | go run ./cmd/benchjson > BENCH_engine.json
 	@echo "wrote BENCH_engine.json"
+	go test . -run '^$$' -bench 'ZoneFail' -benchtime 3x | go run ./cmd/benchjson > BENCH_zonefail.json
+	@echo "wrote BENCH_zonefail.json"
 
 # Determinism golden check: the same seed must reproduce the E15 chaos
-# run byte-for-byte — including with the parallel sweep pool disabled,
-# which pins the parallel == sequential output property.
+# and E17 zone-failure runs byte-for-byte — including with the parallel
+# sweep pool disabled, which pins the parallel == sequential property.
 chaos-smoke:
 	@a=$$(mktemp) && b=$$(mktemp) && c=$$(mktemp) && \
 	go run ./cmd/meshbench -exp chaos -warmup 1s -measure 4s -seed 7 > $$a && \
 	go run ./cmd/meshbench -exp chaos -warmup 1s -measure 4s -seed 7 > $$b && \
 	go run ./cmd/meshbench -exp chaos -warmup 1s -measure 4s -seed 7 -parallel 1 > $$c && \
-	cmp $$a $$b && cmp $$a $$c && echo "chaos-smoke: deterministic (parallel == sequential)" ; \
+	cmp $$a $$b && cmp $$a $$c && echo "chaos-smoke: chaos deterministic (parallel == sequential)" && \
+	go run ./cmd/meshbench -exp zonefail -warmup 1s -measure 4s -seed 7 > $$a && \
+	go run ./cmd/meshbench -exp zonefail -warmup 1s -measure 4s -seed 7 > $$b && \
+	go run ./cmd/meshbench -exp zonefail -warmup 1s -measure 4s -seed 7 -parallel 1 > $$c && \
+	cmp $$a $$b && cmp $$a $$c && echo "chaos-smoke: zonefail deterministic (parallel == sequential)" ; \
 	rc=$$? ; rm -f $$a $$b $$c ; exit $$rc

@@ -194,6 +194,24 @@ func BenchmarkChaos(b *testing.B) {
 	}
 }
 
+// BenchmarkZoneFail reproduces E17: correlated zone failures against
+// the zone-aware failover and degradation ladder.
+func BenchmarkZoneFail(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := RunZoneFail(1, 2*time.Second, benchWindow)
+		// rows: fault-free, no defenses, strict locality, +failover,
+		// +degradation.
+		undefended, failover, degraded := rows[1], rows[3], rows[4]
+		b.ReportMetric(msf(rows[0].LSP99), "faultfree_ls_p99_ms")
+		b.ReportMetric(100*undefended.OutageAvail, "undefended_outage_avail_pct")
+		b.ReportMetric(100*failover.OutageAvail, "failover_outage_avail_pct")
+		b.ReportMetric(100*degraded.OutageAvail, "degraded_outage_avail_pct")
+		b.ReportMetric(msf(degraded.LSP99), "degraded_ls_p99_ms")
+		b.ReportMetric(100*degraded.DegradedFrac, "degraded_served_pct")
+		b.ReportMetric(float64(degraded.CrossZone), "cross_zone_selections")
+	}
+}
+
 // BenchmarkAdmissionQueue microbenchmarks the admission queue's
 // enqueue/shed hot path: a full queue absorbing LS arrivals by
 // displacing queued LI requests, and the CoDel pop law draining a

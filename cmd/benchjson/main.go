@@ -24,6 +24,9 @@ type benchResult struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  float64 `json:"bytes_per_op"`
 	AllocsPerOp float64 `json:"allocs_per_op"`
+	// Metrics holds b.ReportMetric values keyed by their unit, e.g.
+	// E17's "degraded_outage_avail_pct".
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 type doc struct {
@@ -94,6 +97,11 @@ func parseBench(line string) (benchResult, bool) {
 			r.BytesPerOp = v
 		case "allocs/op":
 			r.AllocsPerOp = v
+		default:
+			if r.Metrics == nil {
+				r.Metrics = make(map[string]float64)
+			}
+			r.Metrics[f[i+1]] = v
 		}
 	}
 	return r, true

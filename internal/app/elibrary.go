@@ -29,10 +29,21 @@ type ELibraryConfig struct {
 	// 1 Gbps bottleneck between reviews and ratings.
 	BottleneckRate int64
 	// ReviewsReplicas is the reviews scale-out (paper: 2, one per
-	// priority pool under the optimization).
+	// priority pool under the optimization). Ignored when Zones > 1
+	// (each zone gets one reviews replica).
 	ReviewsReplicas int
 	// Workers bounds per-pod compute concurrency.
 	Workers int
+
+	// Zones spreads the testbed across this many failure domains
+	// ("zone-a", "zone-b", ...), one replica of every tier per zone,
+	// each zone behind its own bridge and spine uplink. <= 1 keeps the
+	// original single-zone topology byte-identical to before zones
+	// existed. The gateway lives in zone-a.
+	Zones int
+	// ZoneDelay overrides the inter-zone spine propagation delay
+	// (zero: cluster.DefaultZoneUplink's 250 µs).
+	ZoneDelay time.Duration
 
 	// Latency-sensitive response sizes per component.
 	LSDetailsBytes, LSRatingsBytes, LSReviewsBytes, LSFrontendBytes int
@@ -82,10 +93,18 @@ type ELibrary struct {
 	Gateway *mesh.Gateway
 	Config  ELibraryConfig
 
+	// Per-role pods. In single-zone mode these are the Fig. 3 pods; in
+	// multi-zone mode Frontend/Details/Ratings are the zone-a replicas
+	// and the *All slices hold one pod per zone in zone order.
 	Frontend *cluster.Pod
 	Details  *cluster.Pod
 	Reviews  []*cluster.Pod
 	Ratings  *cluster.Pod
+
+	// Zones lists the zone names in creation order (nil when
+	// single-zone); AllRatings holds every ratings replica.
+	Zones      []string
+	AllRatings []*cluster.Pod
 }
 
 // BuildELibrary constructs the full Fig. 3 topology on a fresh
@@ -101,6 +120,10 @@ func BuildELibrary(cfg ELibraryConfig) *ELibrary {
 
 	link := simnet.LinkConfig{Rate: cfg.LinkRate, Delay: 20 * time.Microsecond}
 	bottleneck := simnet.LinkConfig{Rate: cfg.BottleneckRate, Delay: 20 * time.Microsecond}
+
+	if cfg.Zones > 1 {
+		return buildZonedELibrary(cfg, sched, net, cl, link, bottleneck)
+	}
 
 	gwPod := cl.AddPod(cluster.PodSpec{Name: "gateway", Labels: map[string]string{"app": "gateway"}, Link: link})
 	fePod := cl.AddPod(cluster.PodSpec{Name: "frontend-1", Labels: map[string]string{"app": "frontend"}, Link: link, Workers: cfg.Workers})
@@ -127,6 +150,7 @@ func BuildELibrary(cfg ELibraryConfig) *ELibrary {
 	e := &ELibrary{
 		Sched: sched, Net: net, Cluster: cl, Mesh: m, Gateway: gw, Config: cfg,
 		Frontend: fePod, Details: dtPod, Reviews: rvPods, Ratings: rtPod,
+		AllRatings: []*cluster.Pod{rtPod},
 	}
 	e.registerFrontend(fePod)
 	e.registerDetails(dtPod)
@@ -134,6 +158,73 @@ func BuildELibrary(cfg ELibraryConfig) *ELibrary {
 		e.registerReviews(p)
 	}
 	e.registerRatings(rtPod)
+	return e
+}
+
+// buildZonedELibrary lays the Fig. 3 application out across cfg.Zones
+// failure domains: every zone carries a full replica set
+// (frontend/details/reviews/ratings, each suffixed with the zone
+// letter), the gateway sits in zone-a, and each ratings uplink keeps
+// the bottleneck rate — so the aggregate topology is N copies of the
+// paper's testbed joined at the spine.
+func buildZonedELibrary(cfg ELibraryConfig, sched *simnet.Scheduler, net *simnet.Network,
+	cl *cluster.Cluster, link, bottleneck simnet.LinkConfig) *ELibrary {
+	uplink := cluster.DefaultZoneUplink
+	if cfg.ZoneDelay > 0 {
+		uplink.Delay = cfg.ZoneDelay
+	}
+	zones := make([]string, cfg.Zones)
+	for i := range zones {
+		zones[i] = "zone-" + string(rune('a'+i))
+		cl.AddZone(zones[i], uplink)
+	}
+
+	e := &ELibrary{Sched: sched, Net: net, Cluster: cl, Config: cfg, Zones: zones}
+	gwPod := cl.AddPod(cluster.PodSpec{
+		Name: "gateway", Labels: map[string]string{"app": "gateway"}, Link: link, Zone: zones[0]})
+	for i, z := range zones {
+		suffix := string(rune('a' + i))
+		fe := cl.AddPod(cluster.PodSpec{
+			Name: "frontend-" + suffix, Labels: map[string]string{"app": "frontend"},
+			Link: link, Workers: cfg.Workers, Zone: z})
+		dt := cl.AddPod(cluster.PodSpec{
+			Name: "details-" + suffix, Labels: map[string]string{"app": "details"},
+			Link: link, Workers: cfg.Workers, Zone: z})
+		rv := cl.AddPod(cluster.PodSpec{
+			Name: "reviews-" + suffix, Labels: map[string]string{"app": "reviews", "version": fmt.Sprintf("v%d", i+1)},
+			Link: link, Workers: cfg.Workers, Zone: z})
+		rt := cl.AddPod(cluster.PodSpec{
+			Name: "ratings-" + suffix, Labels: map[string]string{"app": "ratings"},
+			Link: bottleneck, Workers: cfg.Workers, Zone: z})
+		if i == 0 {
+			e.Frontend, e.Details, e.Ratings = fe, dt, rt
+		}
+		e.Reviews = append(e.Reviews, rv)
+		e.AllRatings = append(e.AllRatings, rt)
+	}
+
+	cl.AddService("frontend", 9080, map[string]string{"app": "frontend"})
+	cl.AddService("details", 9080, map[string]string{"app": "details"})
+	cl.AddService("reviews", 9080, map[string]string{"app": "reviews"})
+	cl.AddService("ratings", 9080, map[string]string{"app": "ratings"})
+
+	e.Mesh = mesh.New(cl, cfg.Mesh)
+	e.Gateway = e.Mesh.NewGateway(gwPod)
+
+	for _, z := range zones {
+		for _, p := range cl.ZonePods(z) {
+			switch p.Label("app") {
+			case "frontend":
+				e.registerFrontend(p)
+			case "details":
+				e.registerDetails(p)
+			case "reviews":
+				e.registerReviews(p)
+			case "ratings":
+				e.registerRatings(p)
+			}
+		}
+	}
 	return e
 }
 
@@ -149,6 +240,8 @@ func fillDefaults(cfg ELibraryConfig) ELibraryConfig {
 	if cfg.LIRatingsBytes > 0 {
 		d.LIRatingsBytes = cfg.LIRatingsBytes
 	}
+	d.Zones = cfg.Zones
+	d.ZoneDelay = cfg.ZoneDelay
 	return d
 }
 

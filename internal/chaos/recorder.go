@@ -47,6 +47,19 @@ func (r *Recorder) Observe(at, latency time.Duration, failed bool) {
 	}
 }
 
+// Counts returns the (ok, failed) completion totals over [from, to) —
+// the raw numbers behind ErrorRate, for availability computations that
+// need to weight windows by their traffic.
+func (r *Recorder) Counts(from, to time.Duration) (ok, fail uint64) {
+	for i := int(from / r.bucket); time.Duration(i)*r.bucket < to; i++ {
+		if b := r.buckets[i]; b != nil {
+			ok += b.ok
+			fail += b.fail
+		}
+	}
+	return ok, fail
+}
+
 // ErrorRate returns failed/total over [from, to) (0 when no samples).
 func (r *Recorder) ErrorRate(from, to time.Duration) float64 {
 	var ok, fail uint64

@@ -1,0 +1,127 @@
+package chaos
+
+import (
+	"fmt"
+)
+
+// This file holds correlated-failure faults: whole failure domains
+// (zones) going dark, partitioning, or degrading together. These are
+// the scenarios zone-aware failover exists for — per-endpoint defenses
+// (PR 2) see N independent failures, but the mesh layer can see one
+// correlated event and shift traffic across the zone boundary.
+
+// ZoneOutage crashes every pod in a zone at once (power loss, a bad
+// rollout pinned to one failure domain). Each pod blackholes and its
+// connections die, exactly as in PodCrash; Except lists pods spared
+// (e.g. the ingress gateway, which in real deployments is replicated
+// outside the failing zone).
+type ZoneOutage struct {
+	Zone   string
+	Except []string
+}
+
+// Name implements Fault.
+func (f ZoneOutage) Name() string { return "zone-outage/" + f.Zone }
+
+// Inject implements Fault.
+func (f ZoneOutage) Inject(t *Target) {
+	for _, pod := range t.Cluster.ZonePods(f.Zone) {
+		if f.spared(pod.Name()) {
+			continue
+		}
+		pod.Partition(true)
+		pod.Host().ResetConns()
+	}
+}
+
+// Revert implements Fault.
+func (f ZoneOutage) Revert(t *Target) {
+	for _, pod := range t.Cluster.ZonePods(f.Zone) {
+		if f.spared(pod.Name()) {
+			continue
+		}
+		pod.Partition(false)
+	}
+}
+
+func (f ZoneOutage) spared(name string) bool {
+	for _, e := range f.Except {
+		if e == name {
+			return true
+		}
+	}
+	return false
+}
+
+func (f ZoneOutage) validate(t *Target) error { return needZone(t, f.Zone) }
+
+// ZonePartition severs a zone's spine uplink: every pod in the zone
+// stays up and keeps talking to its zone-local peers, but all
+// cross-zone traffic blackholes — the classic network partition that
+// looks like a total outage from outside and like a remote outage from
+// inside.
+type ZonePartition struct {
+	Zone string
+}
+
+// Name implements Fault.
+func (f ZonePartition) Name() string { return "zone-partition/" + f.Zone }
+
+// Inject implements Fault.
+func (f ZonePartition) Inject(t *Target) { t.Cluster.ZoneUplink(f.Zone).SetDown(true) }
+
+// Revert implements Fault.
+func (f ZonePartition) Revert(t *Target) { t.Cluster.ZoneUplink(f.Zone).SetDown(false) }
+
+func (f ZonePartition) validate(t *Target) error {
+	if err := needZone(t, f.Zone); err != nil {
+		return err
+	}
+	if t.Cluster.ZoneUplink(f.Zone) == nil {
+		return fmt.Errorf("zone-partition/%s: zone has no uplink", f.Zone)
+	}
+	return nil
+}
+
+// SlowZone inflates service times for every pod in a zone — the
+// correlated gray failure (an overloaded shared node, a thermal
+// throttle, a noisy neighbor on the zone's storage) where the whole
+// domain keeps answering, slowly.
+type SlowZone struct {
+	Zone   string
+	Factor float64
+}
+
+// Name implements Fault.
+func (f SlowZone) Name() string { return "slow-zone/" + f.Zone }
+
+// Inject implements Fault.
+func (f SlowZone) Inject(t *Target) {
+	for _, pod := range t.Cluster.ZonePods(f.Zone) {
+		pod.SetExecFactor(f.Factor)
+	}
+}
+
+// Revert implements Fault.
+func (f SlowZone) Revert(t *Target) {
+	for _, pod := range t.Cluster.ZonePods(f.Zone) {
+		pod.SetExecFactor(1)
+	}
+}
+
+func (f SlowZone) validate(t *Target) error {
+	if err := needZone(t, f.Zone); err != nil {
+		return err
+	}
+	if f.Factor < 1 {
+		return fmt.Errorf("slow-zone/%s: Factor must be >= 1", f.Zone)
+	}
+	return nil
+}
+
+func needZone(t *Target, zone string) error {
+	if len(t.Cluster.ZonePods(zone)) == 0 {
+		return fmt.Errorf("unknown or empty zone %q", zone)
+	}
+	return nil
+}

@@ -18,6 +18,16 @@ import (
 // a small propagation delay standing in for the veth/bridge traversal.
 var DefaultLink = simnet.LinkConfig{Rate: 15 * simnet.Gbps, Delay: 20 * time.Microsecond}
 
+// DefaultZoneUplink connects a zone's bridge to the cluster's root
+// bridge: a fat spine link whose propagation delay models the
+// inter-zone RTT cost that makes locality-aware routing worth having.
+var DefaultZoneUplink = simnet.LinkConfig{Rate: 40 * simnet.Gbps, Delay: 250 * time.Microsecond}
+
+// ZoneLabel is the well-known pod label carrying the pod's zone, set
+// automatically from PodSpec.Zone (topology.kubernetes.io/zone in
+// Kubernetes terms, shortened for the simulator).
+const ZoneLabel = "zone"
+
 // PodSpec describes a pod to create.
 type PodSpec struct {
 	Name   string
@@ -29,6 +39,10 @@ type PodSpec struct {
 	// Workers bounds concurrent request execution in the pod
 	// (container CPU concurrency). <= 0 means effectively unbounded.
 	Workers int
+	// Zone places the pod behind that zone's bridge instead of the root
+	// bridge, creating the zone (with DefaultZoneUplink) on first use.
+	// Empty keeps the single-zone topology unchanged.
+	Zone string
 }
 
 // Pod is one scheduled workload instance with its own network identity.
@@ -39,6 +53,7 @@ type Pod struct {
 	host        *transport.Host
 	uplink      *simnet.Link
 	workers     *WorkerPool
+	zone        string
 	notReady    bool
 	partitioned bool
 	execFactor  float64 // 0 or 1 = nominal speed
@@ -52,6 +67,10 @@ func (p *Pod) Labels() map[string]string { return p.labels }
 
 // Label returns one label value ("" if absent).
 func (p *Pod) Label(k string) string { return p.labels[k] }
+
+// Zone returns the pod's zone ("" when the pod sits on the root
+// bridge of a single-zone cluster).
+func (p *Pod) Zone() string { return p.zone }
 
 // Node returns the pod's simnet node.
 func (p *Pod) Node() *simnet.Node { return p.node }
@@ -130,12 +149,22 @@ func (p *Pod) Workers() *WorkerPool { return p.workers }
 
 // Cluster owns pods and services on one simulated host.
 type Cluster struct {
-	net      *simnet.Network
-	sched    *simnet.Scheduler
-	bridge   *simnet.Node
-	pods     map[string]*Pod
-	podOrder []string
-	services map[string]*Service
+	net       *simnet.Network
+	sched     *simnet.Scheduler
+	bridge    *simnet.Node
+	pods      map[string]*Pod
+	podOrder  []string
+	services  map[string]*Service
+	zones     map[string]*zone
+	zoneOrder []string
+}
+
+// zone is one failure domain: its own bridge node, uplinked to the
+// root bridge so inter-zone traffic crosses exactly one spine link.
+type zone struct {
+	name   string
+	bridge *simnet.Node
+	uplink *simnet.Link
 }
 
 // New builds a cluster with a bridge node named "bridge".
@@ -146,6 +175,7 @@ func New(net *simnet.Network) *Cluster {
 		bridge:   net.AddNode("bridge"),
 		pods:     make(map[string]*Pod),
 		services: make(map[string]*Service),
+		zones:    make(map[string]*zone),
 	}
 }
 
@@ -157,6 +187,67 @@ func (c *Cluster) Scheduler() *simnet.Scheduler { return c.sched }
 
 // Bridge returns the host bridge node.
 func (c *Cluster) Bridge() *simnet.Node { return c.bridge }
+
+// AddZone creates a zone with an explicit uplink configuration. Zones
+// are otherwise created lazily with DefaultZoneUplink by the first
+// AddPod naming them; use AddZone first to override the spine link.
+func (c *Cluster) AddZone(name string, uplink simnet.LinkConfig) {
+	if name == "" {
+		panic("cluster: zone needs a name")
+	}
+	if _, dup := c.zones[name]; dup {
+		panic(fmt.Sprintf("cluster: duplicate zone %q", name))
+	}
+	if uplink.Rate == 0 {
+		uplink = DefaultZoneUplink
+	}
+	bridge := c.net.AddNode("bridge-" + name)
+	z := &zone{name: name, bridge: bridge, uplink: c.net.Connect(bridge, c.bridge, uplink)}
+	c.zones[name] = z
+	c.zoneOrder = append(c.zoneOrder, name)
+}
+
+func (c *Cluster) zoneFor(name string) *zone {
+	if z := c.zones[name]; z != nil {
+		return z
+	}
+	c.AddZone(name, DefaultZoneUplink)
+	return c.zones[name]
+}
+
+// Zones returns zone names in creation order.
+func (c *Cluster) Zones() []string {
+	return append([]string(nil), c.zoneOrder...)
+}
+
+// ZonePods returns the zone's pods in creation order.
+func (c *Cluster) ZonePods(zone string) []*Pod {
+	var out []*Pod
+	for _, n := range c.podOrder {
+		if p := c.pods[n]; p.zone == zone {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// ZoneUplink returns the zone's spine link to the root bridge, or nil
+// for an unknown zone. Correlated-failure scenarios sever it with
+// simnet.Link.SetDown to partition the whole zone at once.
+func (c *Cluster) ZoneUplink(zone string) *simnet.Link {
+	if z := c.zones[zone]; z != nil {
+		return z.uplink
+	}
+	return nil
+}
+
+// ZoneBridge returns the zone's bridge node, or nil for an unknown zone.
+func (c *Cluster) ZoneBridge(zone string) *simnet.Node {
+	if z := c.zones[zone]; z != nil {
+		return z.bridge
+	}
+	return nil
+}
 
 // AddPod creates a pod per the spec and attaches it to the bridge.
 func (c *Cluster) AddPod(spec PodSpec) *Pod {
@@ -170,11 +261,18 @@ func (c *Cluster) AddPod(spec PodSpec) *Pod {
 	if link.Rate == 0 {
 		link = DefaultLink
 	}
+	bridge := c.bridge
+	if spec.Zone != "" {
+		bridge = c.zoneFor(spec.Zone).bridge
+	}
 	node := c.net.AddNode(spec.Name)
-	l := c.net.Connect(node, c.bridge, link)
+	l := c.net.Connect(node, bridge, link)
 	labels := spec.Labels
 	if labels == nil {
 		labels = map[string]string{}
+	}
+	if spec.Zone != "" {
+		labels[ZoneLabel] = spec.Zone
 	}
 	p := &Pod{
 		name:    spec.Name,
@@ -182,6 +280,7 @@ func (c *Cluster) AddPod(spec PodSpec) *Pod {
 		node:    node,
 		host:    transport.NewHost(node),
 		uplink:  l,
+		zone:    spec.Zone,
 		workers: NewWorkerPool(c.sched, spec.Workers),
 	}
 	c.pods[spec.Name] = p

@@ -1,0 +1,116 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"meshlayer/internal/simnet"
+	"meshlayer/internal/transport"
+)
+
+// Tests for multi-zone topology: zone bridges, uplinks, pod placement,
+// and the single-zone degenerate case.
+
+func TestZoneTopologyAndLookups(t *testing.T) {
+	_, c := newCluster(t)
+	c.AddZone("zone-a", simnet.LinkConfig{})
+	c.AddZone("zone-b", DefaultZoneUplink)
+
+	a1 := c.AddPod(PodSpec{Name: "a1", Zone: "zone-a"})
+	b1 := c.AddPod(PodSpec{Name: "b1", Zone: "zone-b"})
+	b2 := c.AddPod(PodSpec{Name: "b2", Zone: "zone-b"})
+	free := c.AddPod(PodSpec{Name: "free"})
+
+	if got := c.Zones(); len(got) != 2 || got[0] != "zone-a" || got[1] != "zone-b" {
+		t.Fatalf("Zones() = %v", got)
+	}
+	if a1.Zone() != "zone-a" || free.Zone() != "" {
+		t.Fatal("pod zone accessor wrong")
+	}
+	if a1.Label(ZoneLabel) != "zone-a" {
+		t.Fatal("zone label not applied to pod")
+	}
+	if got := c.ZonePods("zone-b"); len(got) != 2 || got[0] != b1 || got[1] != b2 {
+		t.Fatalf("ZonePods(zone-b) = %v", got)
+	}
+	if got := c.ZonePods("zone-x"); len(got) != 0 {
+		t.Fatalf("unknown zone returned pods: %v", got)
+	}
+	if c.ZoneUplink("zone-a") == nil || c.ZoneBridge("zone-a") == nil {
+		t.Fatal("zone infrastructure missing")
+	}
+	// Zero-rate uplink config selects the default spine link.
+	if got := c.ZoneUplink("zone-a").Config().Rate; got != DefaultZoneUplink.Rate {
+		t.Fatalf("default uplink rate = %d, want %d", got, DefaultZoneUplink.Rate)
+	}
+}
+
+func TestZoneLazyCreationOnPodAdd(t *testing.T) {
+	_, c := newCluster(t)
+	// A pod naming an undeclared zone creates it with default uplink.
+	c.AddPod(PodSpec{Name: "p", Zone: "zone-z"})
+	if got := c.Zones(); len(got) != 1 || got[0] != "zone-z" {
+		t.Fatalf("Zones() = %v", got)
+	}
+	if c.ZoneUplink("zone-z") == nil {
+		t.Fatal("lazily created zone has no uplink")
+	}
+}
+
+func TestDuplicateZonePanics(t *testing.T) {
+	_, c := newCluster(t)
+	c.AddZone("zone-a", simnet.LinkConfig{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate zone accepted")
+		}
+	}()
+	c.AddZone("zone-a", simnet.LinkConfig{})
+}
+
+func TestCrossZoneTrafficTraversesSpine(t *testing.T) {
+	s, c := newCluster(t)
+	c.AddZone("zone-a", simnet.LinkConfig{})
+	c.AddZone("zone-b", simnet.LinkConfig{})
+	a := c.AddPod(PodSpec{Name: "a", Zone: "zone-a"})
+	b := c.AddPod(PodSpec{Name: "b", Zone: "zone-b"})
+
+	// Cross-zone connectivity: a reaches b through bridge-a -> root ->
+	// bridge-b; severing zone-b's uplink blackholes the path; reverting
+	// restores it.
+	got := 0
+	b.Host().Listen(80, func(conn *transport.Conn) {
+		conn.SetOnMessage(func(any, int) { got++ })
+	})
+	ping := func(at time.Duration) {
+		s.At(at, func() {
+			conn := a.Host().Dial(b.Addr(), 80, transport.Options{})
+			conn.SendMessage("x", 1000)
+		})
+	}
+	ping(0)
+	s.At(400*time.Millisecond, func() {
+		if got != 1 {
+			t.Errorf("cross-zone packet not delivered (got=%d)", got)
+		}
+		c.ZoneUplink("zone-b").SetDown(true)
+	})
+	ping(500 * time.Millisecond)
+	s.At(900*time.Millisecond, func() {
+		if got != 1 {
+			t.Errorf("packet crossed a downed zone uplink (got=%d)", got)
+		}
+		if !c.ZoneUplink("zone-b").Down() {
+			t.Error("uplink not reporting down")
+		}
+		c.ZoneUplink("zone-b").SetDown(false)
+	})
+	ping(time.Second)
+	s.RunUntil(2 * time.Second)
+	// After restore both the new ping AND the retransmitted in-flight
+	// message land: the downed window only delayed, never dropped, the
+	// reliable transport.
+	if got != 3 {
+		t.Fatalf("restored uplink still black-holing (got=%d)", got)
+	}
+}

@@ -247,6 +247,8 @@ type ControlPlane struct {
 	admission map[string]AdmissionPolicy
 	health    map[string]HealthCheckPolicy
 	outlier   map[string]OutlierPolicy
+	locality  map[string]LocalityPolicy
+	fallback  map[string]FallbackPolicy
 
 	certs      map[uint64]*Cert
 	certSerial uint64
@@ -275,6 +277,8 @@ func newControlPlane(m *Mesh) *ControlPlane {
 		admission: make(map[string]AdmissionPolicy),
 		health:    make(map[string]HealthCheckPolicy),
 		outlier:   make(map[string]OutlierPolicy),
+		locality:  make(map[string]LocalityPolicy),
+		fallback:  make(map[string]FallbackPolicy),
 		certs:     make(map[uint64]*Cert),
 	}
 }
@@ -404,6 +408,38 @@ func (cp *ControlPlane) SetOutlierPolicy(service string, p OutlierPolicy) {
 // default).
 func (cp *ControlPlane) OutlierFor(service string) OutlierPolicy {
 	return cp.outlier[service]
+}
+
+// SetLocalityPolicy configures zone-aware endpoint selection for a
+// service. A zero policy disables locality (the default).
+func (cp *ControlPlane) SetLocalityPolicy(service string, p LocalityPolicy) {
+	switch p.Mode {
+	case LocalityDisabled, LocalityStrict, LocalityFailover:
+	default:
+		panic(fmt.Sprintf("mesh: unknown locality mode %q", p.Mode))
+	}
+	if p.OverprovisioningFactor < 0 {
+		panic("mesh: locality OverprovisioningFactor must be >= 0")
+	}
+	cp.apply(func() { cp.locality[service] = p })
+}
+
+// LocalityFor returns the service's locality policy (disabled by
+// default).
+func (cp *ControlPlane) LocalityFor(service string) LocalityPolicy {
+	return cp.locality[service]
+}
+
+// SetFallbackPolicy configures graceful degradation for calls to a
+// service. A zero policy disables it.
+func (cp *ControlPlane) SetFallbackPolicy(service string, p FallbackPolicy) {
+	cp.apply(func() { cp.fallback[service] = p })
+}
+
+// FallbackFor returns the service's fallback policy (disabled by
+// default).
+func (cp *ControlPlane) FallbackFor(service string) FallbackPolicy {
+	return cp.fallback[service]
 }
 
 // SetHedgePolicy configures redundant requests for a service.

@@ -1,0 +1,153 @@
+package mesh
+
+import (
+	"time"
+
+	"meshlayer/internal/httpsim"
+	"meshlayer/internal/metrics"
+	"meshlayer/internal/trace"
+)
+
+// This file implements sidecar-level graceful degradation: per-route
+// fallback policies let a caller serve a partial (degraded) response
+// when an upstream is unavailable, instead of failing the whole call
+// tree. Degraded responses are stamped with HeaderDegraded naming the
+// service that was papered over, and the stamp is carried back through
+// the tree with the same provenance mechanism the paper uses for
+// priorities (internal/core): applications compose fresh responses and
+// drop child headers, so each sidecar records (x-request-id -> origin)
+// when a degraded child response arrives and restores the header onto
+// the response its own application sends upstream.
+
+// FallbackPolicy configures graceful degradation for calls to a
+// destination service: when a call fails terminally (retries and
+// budget exhausted, or no endpoint reachable), the calling sidecar
+// synthesizes a degraded response instead of surfacing the error.
+type FallbackPolicy struct {
+	// Enabled turns the fallback on.
+	Enabled bool
+	// Status is the synthesized response's status (default 200: the
+	// caller's application proceeds with the partial content).
+	Status int
+	// BodyBytes is the synthesized body size — typically far smaller
+	// than the real response (an empty ratings list, a cached stub).
+	BodyBytes int
+	// After bounds how long the call chases a real response before the
+	// sidecar serves the degraded one (the Hystrix-style fallback
+	// deadline). Without it a dead upstream only fails after the full
+	// retry ladder (MaxRetries x PerTryTimeout), by which time the
+	// callers up the tree have timed out themselves and the fallback
+	// saves nothing. Zero selects DefaultFallbackAfter; it must sit
+	// below the callers' per-try timeouts to be useful.
+	After time.Duration
+}
+
+// DefaultFallbackAfter is the fallback deadline when After is unset.
+const DefaultFallbackAfter = 300 * time.Millisecond
+
+// IsZero reports whether degradation is disabled.
+func (p FallbackPolicy) IsZero() bool { return !p.Enabled }
+
+// after returns the effective fallback deadline.
+func (p FallbackPolicy) after() time.Duration {
+	if p.After > 0 {
+		return p.After
+	}
+	return DefaultFallbackAfter
+}
+
+// status returns the effective synthesized status.
+func (p FallbackPolicy) status() int {
+	if p.Status == 0 {
+		return httpsim.StatusOK
+	}
+	return p.Status
+}
+
+// degradedEntry is one degraded-provenance record: which upstream was
+// papered over for a request ID, plus its last sighting for GC.
+type degradedEntry struct {
+	origin string
+	seen   time.Duration
+}
+
+// degradedTTL bounds how long an idle record is kept; the sweep runs
+// every degradedSweepInterval and disarms itself when the map drains
+// (so an idle mesh leaves the event queue empty).
+const (
+	degradedTTL           = 2 * time.Minute
+	degradedSweepInterval = 30 * time.Second
+)
+
+// recordDegraded remembers that the trace tid saw a degraded response
+// originating at origin.
+func (m *Mesh) recordDegraded(tid, origin string) {
+	if tid == "" || origin == "" {
+		return
+	}
+	m.degraded[tid] = degradedEntry{origin: origin, seen: m.sched.Now()}
+	m.armDegradedSweep()
+}
+
+// takeDegraded returns and clears the trace's degraded origin. The
+// record alternates with the header on the way up the tree: recorded
+// from a child response at one hop, restored onto the parent response
+// at the next.
+func (m *Mesh) takeDegraded(tid string) (string, bool) {
+	e, ok := m.degraded[tid]
+	if !ok {
+		return "", false
+	}
+	delete(m.degraded, tid)
+	return e.origin, true
+}
+
+// armDegradedSweep schedules the provenance GC while records exist,
+// mirroring internal/core's priority-provenance sweep.
+func (m *Mesh) armDegradedSweep() {
+	if m.degSweepArmed {
+		return
+	}
+	m.degSweepArmed = true
+	m.sched.After(degradedSweepInterval, func() {
+		m.degSweepArmed = false
+		now := m.sched.Now()
+		for id, e := range m.degraded {
+			if now-e.seen > degradedTTL {
+				delete(m.degraded, id)
+			}
+		}
+		if len(m.degraded) > 0 {
+			m.armDegradedSweep()
+		}
+	})
+}
+
+// maybeFallback intercepts a terminally-failed call: when the
+// destination has a fallback policy it synthesizes the degraded
+// response and clears the error. Returns the response to deliver.
+func (c *call) maybeFallback(resp *httpsim.Response, err error) (*httpsim.Response, error) {
+	m := c.sc.mesh
+	failed := err != nil || resp == nil || resp.Status >= 500
+	if failed {
+		if p := m.cp.FallbackFor(c.service); !p.IsZero() {
+			resp = httpsim.NewResponse(p.status())
+			resp.BodyBytes = p.BodyBytes
+			resp.Headers.Set(HeaderDegraded, c.service)
+			err = nil
+			m.metrics.Counter("mesh_fallback_served_total",
+				metrics.Labels{"service": c.service}).Inc()
+			if c.span != nil {
+				c.span.SetTag("degraded", c.service)
+			}
+		}
+	}
+	// Whether synthesized here or answered degraded by the upstream,
+	// remember the stamp so this pod's own response restores it.
+	if resp != nil {
+		if origin := resp.Headers.Get(HeaderDegraded); origin != "" {
+			m.recordDegraded(c.req.Headers.Get(trace.HeaderRequestID), origin)
+		}
+	}
+	return resp, err
+}

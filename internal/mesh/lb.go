@@ -120,6 +120,10 @@ func (sc *Sidecar) pickEndpoint(service string, eps []*cluster.Pod) *cluster.Pod
 	if len(eps) == 0 {
 		return nil
 	}
+	// Locality first: narrow to one priority level (local zone or the
+	// remote spillover level) before health filtering, so panic routing
+	// and fail-open judge the level actually being load-balanced.
+	eps = sc.localitySelect(service, eps)
 	now := sc.mesh.sched.Now()
 	eligible := eps[:0:0]
 	for _, ep := range eps {

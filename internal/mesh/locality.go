@@ -1,0 +1,148 @@
+package mesh
+
+import (
+	"time"
+
+	"meshlayer/internal/cluster"
+	"meshlayer/internal/metrics"
+)
+
+// This file implements Envoy-style locality-weighted load balancing
+// with priority failover: endpoints in the caller's zone form priority
+// level 0 and all remote zones form level 1; traffic prefers level 0
+// and spills to level 1 as the local healthy-host fraction drops,
+// governed by the overprovisioning factor. When every level is
+// unhealthy the selection degrades to zone-blind (all endpoints), and
+// the existing panic-threshold / fail-open machinery takes over.
+
+// LocalityMode selects how zone information influences endpoint choice.
+type LocalityMode string
+
+const (
+	// LocalityDisabled ignores zones entirely (the default; identical
+	// to the pre-zone load balancer).
+	LocalityDisabled LocalityMode = ""
+	// LocalityStrict always routes to same-zone endpoints when any
+	// exist, regardless of their health — the "zone-aware but brittle"
+	// rung of the E17 ladder.
+	LocalityStrict LocalityMode = "strict"
+	// LocalityFailover weights the local zone by its healthy-host
+	// fraction times the overprovisioning factor and spills the
+	// remainder to remote zones (Envoy's priority-level algorithm).
+	LocalityFailover LocalityMode = "failover"
+)
+
+// LocalityPolicy configures zone-aware endpoint selection for a
+// destination service. The zero value disables locality.
+type LocalityPolicy struct {
+	Mode LocalityMode
+	// OverprovisioningFactor scales the local healthy fraction before
+	// computing spillover (Envoy's default is 1.4: traffic starts
+	// shifting only once fewer than ~71% of local hosts are healthy).
+	// Zero selects DefaultOverprovisioning.
+	OverprovisioningFactor float64
+}
+
+// DefaultOverprovisioning mirrors Envoy's default factor of 1.4.
+const DefaultOverprovisioning = 1.4
+
+// IsZero reports whether locality routing is disabled.
+func (p LocalityPolicy) IsZero() bool { return p.Mode == LocalityDisabled }
+
+// ovp returns the effective overprovisioning factor.
+func (p LocalityPolicy) ovp() float64 {
+	if p.OverprovisioningFactor > 0 {
+		return p.OverprovisioningFactor
+	}
+	return DefaultOverprovisioning
+}
+
+// LocalityWeights returns the traffic split between the local priority
+// level and the remote spillover level given each level's healthy-host
+// fraction and the overprovisioning factor — Envoy's priority-load
+// algorithm for two levels. The local level absorbs
+// min(1, localFrac·ovp); the remote level takes what remains, capped
+// by its own overprovisioned health; if both levels are degraded the
+// weights are normalized so they still sum to 1. (0, 0) means no level
+// has any healthy host — the caller must fail open zone-blind.
+func LocalityWeights(localFrac, remoteFrac, ovp float64) (wLocal, wRemote float64) {
+	hl := localFrac * ovp
+	if hl > 1 {
+		hl = 1
+	}
+	hr := remoteFrac * ovp
+	if hr > 1 {
+		hr = 1
+	}
+	wLocal = hl
+	wRemote = 1 - hl
+	if wRemote > hr {
+		wRemote = hr
+	}
+	total := wLocal + wRemote
+	if total == 0 {
+		return 0, 0
+	}
+	if total < 1 {
+		wLocal /= total
+		wRemote /= total
+	}
+	return wLocal, wRemote
+}
+
+// localitySelect narrows eps to one priority level per the service's
+// locality policy. It returns eps unchanged when locality is disabled,
+// the caller has no zone, or the cluster degenerates to a single zone
+// (so single-zone topologies behave — and randomize — exactly as
+// before zones existed).
+func (sc *Sidecar) localitySelect(service string, eps []*cluster.Pod) []*cluster.Pod {
+	pol := sc.mesh.cp.LocalityFor(service)
+	if pol.IsZero() {
+		return eps
+	}
+	zone := sc.pod.Zone()
+	if zone == "" {
+		return eps
+	}
+	local := eps[:0:0]
+	remote := eps[:0:0]
+	for _, ep := range eps {
+		if ep.Zone() == zone {
+			local = append(local, ep)
+		} else {
+			remote = append(remote, ep)
+		}
+	}
+	if len(local) == 0 || len(remote) == 0 {
+		return eps
+	}
+	if pol.Mode == LocalityStrict {
+		return local
+	}
+	now := sc.mesh.sched.Now()
+	wLocal, wRemote := LocalityWeights(
+		sc.healthyFrac(local, now), sc.healthyFrac(remote, now), pol.ovp())
+	switch {
+	case wLocal+wRemote == 0:
+		return eps // no healthy host anywhere: zone-blind fail-open
+	case wRemote == 0:
+		return local
+	case wLocal == 0:
+	case sc.mesh.rng.Float64() < wLocal:
+		return local
+	}
+	sc.mesh.metrics.Counter("mesh_lb_cross_zone_total",
+		metrics.Labels{"service": service}).Inc()
+	return remote
+}
+
+// healthyFrac returns the fraction of eps currently in LB rotation.
+func (sc *Sidecar) healthyFrac(eps []*cluster.Pod, now time.Duration) float64 {
+	healthy := 0
+	for _, ep := range eps {
+		if sc.epState(ep.Addr()).available(now) {
+			healthy++
+		}
+	}
+	return float64(healthy) / float64(len(eps))
+}

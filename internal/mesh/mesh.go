@@ -41,6 +41,12 @@ const (
 	// liveness without exercising — or being fooled by — the
 	// application.
 	HeaderHealth = "x-mesh-health"
+	// HeaderDegraded marks a degraded (fallback) response and names the
+	// service whose failure was papered over. Sidecars carry it back
+	// through the call tree with the same provenance mechanism the
+	// paper uses for priorities, so the edge can tell "served in full"
+	// from "served degraded".
+	HeaderDegraded = "x-mesh-degraded"
 	// HeaderBudget carries the request's remaining end-to-end deadline
 	// budget in integer microseconds. The gateway stamps the total;
 	// each sidecar rewrites it on the outbound path net of its own
@@ -82,6 +88,11 @@ type Mesh struct {
 
 	sidecars map[string]*Sidecar
 	delay    time.Duration
+
+	// Degraded-response provenance (see degrade.go): trace ID -> the
+	// upstream a fallback papered over, swept on a TTL.
+	degraded      map[string]degradedEntry
+	degSweepArmed bool
 }
 
 // New builds a mesh over the cluster.
@@ -101,6 +112,7 @@ func New(cl *cluster.Cluster, cfg Config) *Mesh {
 		rng:      rand.New(rand.NewSource(cfg.Seed)),
 		sidecars: make(map[string]*Sidecar),
 		delay:    delay,
+		degraded: make(map[string]degradedEntry),
 	}
 	m.cp = newControlPlane(m)
 	return m

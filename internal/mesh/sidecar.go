@@ -222,6 +222,15 @@ func (sc *Sidecar) handleInbound(ctx httpsim.Ctx, req *httpsim.Request, respond 
 
 		respondFinal := func(resp *httpsim.Response) {
 			m.sched.After(m.proxyDelay(), func() {
+				// Degraded provenance: the application composed this
+				// response from child calls and dropped their headers;
+				// restore the degraded stamp recorded from any child so
+				// it keeps travelling toward the edge.
+				if tid := req.Headers.Get(trace.HeaderRequestID); tid != "" {
+					if origin, ok := m.takeDegraded(tid); ok {
+						resp.Headers.Set(HeaderDegraded, origin)
+					}
+				}
 				if span != nil {
 					span.End = m.sched.Now()
 					span.SetTag("status", fmt.Sprint(resp.Status))
@@ -294,6 +303,14 @@ type call struct {
 	done     bool
 	start    time.Duration
 	hedged   bool
+	// retryPending is set while a retry is scheduled but has not yet
+	// launched. It stops concurrent attempt failures (a hedge pair, or
+	// an original racing its replacement) from each spending a budget
+	// token and each scheduling a retry for the same logical call.
+	retryPending bool
+	// fbTimer is the armed fallback deadline (degrade.go), cancelled
+	// when the call settles first.
+	fbTimer simnet.Timer
 }
 
 // Call routes req to the service named by its "host" header through
@@ -349,6 +366,18 @@ func (sc *Sidecar) Call(req *httpsim.Request, cb func(*httpsim.Response, error))
 			return
 		}
 		sc.maybeMirror(service, req)
+
+		// Graceful degradation: with a fallback configured, bound how
+		// long this call may chase a real response. Retry ladders
+		// against a dead upstream outlast the callers' own timeouts;
+		// serving degraded at the deadline keeps the whole tree alive.
+		if p := m.cp.FallbackFor(service); !p.IsZero() {
+			c.fbTimer = m.sched.After(p.after(), func() {
+				if !c.done {
+					c.finish(nil, ErrTimeout)
+				}
+			})
+		}
 
 		start := func() {
 			c.launch()
@@ -453,12 +482,16 @@ func (c *call) launch() {
 			return
 		}
 		if failed && c.shouldRetry(resp, err) {
+			if c.retryPending {
+				return // a concurrent attempt already charged and scheduled this retry
+			}
 			if !sc.spendRetryToken(c.service, c.retry) {
 				m.metrics.Counter("mesh_retry_budget_exhausted_total",
 					metrics.Labels{"service": c.service}).Inc()
 				c.finish(resp, err)
 				return
 			}
+			c.retryPending = true
 			c.scheduleRetry()
 			return
 		}
@@ -501,11 +534,13 @@ func (c *call) scheduleRetry() {
 		metrics.Labels{"service": c.service}).Inc()
 	d := c.retry.backoffFor(c.attempts)
 	if d <= 0 {
+		c.retryPending = false
 		c.launch()
 		return
 	}
 	wait := time.Duration(m.rng.Int63n(int64(d))) + 1 // U(0, d]
 	m.sched.After(wait, func() {
+		c.retryPending = false
 		if !c.done {
 			c.launch()
 		}
@@ -517,7 +552,9 @@ func (c *call) finish(resp *httpsim.Response, err error) {
 		return
 	}
 	c.done = true
+	c.fbTimer.Cancel()
 	m := c.sc.mesh
+	resp, err = c.maybeFallback(resp, err)
 	code := "error"
 	if err == nil {
 		code = fmt.Sprintf("%dxx", resp.Status/100)

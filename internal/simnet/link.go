@@ -32,6 +32,7 @@ type Link struct {
 	a, b   *NIC
 	net    *Network
 	weight float64 // routing cost; default 1
+	down   bool    // administratively down via SetDown
 }
 
 // Config returns the link's configuration.
@@ -55,6 +56,24 @@ func (l *Link) SetWeight(w float64) { l.weight = w }
 func (l *Link) String() string {
 	return fmt.Sprintf("link%d(%s<->%s)", l.id, l.a.node.Name(), l.b.node.Name())
 }
+
+// SetDown blackholes (down = true) or restores (down = false) both
+// directions of the link by installing a LossProb-1 impairment on each
+// NIC — the primitive correlated-failure scenarios use to sever a zone
+// uplink or spine link in one call. Restoring clears any impairment on
+// the link, including one installed before SetDown(true).
+func (l *Link) SetDown(down bool) {
+	var cfg Impairment
+	if down {
+		cfg = Impairment{LossProb: 1}
+	}
+	l.a.Impair(cfg)
+	l.b.Impair(cfg)
+	l.down = down
+}
+
+// Down reports whether the link is administratively down via SetDown.
+func (l *Link) Down() bool { return l.down }
 
 // serializationDelay returns the time to clock size bytes onto the wire.
 func (l *Link) serializationDelay(size int) time.Duration {

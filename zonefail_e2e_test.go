@@ -1,0 +1,93 @@
+package meshlayer
+
+import (
+	"testing"
+	"time"
+
+	"meshlayer/internal/lint/leakcheck"
+)
+
+// Short windows keep the simulated runs affordable under -race;
+// cmd/meshbench -exp zonefail is the paper-scale version. The outage
+// spans half the measured window, so even at test scale the zone is
+// dark for 2 s.
+const (
+	zoneFailTestWarmup  = 2 * time.Second
+	zoneFailTestMeasure = 4 * time.Second
+)
+
+// TestZoneFailLadderOrdering is E17's headline claim at test scale:
+// during a zone-a outage the undefended mesh measurably collapses,
+// strict locality collapses completely (it pins to the dead local
+// zone), and locality failover with the self-healing stack sustains
+// availability through the outage window.
+func TestZoneFailLadderOrdering(t *testing.T) {
+	leakcheck.Check(t)
+	undefended := runZoneFailOnce("undefended", 0, true, 1, zoneFailTestWarmup, zoneFailTestMeasure)
+	strict := runZoneFailOnce("strict", 1, true, 1, zoneFailTestWarmup, zoneFailTestMeasure)
+	failover := runZoneFailOnce("failover", 2, true, 1, zoneFailTestWarmup, zoneFailTestMeasure)
+	degraded := runZoneFailOnce("degraded", 3, true, 1, zoneFailTestWarmup, zoneFailTestMeasure)
+
+	if undefended.OutageAvail >= 0.9 {
+		t.Fatalf("undefended outage availability = %.1f%%, want measurable collapse", 100*undefended.OutageAvail)
+	}
+	if strict.OutageAvail >= undefended.OutageAvail {
+		t.Fatalf("strict locality outage availability %.1f%% not worse than zone-blind %.1f%% (pinning to the dead zone must hurt)",
+			100*strict.OutageAvail, 100*undefended.OutageAvail)
+	}
+	// The acceptance bar: the full ladder holds >= 99% through the
+	// outage, counting degraded-but-served responses as served.
+	if failover.OutageAvail < 0.99 {
+		t.Fatalf("failover outage availability = %.2f%%, want >= 99%%", 100*failover.OutageAvail)
+	}
+	if degraded.OutageAvail < 0.99 {
+		t.Fatalf("degraded outage availability = %.2f%%, want >= 99%%", 100*degraded.OutageAvail)
+	}
+	if failover.CrossZone == 0 {
+		t.Fatal("failover run recorded no cross-zone selections")
+	}
+}
+
+// TestZoneFailDegradationServesFallbacks: the full rung must actually
+// exercise graceful degradation (the suite crashes every ratings
+// replica at once) and stamp provenance at the edge.
+func TestZoneFailDegradationServesFallbacks(t *testing.T) {
+	leakcheck.Check(t)
+	row := runZoneFailOnce("degraded", 3, true, 1, zoneFailTestWarmup, zoneFailTestMeasure)
+	if row.Fallbacks == 0 {
+		t.Fatal("no fallback responses served under the dependency-wide ratings loss")
+	}
+	if row.DegradedFrac <= 0 {
+		t.Fatal("no degraded responses observed at the gateway (provenance lost)")
+	}
+}
+
+// TestZoneFailFaultFreeOverheadFree: with zones and the full defense
+// ladder but no faults, nothing degrades and nothing crosses zones.
+func TestZoneFailFaultFreeOverheadFree(t *testing.T) {
+	leakcheck.Check(t)
+	row := runZoneFailOnce("baseline", 3, false, 1, zoneFailTestWarmup, zoneFailTestMeasure)
+	if row.Avail < 0.999 {
+		t.Fatalf("fault-free availability = %.2f%%", 100*row.Avail)
+	}
+	if row.Fallbacks != 0 || row.DegradedFrac != 0 {
+		t.Fatalf("fault-free run served %d fallbacks (%.2f%% degraded)", row.Fallbacks, 100*row.DegradedFrac)
+	}
+	if row.CrossZone != 0 {
+		t.Fatalf("fault-free run crossed zones %d times with all-healthy locality", row.CrossZone)
+	}
+}
+
+// TestZoneFailDeterministic: equal seeds reproduce the scenario
+// byte-for-byte.
+func TestZoneFailDeterministic(t *testing.T) {
+	leakcheck.Check(t)
+	a := runZoneFailOnce("run", 3, true, 9, zoneFailTestWarmup, zoneFailTestMeasure)
+	b := runZoneFailOnce("run", 3, true, 9, zoneFailTestWarmup, zoneFailTestMeasure)
+	if a != b {
+		t.Fatalf("same seed diverged:\n%+v\n%+v", a, b)
+	}
+	if FormatZoneFail([]ZoneFailRow{a}) != FormatZoneFail([]ZoneFailRow{b}) {
+		t.Fatal("formatted output diverged")
+	}
+}
