@@ -1,8 +1,8 @@
 # Developer entry points. CI (.github/workflows/ci.yml) runs `make check`.
 
-.PHONY: check build vet lint test race bench bench-json chaos-smoke
+.PHONY: check build vet lint test race bench bench-json chaos-smoke ctrlplane-smoke
 
-check: build vet lint test chaos-smoke
+check: build vet lint test chaos-smoke ctrlplane-smoke
 
 build:
 	go build ./...
@@ -13,7 +13,8 @@ vet:
 # meshvet (cmd/meshvet, internal/lint) machine-checks the simulator's
 # determinism, pooling, and concurrency invariants: no wall clock or
 # global randomness in sim code, no order-dependent range-over-map, no
-# pooled-value retention, index-owned writes in parallel sweeps.
+# pooled-value retention, index-owned writes in parallel sweeps, no
+# routing-state mutation outside the control-plane push path.
 lint:
 	go run ./cmd/meshvet ./...
 
@@ -31,13 +32,15 @@ bench:
 
 # Engine benchmarks as a machine-readable artifact (see EXPERIMENTS.md,
 # E16). Full benchtime for stable numbers; CI runs a 1x smoke instead.
-# E17's availability ladder ships alongside it: each ZoneFail iteration
-# simulates the full correlated-failure suite, so 3x suffices.
+# E17's availability ladder and E18's propagation sweep ship alongside
+# it: each iteration simulates a full suite, so 3x suffices.
 bench-json:
 	go test ./internal/simnet -run '^$$' -bench 'Scheduler|PacketPath' -benchmem | go run ./cmd/benchjson > BENCH_engine.json
 	@echo "wrote BENCH_engine.json"
 	go test . -run '^$$' -bench 'ZoneFail' -benchtime 3x | go run ./cmd/benchjson > BENCH_zonefail.json
 	@echo "wrote BENCH_zonefail.json"
+	go test . -run '^$$' -bench 'CtrlPlane' -benchtime 3x | go run ./cmd/benchjson > BENCH_ctrlplane.json
+	@echo "wrote BENCH_ctrlplane.json"
 
 # Determinism golden check: the same seed must reproduce the E15 chaos
 # and E17 zone-failure runs byte-for-byte — including with the parallel
@@ -52,4 +55,14 @@ chaos-smoke:
 	go run ./cmd/meshbench -exp zonefail -warmup 1s -measure 4s -seed 7 > $$b && \
 	go run ./cmd/meshbench -exp zonefail -warmup 1s -measure 4s -seed 7 -parallel 1 > $$c && \
 	cmp $$a $$b && cmp $$a $$c && echo "chaos-smoke: zonefail deterministic (parallel == sequential)" ; \
+	rc=$$? ; rm -f $$a $$b $$c ; exit $$rc
+
+# Same golden property for E18: push scheduling, debounce timers, and
+# simulated xDS traffic must replay byte-for-byte at any -parallel.
+ctrlplane-smoke:
+	@a=$$(mktemp) && b=$$(mktemp) && c=$$(mktemp) && \
+	go run ./cmd/meshbench -exp ctrlplane -warmup 1s -measure 4s -seed 7 > $$a && \
+	go run ./cmd/meshbench -exp ctrlplane -warmup 1s -measure 4s -seed 7 > $$b && \
+	go run ./cmd/meshbench -exp ctrlplane -warmup 1s -measure 4s -seed 7 -parallel 1 > $$c && \
+	cmp $$a $$b && cmp $$a $$c && echo "ctrlplane-smoke: ctrlplane deterministic (parallel == sequential)" ; \
 	rc=$$? ; rm -f $$a $$b $$c ; exit $$rc

@@ -212,6 +212,24 @@ func BenchmarkZoneFail(b *testing.B) {
 	}
 }
 
+// BenchmarkCtrlPlane reproduces E18: control-plane propagation under a
+// deploy storm, instant propagation vs a short and a long debounce.
+func BenchmarkCtrlPlane(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		instant := runCtrlPlaneOnce("instant", CtrlStormZones, false, 0, false, 1, 2*time.Second, benchWindow)
+		fresh := runCtrlPlaneOnce("fresh", CtrlStormZones, true, 100*time.Millisecond, false, 1, 2*time.Second, benchWindow)
+		stale := runCtrlPlaneOnce("stale", CtrlStormZones, true, 2*time.Second, false, 1, 2*time.Second, benchWindow)
+		b.ReportMetric(100*instant.StormAvail, "instant_storm_avail_pct")
+		b.ReportMetric(100*fresh.StormAvail, "debounce100ms_storm_avail_pct")
+		b.ReportMetric(100*stale.StormAvail, "debounce2s_storm_avail_pct")
+		b.ReportMetric(float64(fresh.DeltaPushes+fresh.FullPushes), "debounce100ms_pushes")
+		b.ReportMetric(float64(stale.DeltaPushes+stale.FullPushes), "debounce2s_pushes")
+		b.ReportMetric(msf(fresh.StaleP99), "debounce100ms_stale_p99_ms")
+		b.ReportMetric(msf(stale.StaleP99), "debounce2s_stale_p99_ms")
+		b.ReportMetric(float64(stale.MaxLag), "debounce2s_max_version_lag")
+	}
+}
+
 // BenchmarkAdmissionQueue microbenchmarks the admission queue's
 // enqueue/shed hot path: a full queue absorbing LS arrivals by
 // displacing queued LI requests, and the CoDel pop law draining a

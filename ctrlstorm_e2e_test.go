@@ -1,0 +1,125 @@
+package meshlayer
+
+import (
+	"testing"
+	"time"
+
+	"meshlayer/internal/app"
+	"meshlayer/internal/autoscale"
+	"meshlayer/internal/lint/leakcheck"
+	"meshlayer/internal/mesh"
+	"meshlayer/internal/workload"
+)
+
+// Short windows keep the simulated runs affordable under -race;
+// cmd/meshbench -exp ctrlplane is the paper-scale version.
+const (
+	ctrlStormTestWarmup  = 1 * time.Second
+	ctrlStormTestMeasure = 6 * time.Second
+)
+
+// TestCtrlPlaneStormTradeoff is E18's headline claim at test scale:
+// against the same deploy storm, a long debounce sends far fewer
+// pushes but leaves sidecars routing on older state — staleness and
+// version lag grow, and availability through the storm drops below
+// the short-debounce configuration.
+func TestCtrlPlaneStormTradeoff(t *testing.T) {
+	leakcheck.Check(t)
+	seed := int64(5)
+	instant := runCtrlPlaneOnce("instant", CtrlStormZones, false, 0, false, seed, ctrlStormTestWarmup, ctrlStormTestMeasure)
+	fresh := runCtrlPlaneOnce("fresh", CtrlStormZones, true, 100*time.Millisecond, false, seed, ctrlStormTestWarmup, ctrlStormTestMeasure)
+	stale := runCtrlPlaneOnce("stale", CtrlStormZones, true, 2*time.Second, false, seed, ctrlStormTestWarmup, ctrlStormTestMeasure)
+
+	if instant.Distributed || instant.DeltaPushes+instant.FullPushes != 0 {
+		t.Fatalf("instant-propagation baseline recorded control-plane pushes: %+v", instant)
+	}
+	if instant.StormAvail >= 1 {
+		t.Fatal("deploy storm cost nothing; the suite is not exercising failures")
+	}
+	for _, r := range []CtrlPlaneRow{fresh, stale} {
+		if r.DeltaPushes+r.FullPushes == 0 || r.WireBytes == 0 {
+			t.Fatalf("%s: no pushes recorded: %+v", r.Config, r)
+		}
+		if r.Timeouts == 0 || r.Resyncs == 0 {
+			t.Fatalf("%s: restarts should force push timeouts and resyncs: %+v", r.Config, r)
+		}
+	}
+	// The tradeoff, both directions: fewer pushes, more staleness.
+	if stale.DeltaPushes+stale.FullPushes >= fresh.DeltaPushes+fresh.FullPushes {
+		t.Fatalf("2s debounce sent %d pushes, 100ms sent %d; batching must reduce push volume",
+			stale.DeltaPushes+stale.FullPushes, fresh.DeltaPushes+fresh.FullPushes)
+	}
+	if stale.StaleP99 <= fresh.StaleP99 {
+		t.Fatalf("2s-debounce staleness p99 %v not above 100ms-debounce %v", stale.StaleP99, fresh.StaleP99)
+	}
+	if stale.MaxLag <= fresh.MaxLag {
+		t.Fatalf("2s-debounce max version lag %d not above 100ms-debounce %d", stale.MaxLag, fresh.MaxLag)
+	}
+	if stale.StormAvail >= fresh.StormAvail {
+		t.Fatalf("2s-debounce storm availability %.2f%% not below 100ms-debounce %.2f%%; staleness must widen the dip",
+			100*stale.StormAvail, 100*fresh.StormAvail)
+	}
+}
+
+// TestAutoscaleChurnPropagatesViaDistribution closes the loop between
+// the autoscaler and the distributing control plane: scale-ups create
+// pods mid-run, the new sidecars subscribe, the endpoint change is
+// pushed, and every subscriber converges to the server's version once
+// the churn settles.
+func TestAutoscaleChurnPropagatesViaDistribution(t *testing.T) {
+	leakcheck.Check(t)
+	d, err := app.BuildDAG(app.DAGSpec{
+		Entry: "api",
+		Services: []app.ServiceSpec{{
+			Name: "api", Replicas: 1, Workers: 4,
+			ServiceTime: 20 * time.Millisecond, ResponseBytes: 2 << 10,
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := d.Mesh.ControlPlane()
+	cp.EnableDistribution(mesh.DistributionConfig{Debounce: 50 * time.Millisecond})
+	srv := cp.Distribution()
+	v0 := srv.Version()
+
+	ctrl := autoscale.New(autoscale.Config{
+		Cluster:  d.Cluster,
+		Scaler:   d,
+		Targets:  []autoscale.Target{{Service: "api", Min: 1, Max: 8, Utilization: 0.6}},
+		Interval: 2 * time.Second,
+	})
+	ctrl.Start()
+	workload.Start(d.Sched, d.Gateway, workload.Spec{
+		Name: "load", Rate: 600, Seed: 1,
+		NewRequest: d.NewDAGRequest,
+		Warmup:     time.Second, Measure: 15 * time.Second, Cooldown: time.Second,
+	})
+	d.Sched.RunUntil(20 * time.Second)
+	ctrl.Stop()
+	d.Sched.RunFor(2 * time.Second)
+
+	if ctrl.ScaleUps() == 0 {
+		t.Fatal("no scale-up recorded; the churn source never fired")
+	}
+	if srv.Version() <= v0 {
+		t.Fatalf("server version %d did not advance past %d despite scale-up churn", srv.Version(), v0)
+	}
+	if srv.Stats().Acks == 0 {
+		t.Fatal("no acknowledged pushes")
+	}
+	// Every sidecar — including ones injected mid-run by the scaler —
+	// must have converged to the server's version.
+	for _, pod := range d.Cluster.Pods() {
+		if d.Mesh.Sidecar(pod.Name()) == nil {
+			continue
+		}
+		if got := srv.SubscriberVersion(pod.Name()); got != srv.Version() {
+			t.Fatalf("subscriber %s at version %d, server at %d: not converged after churn settled",
+				pod.Name(), got, srv.Version())
+		}
+	}
+	if lag := srv.MaxLag(); lag != 0 {
+		t.Fatalf("version lag %d after churn settled, want 0", lag)
+	}
+}

@@ -3,6 +3,13 @@
 // worker utilization and adjusts replica counts toward a utilization
 // setpoint, HPA-style. Scaling actuation is delegated to the
 // application (e.g. app.DAG.Scale), since new replicas need handlers.
+//
+// A scale event changes the cluster's endpoint sets, and how fast
+// sidecars learn about it depends on the mesh's propagation mode:
+// instant by default, but with ControlPlane.EnableDistribution the
+// change is debounced, versioned, and pushed — new capacity (and
+// removals) reach each sidecar only when its snapshot is updated.
+// E18 measures that propagation delay under churn.
 package autoscale
 
 import (

@@ -213,9 +213,49 @@ func (f ErrorRate) validate(t *Target) error {
 	return nil
 }
 
+// Restart models one step of a rolling deploy: the pod is drained
+// (readiness off — a discovery change the control plane must
+// propagate), killed after Grace (partition + connection reset, as in
+// PodCrash), and comes back ready when the event reverts. Sidecars
+// with fresh discovery stop routing to the pod during the drain;
+// sidecars on stale snapshots keep dialing it through the kill.
+type Restart struct {
+	Pod string
+	// Grace is the drain window between readiness-off and the kill.
+	Grace time.Duration
+}
+
+// Name implements Fault.
+func (f Restart) Name() string { return "restart/" + f.Pod }
+
+// Inject implements Fault.
+func (f Restart) Inject(t *Target) {
+	pod := t.Cluster.Pod(f.Pod)
+	pod.SetReady(false)
+	t.Sched.After(f.Grace, func() {
+		if pod.Ready() {
+			return // already reverted
+		}
+		pod.Partition(true)
+		pod.Host().ResetConns()
+	})
+}
+
+// Revert implements Fault.
+func (f Restart) Revert(t *Target) {
+	pod := t.Cluster.Pod(f.Pod)
+	pod.Partition(false)
+	pod.SetReady(true)
+}
+
+func (f Restart) validate(t *Target) error { return needPod(t, f.Pod) }
+
 // CPStale delays control-plane configuration propagation — the stale
 // xDS failure where operators' pushes take effect long after they were
 // applied. Policies already in force keep working; only changes lag.
+// With the distributing control plane enabled, the delay is realized
+// as genuine push suppression: staged updates are held back and every
+// sidecar keeps routing on its last-acknowledged snapshot.
 type CPStale struct {
 	Delay time.Duration
 }

@@ -57,6 +57,9 @@ type Pod struct {
 	notReady    bool
 	partitioned bool
 	execFactor  float64 // 0 or 1 = nominal speed
+	// topoChanged, installed by the cluster, reports discovery-relevant
+	// changes (readiness flips) to the topology hook.
+	topoChanged func()
 }
 
 // Name returns the pod name.
@@ -124,8 +127,17 @@ func (p *Pod) SetExecFactor(f float64) {
 func (p *Pod) Ready() bool { return !p.notReady }
 
 // SetReady flips the pod's readiness. Marking a pod unready drains new
-// traffic away without disturbing in-flight work.
-func (p *Pod) SetReady(ready bool) { p.notReady = !ready }
+// traffic away without disturbing in-flight work. Actual flips notify
+// the cluster's topology hook (discovery churn).
+func (p *Pod) SetReady(ready bool) {
+	if p.notReady == !ready {
+		return
+	}
+	p.notReady = !ready
+	if p.topoChanged != nil {
+		p.topoChanged()
+	}
+}
 
 // Partitioned reports whether the pod is network-partitioned.
 func (p *Pod) Partitioned() bool { return p.partitioned }
@@ -157,6 +169,10 @@ type Cluster struct {
 	services  map[string]*Service
 	zones     map[string]*zone
 	zoneOrder []string
+	// onTopology, if set, runs after every discovery-relevant change:
+	// a pod added or a readiness flip. The simulated control plane
+	// subscribes here to learn about churn.
+	onTopology func()
 }
 
 // zone is one failure domain: its own bridge node, uplinked to the
@@ -283,9 +299,21 @@ func (c *Cluster) AddPod(spec PodSpec) *Pod {
 		zone:    spec.Zone,
 		workers: NewWorkerPool(c.sched, spec.Workers),
 	}
+	p.topoChanged = c.notifyTopology
 	c.pods[spec.Name] = p
 	c.podOrder = append(c.podOrder, spec.Name)
+	c.notifyTopology()
 	return p
+}
+
+// SetTopologyHook installs fn, called after every discovery-relevant
+// change (pod added, readiness flipped). Nil clears the hook.
+func (c *Cluster) SetTopologyHook(fn func()) { c.onTopology = fn }
+
+func (c *Cluster) notifyTopology() {
+	if c.onTopology != nil {
+		c.onTopology()
+	}
 }
 
 // Pod returns the named pod, or nil.

@@ -1,0 +1,416 @@
+// Package ctrlplane models xDS-style configuration distribution as
+// simulated traffic instead of shared-memory magic. A Server holds
+// versioned per-service resources (endpoints, routes, policies) and
+// pushes them to subscribed sidecars through a pluggable Transport:
+// changes are debounced into batches, encoded as incremental deltas
+// against each subscriber's last acknowledged version (or as full
+// state-of-the-world updates), and retried with a full resync after a
+// NACK or a lost connection — the ADS/delta-xDS state machine in
+// miniature. Because updates travel over the simulated network, every
+// subscriber routes on its own possibly-stale snapshot, and the
+// staleness window (change staged -> change acknowledged) is a
+// measurable property, exposed via ctrlplane_* metrics.
+//
+// The package depends only on the scheduler and the metrics registry;
+// the mesh supplies resource contents and the HTTP transport.
+package ctrlplane
+
+import (
+	"errors"
+	"sort"
+	"time"
+
+	"meshlayer/internal/metrics"
+	"meshlayer/internal/simnet"
+)
+
+// ErrPushTimeout is reported by transports when a push saw no reply
+// within the push timeout (the connection is presumed lost).
+var ErrPushTimeout = errors.New("ctrlplane: push timed out")
+
+// Resource is one named versioned configuration blob — in the mesh,
+// everything a sidecar needs to route calls to one service.
+type Resource struct {
+	Name string
+	// Version is the server version at which the resource last changed.
+	Version uint64
+	// Bytes estimates the encoded size on the wire.
+	Bytes int
+	// ChangedAt is the virtual time of the last change (staleness base).
+	ChangedAt time.Duration
+	// Data is the opaque payload the subscriber snapshots.
+	Data any
+}
+
+// Update is one push: either the full state of the world or the delta
+// between the subscriber's acknowledged version and Version.
+type Update struct {
+	// Full marks a state-of-the-world update; deltas carry BaseVersion,
+	// the subscriber version they apply on top of.
+	Full        bool
+	BaseVersion uint64
+	// Version is the server version the update brings the subscriber to.
+	Version uint64
+	// Resources is sorted by name; Removed lists deleted resource names.
+	Resources []Resource
+	Removed   []string
+	// WireBytes is the simulated encoded size.
+	WireBytes int
+}
+
+// Transport delivers updates to subscribers. Push must eventually call
+// done exactly once: ack=true for an acknowledged apply, ack=false with
+// nil err for a NACK (delta did not apply), non-nil err for a lost or
+// timed-out connection. The mesh's transport sends real simulated HTTP
+// to each sidecar; tests script it directly.
+type Transport interface {
+	Push(subscriber string, u *Update, done func(ack bool, err error))
+}
+
+// Config assembles a Server.
+type Config struct {
+	Sched     *simnet.Scheduler
+	Transport Transport
+	// Metrics receives ctrlplane_* series (optional).
+	Metrics *metrics.Registry
+	// Debounce batches changes staged within the window into one push
+	// (default 100ms).
+	Debounce time.Duration
+	// FullState forces state-of-the-world updates even for synced
+	// subscribers (the xDS non-delta protocol variant).
+	FullState bool
+	// ResyncDelay is the backoff before re-pushing after a NACK or a
+	// lost connection (default 500ms).
+	ResyncDelay time.Duration
+}
+
+// Stats aggregates one server's distribution activity.
+type Stats struct {
+	// DeltaPushes and FullPushes count updates handed to the transport.
+	DeltaPushes, FullPushes uint64
+	// WireBytes sums the simulated encoded size of every push.
+	WireBytes uint64
+	// Acks, Nacks, and Timeouts count push outcomes.
+	Acks, Nacks, Timeouts uint64
+	// Resyncs counts full updates sent to recover a desynced subscriber
+	// (after its initial sync).
+	Resyncs uint64
+	// MaxLag is the widest server-to-subscriber version gap observed at
+	// any flush.
+	MaxLag uint64
+}
+
+// Pushes returns the total update count.
+func (s Stats) Pushes() uint64 { return s.DeltaPushes + s.FullPushes }
+
+type subscriber struct {
+	name string
+	// version is the last acknowledged server version.
+	version uint64
+	// synced is false until the first ack and after any NACK or lost
+	// connection; the next update is then a full resync.
+	synced   bool
+	inflight bool
+	// retryArmed marks a pending resync backoff timer.
+	retryArmed bool
+}
+
+// Server is the distribution side of the simulated control plane.
+type Server struct {
+	cfg       Config
+	version   uint64
+	resources map[string]*Resource
+	resOrder  []string
+	// removed maps tombstoned resource names to their removal version.
+	removed map[string]uint64
+	subs    map[string]*subscriber
+	// subOrder fixes push order to subscription order (determinism).
+	subOrder   []string
+	hold       time.Duration
+	flushArmed bool
+	flushTimer simnet.Timer
+	stats      Stats
+}
+
+// NewServer validates cfg and returns an empty server.
+func NewServer(cfg Config) *Server {
+	if cfg.Sched == nil || cfg.Transport == nil {
+		panic("ctrlplane: Sched and Transport required")
+	}
+	if cfg.Debounce <= 0 {
+		cfg.Debounce = 100 * time.Millisecond
+	}
+	if cfg.ResyncDelay <= 0 {
+		cfg.ResyncDelay = 500 * time.Millisecond
+	}
+	return &Server{
+		cfg:       cfg,
+		resources: make(map[string]*Resource),
+		removed:   make(map[string]uint64),
+		subs:      make(map[string]*subscriber),
+	}
+}
+
+// Version returns the current server version.
+func (s *Server) Version() uint64 { return s.version }
+
+// Stats snapshots distribution counters.
+func (s *Server) Stats() Stats { return s.stats }
+
+// Subscribe registers a sidecar and returns its bootstrap update: the
+// current full state, which the caller applies synchronously (a proxy
+// blocks on its initial xDS fetch before serving). Later changes
+// arrive as debounced pushes.
+func (s *Server) Subscribe(name string) *Update {
+	if _, dup := s.subs[name]; dup {
+		panic("ctrlplane: duplicate subscriber " + name)
+	}
+	sub := &subscriber{name: name, version: s.version, synced: true}
+	s.subs[name] = sub
+	s.subOrder = append(s.subOrder, name)
+	s.setLagGauge(sub)
+	return s.fullUpdate()
+}
+
+// SubscriberVersion returns a subscriber's last acknowledged version.
+func (s *Server) SubscriberVersion(name string) uint64 {
+	if sub := s.subs[name]; sub != nil {
+		return sub.version
+	}
+	return 0
+}
+
+// SetResource stages a create-or-replace at a new server version and
+// arms the debounced flush.
+func (s *Server) SetResource(name string, data any, bytes int) {
+	s.version++
+	res := s.resources[name]
+	if res == nil {
+		res = &Resource{Name: name}
+		s.resources[name] = res
+		s.resOrder = append(s.resOrder, name)
+		sort.Strings(s.resOrder)
+		delete(s.removed, name)
+	}
+	res.Version = s.version
+	res.Bytes = bytes
+	res.ChangedAt = s.cfg.Sched.Now()
+	res.Data = data
+	s.stage()
+}
+
+// RemoveResource stages a deletion (tombstoned so deltas can carry it).
+func (s *Server) RemoveResource(name string) {
+	if s.resources[name] == nil {
+		return
+	}
+	s.version++
+	delete(s.resources, name)
+	for i, n := range s.resOrder {
+		if n == name {
+			s.resOrder = append(s.resOrder[:i], s.resOrder[i+1:]...)
+			break
+		}
+	}
+	s.removed[name] = s.version
+	s.stage()
+}
+
+// SetHold adds d to every flush delay — chaos push suppression: staged
+// changes keep accumulating but reach no subscriber until the hold
+// lifts. Clearing the hold re-arms any suppressed flush immediately.
+func (s *Server) SetHold(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	if d == s.hold {
+		return
+	}
+	s.hold = d
+	if s.flushArmed {
+		s.flushTimer.Cancel()
+		s.flushArmed = false
+		s.stage()
+	}
+}
+
+// Flush pushes pending state now, bypassing the debounce window.
+func (s *Server) Flush() { s.flush() }
+
+// MaxLag returns the current widest version gap across subscribers.
+func (s *Server) MaxLag() uint64 {
+	var max uint64
+	for _, name := range s.subOrder {
+		if lag := s.version - s.subs[name].version; lag > max {
+			max = lag
+		}
+	}
+	return max
+}
+
+func (s *Server) stage() {
+	if s.flushArmed {
+		return
+	}
+	s.flushArmed = true
+	s.flushTimer = s.cfg.Sched.After(s.cfg.Debounce+s.hold, s.flush)
+}
+
+func (s *Server) flush() {
+	s.flushArmed = false
+	for _, name := range s.subOrder {
+		sub := s.subs[name]
+		if lag := s.version - sub.version; lag > s.stats.MaxLag {
+			s.stats.MaxLag = lag
+		}
+		s.pushTo(sub)
+	}
+}
+
+func (s *Server) pushTo(sub *subscriber) {
+	if sub.inflight || sub.retryArmed {
+		return // the ack/retry path re-pushes if still behind
+	}
+	if sub.synced && sub.version == s.version {
+		return
+	}
+	u := s.buildUpdate(sub)
+	if u == nil { // nothing changed from this subscriber's view
+		sub.version = s.version
+		s.setLagGauge(sub)
+		return
+	}
+	typ := "delta"
+	if u.Full {
+		typ = "full"
+		s.stats.FullPushes++
+		if sub.version > 0 && !s.cfg.FullState {
+			s.stats.Resyncs++
+		}
+	} else {
+		s.stats.DeltaPushes++
+	}
+	s.stats.WireBytes += uint64(u.WireBytes)
+	if s.cfg.Metrics != nil {
+		s.cfg.Metrics.Counter("ctrlplane_push_bytes_total", nil).Add(uint64(u.WireBytes))
+	}
+	sub.inflight = true
+	s.cfg.Transport.Push(sub.name, u, func(ack bool, err error) {
+		sub.inflight = false
+		switch {
+		case err != nil:
+			s.stats.Timeouts++
+			s.pushResult(typ, "timeout")
+			s.desync(sub)
+		case !ack:
+			s.stats.Nacks++
+			s.pushResult(typ, "nack")
+			s.desync(sub)
+		default:
+			s.stats.Acks++
+			s.pushResult(typ, "ack")
+			s.observeStaleness(u, sub.version)
+			sub.version = u.Version
+			sub.synced = true
+			s.setLagGauge(sub)
+			if sub.version != s.version {
+				s.pushTo(sub) // changes accumulated while in flight
+			}
+		}
+	})
+}
+
+// desync marks the subscriber for a full resync-on-reconnect and arms
+// the backoff before retrying.
+func (s *Server) desync(sub *subscriber) {
+	sub.synced = false
+	if sub.retryArmed {
+		return
+	}
+	sub.retryArmed = true
+	s.cfg.Sched.After(s.cfg.ResyncDelay, func() {
+		sub.retryArmed = false
+		s.pushTo(sub)
+	})
+}
+
+// buildUpdate encodes sub's catch-up: full state for unsynced
+// subscribers (or in FullState mode), otherwise the delta since its
+// acknowledged version. Returns nil when the delta is empty.
+func (s *Server) buildUpdate(sub *subscriber) *Update {
+	if !sub.synced || s.cfg.FullState {
+		return s.fullUpdate()
+	}
+	u := &Update{BaseVersion: sub.version, Version: s.version, WireBytes: updateHeaderBytes}
+	for _, name := range s.resOrder {
+		if res := s.resources[name]; res.Version > sub.version {
+			u.Resources = append(u.Resources, *res)
+			u.WireBytes += resourceHeaderBytes + res.Bytes
+		}
+	}
+	removed := make([]string, 0, len(s.removed))
+	for name := range s.removed {
+		removed = append(removed, name)
+	}
+	sort.Strings(removed)
+	for _, name := range removed {
+		if s.removed[name] > sub.version {
+			u.Removed = append(u.Removed, name)
+			u.WireBytes += resourceHeaderBytes + len(name)
+		}
+	}
+	if len(u.Resources) == 0 && len(u.Removed) == 0 {
+		return nil
+	}
+	return u
+}
+
+func (s *Server) fullUpdate() *Update {
+	u := &Update{Full: true, Version: s.version, WireBytes: updateHeaderBytes}
+	for _, name := range s.resOrder {
+		res := s.resources[name]
+		u.Resources = append(u.Resources, *res)
+		u.WireBytes += resourceHeaderBytes + res.Bytes
+	}
+	return u
+}
+
+// Simulated encoding overheads (protobuf-ish framing).
+const (
+	updateHeaderBytes   = 64
+	resourceHeaderBytes = 24
+)
+
+func (s *Server) pushResult(typ, result string) {
+	if s.cfg.Metrics == nil {
+		return
+	}
+	s.cfg.Metrics.Counter("ctrlplane_push_total", metrics.Labels{"type": typ, "result": result}).Inc()
+}
+
+// observeStaleness records, per acknowledged resource the subscriber
+// had not seen before (version > its pre-apply base), how long the
+// change was in flight: stage time -> ack time. This is the window
+// during which the subscriber routed on the old state. Resources a
+// full-state push merely re-delivers are excluded — the subscriber was
+// not stale on those.
+func (s *Server) observeStaleness(u *Update, base uint64) {
+	if s.cfg.Metrics == nil {
+		return
+	}
+	now := s.cfg.Sched.Now()
+	for i := range u.Resources {
+		if u.Resources[i].Version <= base {
+			continue
+		}
+		s.cfg.Metrics.ObserveDuration("ctrlplane_staleness_seconds", nil, now-u.Resources[i].ChangedAt)
+	}
+}
+
+func (s *Server) setLagGauge(sub *subscriber) {
+	if s.cfg.Metrics == nil {
+		return
+	}
+	s.cfg.Metrics.Gauge("ctrlplane_version_lag", metrics.Labels{"subscriber": sub.name}).
+		Set(float64(s.version - sub.version))
+}

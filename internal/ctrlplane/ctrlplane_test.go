@@ -1,0 +1,274 @@
+package ctrlplane
+
+import (
+	"testing"
+	"time"
+
+	"meshlayer/internal/metrics"
+	"meshlayer/internal/simnet"
+)
+
+// fakeTransport delivers each push after delay by applying it to the
+// subscriber's snapshot, unless the subscriber is marked down (lost
+// connection) or forced to NACK.
+type fakeTransport struct {
+	sched *simnet.Scheduler
+	delay time.Duration
+	snaps map[string]*Snapshot
+	down  map[string]bool
+	nack  map[string]bool
+
+	pushes []*Update
+}
+
+func newFakeTransport(sched *simnet.Scheduler, delay time.Duration) *fakeTransport {
+	return &fakeTransport{
+		sched: sched, delay: delay,
+		snaps: make(map[string]*Snapshot),
+		down:  make(map[string]bool),
+		nack:  make(map[string]bool),
+	}
+}
+
+func (f *fakeTransport) Push(sub string, u *Update, done func(bool, error)) {
+	f.pushes = append(f.pushes, u)
+	f.sched.After(f.delay, func() {
+		switch {
+		case f.down[sub]:
+			done(false, ErrPushTimeout)
+		case f.nack[sub]:
+			done(false, nil)
+		default:
+			done(f.snaps[sub].Apply(u), nil)
+		}
+	})
+}
+
+func newTestServer(t *testing.T, full bool) (*simnet.Scheduler, *fakeTransport, *Server) {
+	t.Helper()
+	sched := simnet.NewScheduler()
+	tr := newFakeTransport(sched, 10*time.Millisecond)
+	srv := NewServer(Config{
+		Sched: sched, Transport: tr, Metrics: metrics.NewRegistry(),
+		Debounce: 50 * time.Millisecond, FullState: full, ResyncDelay: 200 * time.Millisecond,
+	})
+	return sched, tr, srv
+}
+
+func subscribe(tr *fakeTransport, srv *Server, name string) *Snapshot {
+	snap := NewSnapshot()
+	tr.snaps[name] = snap
+	snap.Apply(srv.Subscribe(name))
+	return snap
+}
+
+func TestBootstrapAndDebouncedDelta(t *testing.T) {
+	sched, tr, srv := newTestServer(t, false)
+	srv.SetResource("a", "a1", 100)
+	srv.SetResource("b", "b1", 100)
+	sched.RunFor(time.Second)
+	if len(tr.pushes) != 0 {
+		t.Fatalf("pushes before any subscriber: %d", len(tr.pushes))
+	}
+
+	snap := subscribe(tr, srv, "s1")
+	if snap.Version != srv.Version() || snap.Get("a") != "a1" {
+		t.Fatalf("bootstrap snapshot: version=%d want %d a=%v", snap.Version, srv.Version(), snap.Get("a"))
+	}
+
+	// Two changes inside one debounce window coalesce into one delta
+	// carrying only the changed resource.
+	srv.SetResource("a", "a2", 100)
+	srv.SetResource("a", "a3", 100)
+	sched.RunFor(time.Second)
+	if len(tr.pushes) != 1 {
+		t.Fatalf("pushes = %d, want 1 coalesced delta", len(tr.pushes))
+	}
+	u := tr.pushes[0]
+	if u.Full || len(u.Resources) != 1 || u.Resources[0].Name != "a" {
+		t.Fatalf("expected delta with only a, got %+v", u)
+	}
+	if snap.Get("a") != "a3" || snap.Version != srv.Version() {
+		t.Fatalf("snapshot not converged: a=%v version=%d", snap.Get("a"), snap.Version)
+	}
+	if st := srv.Stats(); st.DeltaPushes != 1 || st.Acks != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestFullStateMode(t *testing.T) {
+	sched, tr, srv := newTestServer(t, true)
+	srv.SetResource("a", "a1", 100)
+	srv.SetResource("b", "b1", 100)
+	snap := subscribe(tr, srv, "s1")
+
+	srv.SetResource("a", "a2", 100)
+	sched.RunFor(time.Second)
+	if len(tr.pushes) != 1 || !tr.pushes[0].Full || len(tr.pushes[0].Resources) != 2 {
+		t.Fatalf("expected one full push with 2 resources, got %+v", tr.pushes)
+	}
+	if snap.Get("a") != "a2" || snap.Get("b") != "b1" {
+		t.Fatalf("snapshot after full push: a=%v b=%v", snap.Get("a"), snap.Get("b"))
+	}
+}
+
+func TestRemovalTombstone(t *testing.T) {
+	sched, tr, srv := newTestServer(t, false)
+	srv.SetResource("a", "a1", 100)
+	srv.SetResource("b", "b1", 100)
+	snap := subscribe(tr, srv, "s1")
+
+	srv.RemoveResource("b")
+	sched.RunFor(time.Second)
+	u := tr.pushes[len(tr.pushes)-1]
+	if u.Full || len(u.Removed) != 1 || u.Removed[0] != "b" {
+		t.Fatalf("expected delta removal of b, got %+v", u)
+	}
+	if snap.Get("b") != nil {
+		t.Fatalf("b still in snapshot after removal")
+	}
+}
+
+func TestNackTriggersFullResync(t *testing.T) {
+	sched, tr, srv := newTestServer(t, false)
+	srv.SetResource("a", "a1", 100)
+	snap := subscribe(tr, srv, "s1")
+
+	tr.nack["s1"] = true
+	srv.SetResource("a", "a2", 100)
+	sched.RunFor(100 * time.Millisecond) // delta push -> NACK -> backoff
+	tr.nack["s1"] = false
+	sched.RunFor(time.Second) // resync
+
+	if snap.Get("a") != "a2" {
+		t.Fatalf("snapshot not recovered after NACK: a=%v", snap.Get("a"))
+	}
+	last := tr.pushes[len(tr.pushes)-1]
+	if !last.Full {
+		t.Fatalf("recovery push was not full: %+v", last)
+	}
+	st := srv.Stats()
+	if st.Nacks != 1 || st.Resyncs != 1 {
+		t.Fatalf("stats = %+v, want 1 nack + 1 resync", st)
+	}
+}
+
+func TestLostConnectionResyncsOnReconnect(t *testing.T) {
+	sched, tr, srv := newTestServer(t, false)
+	srv.SetResource("a", "a1", 100)
+	snap := subscribe(tr, srv, "s1")
+
+	tr.down["s1"] = true
+	srv.SetResource("a", "a2", 100)
+	sched.RunFor(3 * time.Second)
+	if snap.Get("a") != "a1" {
+		t.Fatalf("snapshot advanced while down")
+	}
+	before := len(tr.pushes)
+	if before < 2 {
+		t.Fatalf("no retries while down: %d pushes", before)
+	}
+
+	tr.down["s1"] = false
+	sched.RunFor(time.Second)
+	if snap.Get("a") != "a2" || snap.Version != srv.Version() {
+		t.Fatalf("snapshot not resynced after reconnect: a=%v", snap.Get("a"))
+	}
+	if st := srv.Stats(); st.Timeouts == 0 {
+		t.Fatalf("stats = %+v, want timeouts > 0", st)
+	}
+}
+
+func TestHoldSuppressesPushes(t *testing.T) {
+	sched, tr, srv := newTestServer(t, false)
+	srv.SetResource("a", "a1", 100)
+	snap := subscribe(tr, srv, "s1")
+
+	srv.SetHold(10 * time.Second)
+	srv.SetResource("a", "a2", 100)
+	sched.RunFor(2 * time.Second)
+	if len(tr.pushes) != 0 {
+		t.Fatalf("push escaped the hold")
+	}
+	if lag := srv.MaxLag(); lag == 0 {
+		t.Fatalf("lag should accumulate under hold")
+	}
+
+	srv.SetHold(0)
+	sched.RunFor(time.Second)
+	if snap.Get("a") != "a2" {
+		t.Fatalf("snapshot not updated after hold lifted: a=%v", snap.Get("a"))
+	}
+	if srv.Stats().MaxLag == 0 {
+		t.Fatalf("MaxLag stat not recorded")
+	}
+}
+
+func TestChangeDuringInflightCoalesces(t *testing.T) {
+	sched, tr, srv := newTestServer(t, false)
+	srv.SetResource("a", "a1", 100)
+	snap := subscribe(tr, srv, "s1")
+
+	srv.SetResource("a", "a2", 100)
+	// The first delta departs at the debounce edge (50ms) and is in
+	// flight for 10ms; stage another change while it flies.
+	sched.RunFor(55 * time.Millisecond)
+	srv.SetResource("b", "b1", 100)
+	sched.RunFor(time.Second)
+	if snap.Get("a") != "a2" || snap.Get("b") != "b1" {
+		t.Fatalf("snapshot incomplete: a=%v b=%v", snap.Get("a"), snap.Get("b"))
+	}
+	if snap.Version != srv.Version() {
+		t.Fatalf("subscriber stuck at %d, server at %d", snap.Version, srv.Version())
+	}
+}
+
+func TestSnapshotNacksBaseMismatch(t *testing.T) {
+	snap := NewSnapshot()
+	if ok := snap.Apply(&Update{Full: true, Version: 3, Resources: []Resource{{Name: "a", Data: 1}}}); !ok {
+		t.Fatalf("full apply failed")
+	}
+	if ok := snap.Apply(&Update{BaseVersion: 2, Version: 5}); ok {
+		t.Fatalf("delta with stale base applied")
+	}
+	if snap.Version != 3 {
+		t.Fatalf("NACKed delta mutated snapshot: version=%d", snap.Version)
+	}
+	if ok := snap.Apply(&Update{BaseVersion: 3, Version: 5, Removed: []string{"a"}}); !ok {
+		t.Fatalf("matching delta rejected")
+	}
+	if snap.Get("a") != nil || snap.Version != 5 {
+		t.Fatalf("delta not applied: %+v", snap)
+	}
+}
+
+// Two subscribers must be pushed in subscription order every flush —
+// the determinism contract the golden checks rely on.
+func TestPushOrderIsSubscriptionOrder(t *testing.T) {
+	sched := simnet.NewScheduler()
+	var order []string
+	tr := newFakeTransport(sched, time.Millisecond)
+	srv := NewServer(Config{Sched: sched, Transport: orderedTransport{tr, &order}, Debounce: 10 * time.Millisecond})
+	snapB := NewSnapshot()
+	tr.snaps["b"] = snapB
+	snapB.Apply(srv.Subscribe("b"))
+	snapA := NewSnapshot()
+	tr.snaps["a"] = snapA
+	snapA.Apply(srv.Subscribe("a"))
+
+	srv.SetResource("x", 1, 10)
+	sched.RunFor(time.Second)
+	if len(order) != 2 || order[0] != "b" || order[1] != "a" {
+		t.Fatalf("push order = %v, want [b a]", order)
+	}
+}
+
+type orderedTransport struct {
+	inner *fakeTransport
+	order *[]string
+}
+
+func (o orderedTransport) Push(sub string, u *Update, done func(bool, error)) {
+	*o.order = append(*o.order, sub)
+	o.inner.Push(sub, u, done)
+}

@@ -128,6 +128,7 @@ const (
 	StatusOK                  = 200
 	StatusForbidden           = 403
 	StatusNotFound            = 404
+	StatusConflict            = 409
 	StatusTooManyRequests     = 429
 	StatusInternalServerError = 500
 	StatusBadGateway          = 502

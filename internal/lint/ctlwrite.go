@@ -1,0 +1,153 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Ctlwrite enforces the PR 6 control-plane invariant: with distribution
+// enabled, a sidecar routes on the snapshot the control plane pushed to
+// it, so the only code allowed to mutate that routing state is the push
+// path itself (ControlPlane setters staging updates, the distributor
+// applying acknowledged pushes). A direct write anywhere else —
+// poking a ControlPlane policy map, swapping a Sidecar's agent,
+// editing a pushed Snapshot in place — silently desynchronizes a
+// sidecar from the version-numbered state the server believes it has,
+// which is exactly the bug class the versioned protocol exists to
+// rule out.
+//
+// Protected state: fields of ControlPlane, sidecarAgent, and Snapshot,
+// plus the Sidecar.ctrl agent pointer. Methods of a protected type may
+// mutate their own receiver's state (that is the push path); everyone
+// else needs a //meshvet:allow ctlwrite with justification — e.g.
+// instant-propagation registration installing the bootstrap snapshot.
+var Ctlwrite = &Analyzer{
+	Name: "ctlwrite",
+	Doc:  "flag direct mutation of sidecar routing state outside the control-plane push path",
+	Run:  runCtlwrite,
+}
+
+// ctlProtectedTypes is the set of struct types whose fields form the
+// distributed routing state.
+var ctlProtectedTypes = map[string]bool{
+	"ControlPlane": true,
+	"sidecarAgent": true,
+	"Snapshot":     true,
+}
+
+// ctlPkgAllowed limits name matching to the packages that actually
+// define the protected state, so an unrelated type that happens to be
+// called Snapshot elsewhere is not caught.
+func ctlPkgAllowed(pkg *types.Package) bool {
+	if pkg == nil {
+		return false
+	}
+	path := pkg.Path()
+	return path == "meshlayer/internal/mesh" ||
+		path == "meshlayer/internal/ctrlplane" ||
+		strings.HasPrefix(path, "meshvet/testdata/")
+}
+
+// ctlNamed unwraps pointers and returns the underlying named type.
+func ctlNamed(t types.Type) (*types.Named, bool) {
+	for {
+		ptr, ok := t.(*types.Pointer)
+		if !ok {
+			break
+		}
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return named, ok
+}
+
+// ctlProtected reports whether e is a value of a protected type.
+func ctlProtected(pass *Pass, e ast.Expr) (string, bool) {
+	named, ok := ctlNamed(pass.TypeOf(e))
+	if !ok {
+		return "", false
+	}
+	obj := named.Obj()
+	if obj == nil || !ctlProtectedTypes[obj.Name()] || !ctlPkgAllowed(obj.Pkg()) {
+		return "", false
+	}
+	return obj.Name(), true
+}
+
+func runCtlwrite(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if ok {
+				checkCtlFunc(pass, fn)
+			}
+		}
+	}
+}
+
+// checkCtlFunc inspects one top-level function. Closures inside it
+// attribute to it: a helper closure inside a ControlPlane method is
+// still the push path.
+func checkCtlFunc(pass *Pass, fn *ast.FuncDecl) {
+	recv := ""
+	if fn.Recv != nil && len(fn.Recv.List) > 0 {
+		if named, ok := ctlNamed(pass.TypeOf(fn.Recv.List[0].Type)); ok && named.Obj() != nil {
+			recv = named.Obj().Name()
+		}
+	}
+	if fn.Body == nil {
+		return
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				checkCtlWrite(pass, recv, n, lhs)
+			}
+		case *ast.IncDecStmt:
+			checkCtlWrite(pass, recv, n, n.X)
+		}
+		return true
+	})
+}
+
+// checkCtlWrite walks the written expression root-wards. A write lands
+// in protected state when any step dereferences into a protected type
+// (sel.field, ptr deref, or an index into a protected container field).
+func checkCtlWrite(pass *Pass, recv string, n ast.Node, target ast.Expr) {
+	for {
+		switch t := target.(type) {
+		case *ast.ParenExpr:
+			target = t.X
+		case *ast.IndexExpr:
+			target = t.X
+		case *ast.StarExpr:
+			if name, ok := ctlProtected(pass, t.X); ok && name != recv {
+				reportCtl(pass, n, name)
+				return
+			}
+			target = t.X
+		case *ast.SelectorExpr:
+			if name, ok := ctlProtected(pass, t.X); ok && name != recv {
+				reportCtl(pass, n, name)
+				return
+			}
+			if named, ok := ctlNamed(pass.TypeOf(t.X)); ok && named.Obj() != nil &&
+				named.Obj().Name() == "Sidecar" && t.Sel.Name == "ctrl" &&
+				ctlPkgAllowed(named.Obj().Pkg()) {
+				reportCtl(pass, n, "Sidecar.ctrl")
+				return
+			}
+			target = t.X
+		default:
+			return
+		}
+	}
+}
+
+func reportCtl(pass *Pass, n ast.Node, name string) {
+	pass.Reportf(n.Pos(),
+		"direct write to %s routing state bypasses the control-plane push path; mutate via ControlPlane setters so the change is versioned and pushed (//meshvet:allow ctlwrite <reason> for sanctioned sites)",
+		name)
+}

@@ -15,6 +15,8 @@
 //     beyond their Release/free point.
 //   - indexowned: runIndexed workers write only slots owned by their
 //     index parameter.
+//   - ctlwrite:   sidecar routing state is mutated only through the
+//     control-plane push path.
 //
 // Two comment directives configure the suite in source:
 //
@@ -46,7 +48,7 @@ type Analyzer struct {
 // All is the registry of every meshvet analyzer, in reporting order.
 // Directive validation accepts exactly these names (plus the reserved
 // "directive" pseudo-analyzer used for malformed-directive reports).
-var All = []*Analyzer{Walltime, Globalrand, Mapiter, Poolescape, Indexowned}
+var All = []*Analyzer{Walltime, Globalrand, Mapiter, Poolescape, Indexowned, Ctlwrite}
 
 // DirectiveAnalyzerName labels diagnostics produced by directive
 // validation itself. It is reserved: //meshvet:allow cannot suppress it.

@@ -31,6 +31,10 @@ func TestIndexowned(t *testing.T) {
 	linttest.Run(t, "testdata/indexowned", lint.Indexowned)
 }
 
+func TestCtlwrite(t *testing.T) {
+	linttest.Run(t, "testdata/ctlwrite", lint.Ctlwrite)
+}
+
 // TestDirectives runs the full suite over sources whose directives are
 // malformed: every bad directive must surface as a diagnostic and must
 // not suppress anything.

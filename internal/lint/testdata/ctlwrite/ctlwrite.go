@@ -1,0 +1,74 @@
+// Package ctlwritetest seeds violations for the ctlwrite analyzer:
+// the struct names mirror the real mesh types so the name-based
+// protection matches.
+package ctlwritetest
+
+// ControlPlane mirrors mesh.ControlPlane: versioned routing intent.
+type ControlPlane struct {
+	routes  map[string]string
+	version uint64
+}
+
+// Snapshot mirrors ctrlplane.Snapshot: a sidecar's last-acked state.
+type Snapshot struct {
+	Version   uint64
+	Resources map[string]any
+}
+
+// sidecarAgent mirrors mesh.sidecarAgent.
+type sidecarAgent struct {
+	snap *Snapshot
+}
+
+// Sidecar mirrors mesh.Sidecar, with the protected ctrl field.
+type Sidecar struct {
+	name string
+	ctrl *sidecarAgent
+}
+
+// SetRoute is the push path: a ControlPlane method may mutate its own
+// receiver's state freely.
+func (cp *ControlPlane) SetRoute(svc, rule string) {
+	cp.routes[svc] = rule
+	cp.version++
+}
+
+// Apply is likewise sanctioned: Snapshot methods maintain the snapshot.
+func (s *Snapshot) Apply(version uint64, res map[string]any) {
+	s.Version = version
+	for k, v := range res {
+		s.Resources[k] = v
+	}
+}
+
+// rogue pokes routing state from outside the push path: every write
+// below must be flagged.
+func rogue(cp *ControlPlane, sc *Sidecar, snap *Snapshot) {
+	cp.routes["backend"] = "v2" // want "direct write to ControlPlane routing state"
+	cp.version++                // want "direct write to ControlPlane routing state"
+	sc.ctrl = nil               // want "direct write to Sidecar.ctrl"
+	sc.ctrl.snap = snap         // want "direct write to sidecarAgent routing state"
+	snap.Version = 7            // want "direct write to Snapshot routing state"
+	*snap = Snapshot{}          // want "direct write to Snapshot routing state"
+	snap.Resources["backend"] = "eps" // want "direct write to Snapshot routing state"
+}
+
+// rogueMethod shows that being a method is not enough — the receiver
+// must be the protected type being written.
+func (sc *Sidecar) rogueMethod(cp *ControlPlane) {
+	cp.version = 0 // want "direct write to ControlPlane routing state"
+	sc.ctrl = nil  // want "direct write to Sidecar.ctrl"
+	sc.name = "ok" // unprotected field: fine
+}
+
+// sanctioned shows the suppression path: instant-propagation
+// registration installs the bootstrap snapshot by hand.
+func sanctioned(sc *Sidecar, agent *sidecarAgent) {
+	//meshvet:allow ctlwrite registration installs the bootstrap snapshot outside the push loop
+	sc.ctrl = agent
+}
+
+// reads shows that reading protected state is always fine.
+func reads(cp *ControlPlane, sc *Sidecar) (string, uint64) {
+	return cp.routes["backend"], sc.ctrl.snap.Version
+}

@@ -59,7 +59,7 @@ func (cp *ControlPlane) SetAdmissionPolicy(service string, p AdmissionPolicy) {
 	if service == "" {
 		panic("mesh: admission policy needs a service")
 	}
-	cp.apply(func() { cp.admission[service] = p })
+	cp.apply(service, func() { cp.admission[service] = p })
 }
 
 // AdmissionPolicyFor returns the service's admission policy (disabled

@@ -230,7 +230,9 @@ const (
 
 // ControlPlane is the mesh's centralized configuration authority:
 // service discovery (via the cluster), traffic policy, and security
-// policy, pushed to sidecars (modeled as shared versioned state).
+// policy, pushed to sidecars. By default propagation is instantaneous
+// shared state; EnableDistribution switches to xDS-style simulated
+// pushes where each sidecar routes on its own possibly-stale snapshot.
 type ControlPlane struct {
 	mesh    *Mesh
 	rules   map[string]*RouteRule
@@ -256,8 +258,14 @@ type ControlPlane struct {
 
 	// pushDelay models configuration propagation: mutations made
 	// through the Set* methods take effect this long after the call
-	// (0 = instantaneous, the default).
+	// (0 = instantaneous, the default). With distribution enabled the
+	// delay is expressed as real push suppression instead (see
+	// SetPushDelay).
 	pushDelay time.Duration
+
+	// dist is non-nil once EnableDistribution has switched the mesh to
+	// simulated config propagation.
+	dist *distributor
 
 	version uint64
 }
@@ -288,28 +296,40 @@ func (cp *ControlPlane) Version() uint64 { return cp.version }
 
 func (cp *ControlPlane) bump() { cp.version++ }
 
-// SetPushDelay makes subsequent configuration changes take effect only
-// after d — the xDS-style propagation lag between "operator applied
-// config" and "every sidecar acts on it". Zero restores instantaneous
-// application.
+// SetPushDelay models control-plane staleness: in instant-propagation
+// mode, subsequent configuration changes take effect only after d —
+// the xDS-style lag between "operator applied config" and "every
+// sidecar acts on it". With distribution enabled, the delay becomes
+// real push suppression: the distributor holds staged updates back by
+// d, so sidecars keep routing on their old snapshots. Zero restores
+// normal propagation.
 func (cp *ControlPlane) SetPushDelay(d time.Duration) {
 	if d < 0 {
 		d = 0
 	}
+	if cp.dist != nil {
+		cp.dist.srv.SetHold(d)
+		return
+	}
 	cp.pushDelay = d
 }
 
-// apply runs a validated mutation now or after the push delay.
-func (cp *ControlPlane) apply(mutate func()) {
-	if cp.pushDelay <= 0 {
+// apply runs a validated mutation for service now or after the push
+// delay, then redistributes the service's resource when distribution
+// is enabled.
+func (cp *ControlPlane) apply(service string, mutate func()) {
+	run := func() {
 		mutate()
 		cp.bump()
+		if cp.dist != nil {
+			cp.dist.refreshService(service)
+		}
+	}
+	if cp.pushDelay <= 0 {
+		run()
 		return
 	}
-	cp.mesh.sched.After(cp.pushDelay, func() {
-		mutate()
-		cp.bump()
-	})
+	cp.mesh.sched.After(cp.pushDelay, run)
 }
 
 // SetRouteRule installs (replacing) the routing rule for a service.
@@ -322,7 +342,7 @@ func (cp *ControlPlane) SetRouteRule(r RouteRule) {
 			panic("mesh: route weights must be positive")
 		}
 	}
-	cp.apply(func() { cp.rules[r.Service] = &r })
+	cp.apply(r.Service, func() { cp.rules[r.Service] = &r })
 }
 
 // RouteRuleFor returns the service's rule, or nil.
@@ -330,7 +350,7 @@ func (cp *ControlPlane) RouteRuleFor(service string) *RouteRule { return cp.rule
 
 // ClearRouteRule removes a service's routing rule.
 func (cp *ControlPlane) ClearRouteRule(service string) {
-	cp.apply(func() { delete(cp.rules, service) })
+	cp.apply(service, func() { delete(cp.rules, service) })
 }
 
 // SetLBPolicy selects the load balancer for a service.
@@ -340,7 +360,7 @@ func (cp *ControlPlane) SetLBPolicy(service string, p LBPolicy) {
 	default:
 		panic(fmt.Sprintf("mesh: unknown LB policy %q", p))
 	}
-	cp.apply(func() { cp.lb[service] = p })
+	cp.apply(service, func() { cp.lb[service] = p })
 }
 
 // LBPolicyFor returns the service's LB policy (round robin by default).
@@ -353,7 +373,7 @@ func (cp *ControlPlane) LBPolicyFor(service string) LBPolicy {
 
 // SetRetryPolicy configures retries for a service.
 func (cp *ControlPlane) SetRetryPolicy(service string, p RetryPolicy) {
-	cp.apply(func() { cp.retry[service] = p })
+	cp.apply(service, func() { cp.retry[service] = p })
 }
 
 // RetryPolicyFor returns the service's retry policy.
@@ -366,7 +386,7 @@ func (cp *ControlPlane) RetryPolicyFor(service string) RetryPolicy {
 
 // SetCircuitBreaker configures ejection for a service's endpoints.
 func (cp *ControlPlane) SetCircuitBreaker(service string, p CircuitBreakerPolicy) {
-	cp.apply(func() { cp.breaker[service] = p })
+	cp.apply(service, func() { cp.breaker[service] = p })
 }
 
 // CircuitBreakerFor returns the service's circuit-breaker policy.
@@ -383,7 +403,7 @@ func (cp *ControlPlane) SetHealthCheck(service string, p HealthCheckPolicy) {
 	if p.Interval < 0 {
 		panic("mesh: health-check interval must be >= 0")
 	}
-	cp.apply(func() { cp.health[service] = p })
+	cp.apply(service, func() { cp.health[service] = p })
 }
 
 // HealthCheckFor returns the service's health-check policy (disabled
@@ -401,7 +421,7 @@ func (cp *ControlPlane) SetOutlierPolicy(service string, p OutlierPolicy) {
 	if p.PanicThreshold < 0 || p.PanicThreshold > 1 {
 		panic("mesh: outlier PanicThreshold must be in [0, 1]")
 	}
-	cp.apply(func() { cp.outlier[service] = p })
+	cp.apply(service, func() { cp.outlier[service] = p })
 }
 
 // OutlierFor returns the service's outlier policy (disabled by
@@ -421,7 +441,7 @@ func (cp *ControlPlane) SetLocalityPolicy(service string, p LocalityPolicy) {
 	if p.OverprovisioningFactor < 0 {
 		panic("mesh: locality OverprovisioningFactor must be >= 0")
 	}
-	cp.apply(func() { cp.locality[service] = p })
+	cp.apply(service, func() { cp.locality[service] = p })
 }
 
 // LocalityFor returns the service's locality policy (disabled by
@@ -433,7 +453,7 @@ func (cp *ControlPlane) LocalityFor(service string) LocalityPolicy {
 // SetFallbackPolicy configures graceful degradation for calls to a
 // service. A zero policy disables it.
 func (cp *ControlPlane) SetFallbackPolicy(service string, p FallbackPolicy) {
-	cp.apply(func() { cp.fallback[service] = p })
+	cp.apply(service, func() { cp.fallback[service] = p })
 }
 
 // FallbackFor returns the service's fallback policy (disabled by
@@ -444,7 +464,7 @@ func (cp *ControlPlane) FallbackFor(service string) FallbackPolicy {
 
 // SetHedgePolicy configures redundant requests for a service.
 func (cp *ControlPlane) SetHedgePolicy(service string, p HedgePolicy) {
-	cp.apply(func() { cp.hedge[service] = p })
+	cp.apply(service, func() { cp.hedge[service] = p })
 }
 
 // HedgePolicyFor returns the service's hedging policy (disabled by
@@ -454,7 +474,7 @@ func (cp *ControlPlane) HedgePolicyFor(service string) HedgePolicy { return cp.h
 // AllowCalls authorizes src to call dst. The first AllowCalls for a dst
 // switches it from permissive (allow all) to an explicit allow-list.
 func (cp *ControlPlane) AllowCalls(src, dst string) {
-	cp.apply(func() {
+	cp.apply(dst, func() {
 		set := cp.authz[dst]
 		if set == nil {
 			set = make(map[string]bool)

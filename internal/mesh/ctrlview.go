@@ -1,0 +1,177 @@
+package mesh
+
+import "meshlayer/internal/cluster"
+
+// This file is the sidecar's read path for routing state. In instant-
+// propagation mode (sc.ctrl == nil) every accessor delegates straight
+// to the shared control plane — byte-identical to the pre-distribution
+// behavior. With distribution enabled, accessors read the sidecar's
+// own pushed snapshot instead, so a sidecar acts on possibly-stale
+// endpoints and policies until the next control-plane push lands.
+
+// ctrlState returns this sidecar's snapshotted state for service and
+// whether distribution is enabled at all.
+func (sc *Sidecar) ctrlState(service string) (*serviceState, bool) {
+	if sc.ctrl == nil {
+		return nil, false
+	}
+	return sc.ctrl.state(service), true
+}
+
+// discoverEndpoints returns the service's endpoints as this sidecar
+// currently knows them. ok=false means the service is unknown.
+func (sc *Sidecar) discoverEndpoints(service string) ([]*cluster.Pod, bool) {
+	if st, dist := sc.ctrlState(service); dist {
+		if st == nil {
+			return nil, false
+		}
+		return st.Eps, true
+	}
+	svc := sc.mesh.cluster.Service(service)
+	if svc == nil {
+		return nil, false
+	}
+	return svc.Endpoints(), true
+}
+
+func (sc *Sidecar) routeRuleFor(service string) *RouteRule {
+	if st, dist := sc.ctrlState(service); dist {
+		if st == nil {
+			return nil
+		}
+		return st.Rule
+	}
+	return sc.mesh.cp.RouteRuleFor(service)
+}
+
+func (sc *Sidecar) lbPolicyFor(service string) LBPolicy {
+	if st, dist := sc.ctrlState(service); dist {
+		if st != nil && st.LB != nil {
+			return *st.LB
+		}
+		return LBRoundRobin
+	}
+	return sc.mesh.cp.LBPolicyFor(service)
+}
+
+func (sc *Sidecar) retryPolicyFor(service string) RetryPolicy {
+	if st, dist := sc.ctrlState(service); dist {
+		if st != nil && st.Retry != nil {
+			return *st.Retry
+		}
+		return DefaultRetryPolicy
+	}
+	return sc.mesh.cp.RetryPolicyFor(service)
+}
+
+func (sc *Sidecar) breakerFor(service string) CircuitBreakerPolicy {
+	if st, dist := sc.ctrlState(service); dist {
+		if st != nil && st.Breaker != nil {
+			return *st.Breaker
+		}
+		return DefaultCircuitBreaker
+	}
+	return sc.mesh.cp.CircuitBreakerFor(service)
+}
+
+func (sc *Sidecar) hedgePolicyFor(service string) HedgePolicy {
+	if st, dist := sc.ctrlState(service); dist {
+		if st != nil && st.Hedge != nil {
+			return *st.Hedge
+		}
+		return HedgePolicy{}
+	}
+	return sc.mesh.cp.HedgePolicyFor(service)
+}
+
+func (sc *Sidecar) faultPolicyFor(service string) FaultPolicy {
+	if st, dist := sc.ctrlState(service); dist {
+		if st != nil && st.Fault != nil {
+			return *st.Fault
+		}
+		return FaultPolicy{}
+	}
+	return sc.mesh.cp.FaultPolicyFor(service)
+}
+
+func (sc *Sidecar) mirrorPolicyFor(service string) MirrorPolicy {
+	if st, dist := sc.ctrlState(service); dist {
+		if st != nil && st.Mirror != nil {
+			return *st.Mirror
+		}
+		return MirrorPolicy{}
+	}
+	return sc.mesh.cp.MirrorPolicyFor(service)
+}
+
+func (sc *Sidecar) rateLimitFor(service string) RateLimitPolicy {
+	if st, dist := sc.ctrlState(service); dist {
+		if st != nil && st.Rate != nil {
+			return *st.Rate
+		}
+		return RateLimitPolicy{}
+	}
+	return sc.mesh.cp.RateLimitFor(service)
+}
+
+func (sc *Sidecar) admissionPolicyFor(service string) AdmissionPolicy {
+	if st, dist := sc.ctrlState(service); dist {
+		if st != nil && st.Admission != nil {
+			return *st.Admission
+		}
+		return AdmissionPolicy{}
+	}
+	return sc.mesh.cp.AdmissionPolicyFor(service)
+}
+
+func (sc *Sidecar) healthCheckFor(service string) HealthCheckPolicy {
+	if st, dist := sc.ctrlState(service); dist {
+		if st != nil && st.Health != nil {
+			return *st.Health
+		}
+		return HealthCheckPolicy{}
+	}
+	return sc.mesh.cp.HealthCheckFor(service)
+}
+
+func (sc *Sidecar) outlierFor(service string) OutlierPolicy {
+	if st, dist := sc.ctrlState(service); dist {
+		if st != nil && st.Outlier != nil {
+			return *st.Outlier
+		}
+		return OutlierPolicy{}
+	}
+	return sc.mesh.cp.OutlierFor(service)
+}
+
+func (sc *Sidecar) localityFor(service string) LocalityPolicy {
+	if st, dist := sc.ctrlState(service); dist {
+		if st != nil && st.Locality != nil {
+			return *st.Locality
+		}
+		return LocalityPolicy{}
+	}
+	return sc.mesh.cp.LocalityFor(service)
+}
+
+func (sc *Sidecar) fallbackFor(service string) FallbackPolicy {
+	if st, dist := sc.ctrlState(service); dist {
+		if st != nil && st.Fallback != nil {
+			return *st.Fallback
+		}
+		return FallbackPolicy{}
+	}
+	return sc.mesh.cp.FallbackFor(service)
+}
+
+// authorized checks the inbound allow-list for this sidecar's own
+// service against the snapshot (or the shared control plane).
+func (sc *Sidecar) authorized(src string) bool {
+	if st, dist := sc.ctrlState(sc.service); dist {
+		if st == nil || st.Authz == nil {
+			return true // permissive
+		}
+		return st.Authz[src]
+	}
+	return sc.mesh.cp.Authorized(src, sc.service)
+}

@@ -130,7 +130,7 @@ func (c *call) maybeFallback(resp *httpsim.Response, err error) (*httpsim.Respon
 	m := c.sc.mesh
 	failed := err != nil || resp == nil || resp.Status >= 500
 	if failed {
-		if p := m.cp.FallbackFor(c.service); !p.IsZero() {
+		if p := c.sc.fallbackFor(c.service); !p.IsZero() {
 			resp = httpsim.NewResponse(p.status())
 			resp.BodyBytes = p.BodyBytes
 			resp.Headers.Set(HeaderDegraded, c.service)

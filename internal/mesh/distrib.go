@@ -1,0 +1,420 @@
+package mesh
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"time"
+
+	"meshlayer/internal/cluster"
+	"meshlayer/internal/ctrlplane"
+	"meshlayer/internal/httpsim"
+	"meshlayer/internal/simnet"
+	"meshlayer/internal/transport"
+)
+
+// HeaderCtrl marks a control-plane push request; its value is the push
+// id the receiving sidecar uses to fetch the decoded update.
+const HeaderCtrl = "x-mesh-ctrl"
+
+// CtrlPlanePod names the pod hosting the distributing control plane.
+const CtrlPlanePod = "mesh-ctrlplane"
+
+// serviceState is one service's routing state as distributed to
+// sidecars: the endpoint list plus whichever policies the operator has
+// set (nil = unset, default semantics apply). It is the Data payload
+// of a ctrlplane.Resource; sidecars route on their snapshotted copy.
+type serviceState struct {
+	Eps       []*cluster.Pod
+	Rule      *RouteRule
+	LB        *LBPolicy
+	Retry     *RetryPolicy
+	Breaker   *CircuitBreakerPolicy
+	Hedge     *HedgePolicy
+	Fault     *FaultPolicy
+	Mirror    *MirrorPolicy
+	Rate      *RateLimitPolicy
+	Admission *AdmissionPolicy
+	Health    *HealthCheckPolicy
+	Outlier   *OutlierPolicy
+	Locality  *LocalityPolicy
+	Fallback  *FallbackPolicy
+	// Authz is the allowed-source set; nil = permissive mode.
+	Authz map[string]bool
+}
+
+// wireBytes estimates the encoded size (protobuf-ish costs).
+func (st *serviceState) wireBytes() int {
+	n := 48 + 24*len(st.Eps) + 16*len(st.Authz)
+	for _, set := range []bool{
+		st.LB != nil, st.Retry != nil, st.Breaker != nil, st.Hedge != nil,
+		st.Fault != nil, st.Mirror != nil, st.Rate != nil, st.Admission != nil,
+		st.Health != nil, st.Outlier != nil, st.Locality != nil, st.Fallback != nil,
+	} {
+		if set {
+			n += 40
+		}
+	}
+	if st.Rule != nil {
+		n += 32 + 24*(len(st.Rule.HeaderRoutes)+len(st.Rule.Weights))
+	}
+	return n
+}
+
+// DistributionConfig parameterizes EnableDistribution.
+type DistributionConfig struct {
+	// Debounce batches changes staged within the window into one push
+	// (default 100ms).
+	Debounce time.Duration
+	// FullState forces state-of-the-world pushes instead of deltas.
+	FullState bool
+	// PushTimeout gives up on an unacknowledged push and schedules a
+	// resync (default 2s).
+	PushTimeout time.Duration
+	// ResyncDelay is the backoff before re-pushing after a NACK or a
+	// lost connection (default 500ms).
+	ResyncDelay time.Duration
+	// Zone places the control-plane pod ("" = the root bridge).
+	Zone string
+}
+
+// distributor bridges the generic ctrlplane.Server to the mesh: it
+// builds per-service resources from the control-plane maps plus the
+// cluster's discovery state, and ships updates to each sidecar as
+// simulated HTTP from the control-plane pod — so propagation delay,
+// loss, and partitions are real network effects, not parameters.
+type distributor struct {
+	cp          *ControlPlane
+	pod         *cluster.Pod
+	srv         *ctrlplane.Server
+	pushTimeout time.Duration
+	clients     map[string]*httpsim.Client
+	// pending carries decoded updates to the receiving sidecar; the
+	// wire request references them by push id (the simulated body is
+	// size-only).
+	pending map[uint64]*ctrlplane.Update
+	nextID  uint64
+	// lastEps dedups topology notifications per service.
+	lastEps map[string][]*cluster.Pod
+}
+
+// EnableDistribution switches the control plane from instantaneous
+// shared state to simulated xDS-style distribution: a control-plane
+// pod joins the cluster, every sidecar subscribes, and configuration
+// or discovery changes reach sidecars only via debounced delta pushes
+// over the simulated network. Call after the application is built and
+// before the workload starts. Existing sidecars bootstrap their
+// snapshots synchronously (a proxy blocks on its initial xDS fetch);
+// everything later is pushed.
+func (cp *ControlPlane) EnableDistribution(cfg DistributionConfig) {
+	if cp.dist != nil {
+		panic("mesh: distribution already enabled")
+	}
+	m := cp.mesh
+	if cfg.PushTimeout <= 0 {
+		cfg.PushTimeout = 2 * time.Second
+	}
+	pod := m.cluster.AddPod(cluster.PodSpec{
+		Name:   CtrlPlanePod,
+		Labels: map[string]string{"app": CtrlPlanePod},
+		Zone:   cfg.Zone,
+	})
+	d := &distributor{
+		cp:          cp,
+		pod:         pod,
+		pushTimeout: cfg.PushTimeout,
+		clients:     make(map[string]*httpsim.Client),
+		pending:     make(map[uint64]*ctrlplane.Update),
+		lastEps:     make(map[string][]*cluster.Pod),
+	}
+	d.srv = ctrlplane.NewServer(ctrlplane.Config{
+		Sched:     m.sched,
+		Transport: d,
+		Metrics:   m.metrics,
+		Debounce:  cfg.Debounce,
+		FullState: cfg.FullState,
+		ResyncDelay: cfg.ResyncDelay,
+	})
+	cp.dist = d
+	for _, name := range d.serviceNames() {
+		d.refreshService(name)
+	}
+	for _, sc := range m.Sidecars() {
+		d.register(sc)
+	}
+	m.cluster.SetTopologyHook(d.topologyChanged)
+}
+
+// Distribution returns the distribution server for stats and staleness
+// inspection, or nil in instant-propagation mode.
+func (cp *ControlPlane) Distribution() *ctrlplane.Server {
+	if cp.dist == nil {
+		return nil
+	}
+	return cp.dist.srv
+}
+
+// serviceNames returns every name that needs a resource: cluster
+// services plus policy-only names, sorted.
+func (d *distributor) serviceNames() []string {
+	seen := make(map[string]bool)
+	for _, svc := range d.cp.mesh.cluster.Services() {
+		seen[svc.Name()] = true
+	}
+	cp := d.cp
+	for _, name := range policyKeys(cp) {
+		seen[name] = true
+	}
+	names := make([]string, 0, len(seen))
+	for name := range seen {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func policyKeys(cp *ControlPlane) []string {
+	var names []string
+	for name := range cp.rules {
+		names = append(names, name)
+	}
+	for name := range cp.lb {
+		names = append(names, name)
+	}
+	for name := range cp.retry {
+		names = append(names, name)
+	}
+	for name := range cp.breaker {
+		names = append(names, name)
+	}
+	for name := range cp.hedge {
+		names = append(names, name)
+	}
+	for name := range cp.authz {
+		names = append(names, name)
+	}
+	for name := range cp.fault {
+		names = append(names, name)
+	}
+	for name := range cp.mirror {
+		names = append(names, name)
+	}
+	for name := range cp.rate {
+		names = append(names, name)
+	}
+	for name := range cp.admission {
+		names = append(names, name)
+	}
+	for name := range cp.health {
+		names = append(names, name)
+	}
+	for name := range cp.outlier {
+		names = append(names, name)
+	}
+	for name := range cp.locality {
+		names = append(names, name)
+	}
+	for name := range cp.fallback {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// register subscribes a sidecar and installs its bootstrapped agent.
+func (d *distributor) register(sc *Sidecar) {
+	agent := &sidecarAgent{snap: ctrlplane.NewSnapshot()}
+	agent.applyUpdate(d.srv.Subscribe(sc.pod.Name()))
+	//meshvet:allow ctlwrite registration installs the snapshot the push path maintains
+	sc.ctrl = agent
+}
+
+// refreshService rebuilds one service's resource from the control
+// plane's authoritative maps + live discovery and stages it for push.
+func (d *distributor) refreshService(service string) {
+	if service == "" {
+		return
+	}
+	st := d.buildState(service)
+	d.lastEps[service] = st.Eps
+	d.srv.SetResource(service, st, st.wireBytes())
+}
+
+// topologyChanged reacts to discovery churn (pod added, readiness
+// flip): any service whose endpoint list changed is re-staged.
+func (d *distributor) topologyChanged() {
+	for _, svc := range d.cp.mesh.cluster.Services() {
+		eps := svc.Endpoints()
+		if epsEqual(d.lastEps[svc.Name()], eps) {
+			continue
+		}
+		d.refreshService(svc.Name())
+	}
+}
+
+func epsEqual(a, b []*cluster.Pod) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// buildState snapshots the operator-intent maps for one service.
+func (d *distributor) buildState(service string) *serviceState {
+	cp := d.cp
+	st := &serviceState{}
+	if svc := cp.mesh.cluster.Service(service); svc != nil {
+		st.Eps = svc.Endpoints()
+	}
+	st.Rule = cp.rules[service]
+	if p, ok := cp.lb[service]; ok {
+		st.LB = &p
+	}
+	if p, ok := cp.retry[service]; ok {
+		st.Retry = &p
+	}
+	if p, ok := cp.breaker[service]; ok {
+		st.Breaker = &p
+	}
+	if p, ok := cp.hedge[service]; ok {
+		st.Hedge = &p
+	}
+	if p, ok := cp.fault[service]; ok {
+		st.Fault = &p
+	}
+	if p, ok := cp.mirror[service]; ok {
+		st.Mirror = &p
+	}
+	if p, ok := cp.rate[service]; ok {
+		st.Rate = &p
+	}
+	if p, ok := cp.admission[service]; ok {
+		st.Admission = &p
+	}
+	if p, ok := cp.health[service]; ok {
+		st.Health = &p
+	}
+	if p, ok := cp.outlier[service]; ok {
+		st.Outlier = &p
+	}
+	if p, ok := cp.locality[service]; ok {
+		st.Locality = &p
+	}
+	if p, ok := cp.fallback[service]; ok {
+		st.Fallback = &p
+	}
+	if set, ok := cp.authz[service]; ok {
+		cpy := make(map[string]bool, len(set))
+		for src, v := range set {
+			cpy[src] = v
+		}
+		st.Authz = cpy
+	}
+	return st
+}
+
+// Push implements ctrlplane.Transport: the update travels as one
+// simulated HTTP request from the control-plane pod to the sidecar's
+// inbound port, sized like the encoded update. ACK latency — and so
+// per-sidecar propagation delay — emerges from the network topology.
+func (d *distributor) Push(sub string, u *ctrlplane.Update, done func(bool, error)) {
+	m := d.cp.mesh
+	sc := m.sidecars[sub]
+	if sc == nil {
+		done(false, fmt.Errorf("ctrlplane: unknown subscriber %q", sub))
+		return
+	}
+	d.nextID++
+	id := d.nextID
+	d.pending[id] = u
+	req := httpsim.NewRequest("POST", "/ctrlplane/push")
+	req.Headers.Set(HeaderCtrl, strconv.FormatUint(id, 10))
+	req.Headers.Set(HeaderSource, CtrlPlanePod)
+	req.BodyBytes = u.WireBytes
+	cl := d.clientFor(sub, sc.pod.Addr())
+	settled := false
+	timer := m.sched.After(d.pushTimeout, func() {
+		if settled {
+			return
+		}
+		settled = true
+		delete(d.pending, id)
+		// Condemn the connection so the resync re-dials instead of
+		// waiting out RTO backoff to a possibly-partitioned peer.
+		cl.Conn().Abort()
+		delete(d.clients, sub)
+		done(false, ctrlplane.ErrPushTimeout)
+	})
+	cl.Do(req, func(resp *httpsim.Response, err error) {
+		if settled {
+			return
+		}
+		settled = true
+		timer.Cancel()
+		delete(d.pending, id)
+		if err != nil {
+			delete(d.clients, sub)
+			done(false, err)
+			return
+		}
+		done(resp.Status == httpsim.StatusOK, nil)
+	})
+}
+
+func (d *distributor) clientFor(sub string, addr simnet.Addr) *httpsim.Client {
+	cl := d.clients[sub]
+	if cl == nil || cl.Closed() {
+		cl = httpsim.NewClient(d.pod.Host(), addr, InboundPort, transport.Options{CC: "reno"})
+		d.clients[sub] = cl
+	}
+	return cl
+}
+
+// sidecarAgent is the sidecar-local xDS client: the snapshot of
+// distributed routing state this sidecar routes on. All mutation goes
+// through applyUpdate — the push path; meshvet's ctlwrite analyzer
+// enforces that nothing else writes it.
+type sidecarAgent struct {
+	snap *ctrlplane.Snapshot
+}
+
+// applyUpdate installs one push; false = NACK (delta base mismatch).
+func (a *sidecarAgent) applyUpdate(u *ctrlplane.Update) bool { return a.snap.Apply(u) }
+
+// state returns the snapshotted routing state for service, or nil when
+// this sidecar has never been told about it.
+func (a *sidecarAgent) state(service string) *serviceState {
+	if v, ok := a.snap.Resources[service]; ok {
+		return v.(*serviceState)
+	}
+	return nil
+}
+
+// handleCtrlPush applies one control-plane push to this sidecar's
+// snapshot: 200 ACKs, 409 NACKs (delta base mismatch), 404 drops a
+// push the server has already timed out.
+func (sc *Sidecar) handleCtrlPush(pushID string, respond func(*httpsim.Response)) {
+	d := sc.mesh.cp.dist
+	id, err := strconv.ParseUint(pushID, 10, 64)
+	if d == nil || err != nil || sc.ctrl == nil {
+		respond(httpsim.NewResponse(httpsim.StatusNotFound))
+		return
+	}
+	u := d.pending[id]
+	if u == nil {
+		// The server gave up on this push; a late apply would desync
+		// the version bookkeeping, so drop it.
+		respond(httpsim.NewResponse(httpsim.StatusNotFound))
+		return
+	}
+	if !sc.ctrl.applyUpdate(u) {
+		respond(httpsim.NewResponse(httpsim.StatusConflict))
+		return
+	}
+	respond(httpsim.NewResponse(httpsim.StatusOK))
+}

@@ -62,7 +62,7 @@ func (g *Gateway) Serve(req *httpsim.Request, cb func(*httpsim.Response, error))
 	// Stamp the end-to-end deadline budget (unless the external caller
 	// supplied one) from the destination service's admission policy.
 	if !req.Headers.Has(HeaderBudget) {
-		if b := m.cp.AdmissionPolicyFor(req.Headers.Get(HeaderHost)).Budget; b > 0 {
+		if b := g.sc.admissionPolicyFor(req.Headers.Get(HeaderHost)).Budget; b > 0 {
 			req.Headers.Set(HeaderBudget, strconv.FormatInt(b.Microseconds(), 10))
 		}
 	}

@@ -28,14 +28,13 @@ var healthConnClass = ConnClass{Name: "health", Options: transport.Options{CC: "
 // an upstream service once its policies are pushed. Called on every
 // outbound Call; a stopped loop restarts here if the policy returns.
 func (sc *Sidecar) ensureDefenses(service string) {
-	cp := sc.mesh.cp
-	if !cp.HealthCheckFor(service).IsZero() && !sc.hcActive[service] {
+	if !sc.healthCheckFor(service).IsZero() && !sc.hcActive[service] {
 		sc.hcActive[service] = true
 		sc.healthTick(service)
 	}
-	if !cp.OutlierFor(service).IsZero() && !sc.outlierActive[service] {
+	if !sc.outlierFor(service).IsZero() && !sc.outlierActive[service] {
 		sc.outlierActive[service] = true
-		p := cp.OutlierFor(service).withDefaults()
+		p := sc.outlierFor(service).withDefaults()
 		sc.mesh.sched.After(p.Interval, func() { sc.outlierSweep(service) })
 	}
 }
@@ -44,14 +43,14 @@ func (sc *Sidecar) ensureDefenses(service string) {
 // re-arms itself. The loop exits (and clears its active mark) when
 // the policy is withdrawn.
 func (sc *Sidecar) healthTick(service string) {
-	p := sc.mesh.cp.HealthCheckFor(service)
+	p := sc.healthCheckFor(service)
 	if p.IsZero() {
 		sc.hcActive[service] = false
 		return
 	}
 	p = p.withDefaults()
-	if svc := sc.mesh.cluster.Service(service); svc != nil {
-		for _, ep := range svc.Endpoints() {
+	if eps, ok := sc.discoverEndpoints(service); ok {
+		for _, ep := range eps {
 			sc.probe(service, ep.Addr(), p)
 		}
 	}
@@ -175,14 +174,14 @@ func (sc *Sidecar) clientForAddr(addr simnet.Addr, class ConnClass) *httpsim.Cli
 // outlierSweep judges every endpoint's request window and re-arms
 // itself, exiting when the policy is withdrawn.
 func (sc *Sidecar) outlierSweep(service string) {
-	p := sc.mesh.cp.OutlierFor(service)
+	p := sc.outlierFor(service)
 	if p.IsZero() {
 		sc.outlierActive[service] = false
 		return
 	}
 	p = p.withDefaults()
-	if svc := sc.mesh.cluster.Service(service); svc != nil {
-		sc.sweepOutliers(service, svc.Endpoints(), p)
+	if eps, ok := sc.discoverEndpoints(service); ok {
+		sc.sweepOutliers(service, eps, p)
 	}
 	sc.mesh.sched.After(p.Interval, func() { sc.outlierSweep(service) })
 }

@@ -150,14 +150,14 @@ func (sc *Sidecar) pickEndpoint(service string, eps []*cluster.Pod) *cluster.Pod
 			eligible = kept
 		}
 	}
-	if pf := sc.mesh.cp.OutlierFor(service).PanicThreshold; pf > 0 &&
+	if pf := sc.outlierFor(service).PanicThreshold; pf > 0 &&
 		float64(len(eligible)) < pf*float64(len(eps)) {
 		eligible = eps // panic routing: too few healthy hosts, use them all
 	}
 	if len(eligible) == 0 {
 		eligible = eps // all breakers open: fail open rather than refuse
 	}
-	switch sc.mesh.cp.LBPolicyFor(service) {
+	switch sc.lbPolicyFor(service) {
 	case LBRandom:
 		return eligible[sc.mesh.rng.Intn(len(eligible))]
 	case LBLeastRequest:

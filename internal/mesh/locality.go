@@ -96,7 +96,7 @@ func LocalityWeights(localFrac, remoteFrac, ovp float64) (wLocal, wRemote float6
 // (so single-zone topologies behave — and randomize — exactly as
 // before zones existed).
 func (sc *Sidecar) localitySelect(service string, eps []*cluster.Pod) []*cluster.Pod {
-	pol := sc.mesh.cp.LocalityFor(service)
+	pol := sc.localityFor(service)
 	if pol.IsZero() {
 		return eps
 	}

@@ -238,6 +238,27 @@ func TestLocalityCallerWithoutZoneUnaffected(t *testing.T) {
 	}
 }
 
+func TestZonelessCallerAllZonesUnhealthyFailsOpen(t *testing.T) {
+	// Regression for the PR 5 edge left untested: a caller with no zone
+	// label (the gateway) while every endpoint of every zone is marked
+	// unhealthy. localitySelect must return the zone-blind list and
+	// pickEndpoint's fail-open must still produce a pick — never nil.
+	bed := buildZonedBed(t, defaultZones)
+	bed.m.ControlPlane().SetLocalityPolicy("backend", LocalityPolicy{Mode: LocalityFailover})
+	gw := bed.m.Sidecar("gateway")
+	eps := bed.cl.Service("backend").Endpoints()
+	for _, ep := range eps {
+		gw.epState(ep.Addr()).unhealthy = true
+	}
+	if got := gw.localitySelect("backend", eps); len(got) != len(eps) {
+		t.Fatalf("zoneless caller narrowed unhealthy endpoints to %d, want %d (zone-blind)",
+			len(got), len(eps))
+	}
+	if picked := gw.pickEndpoint("backend", eps); picked == nil {
+		t.Fatal("pickEndpoint returned nil: fail-open must re-admit unhealthy endpoints")
+	}
+}
+
 func TestSetLocalityPolicyValidates(t *testing.T) {
 	bed := buildZonedBed(t, defaultZones)
 	cp := bed.m.ControlPlane()

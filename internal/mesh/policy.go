@@ -47,7 +47,7 @@ func (cp *ControlPlane) SetFaultPolicy(service string, p FaultPolicy) {
 	if p.AbortProb > 0 && p.AbortStatus == 0 {
 		p.AbortStatus = httpsim.StatusServiceUnavailable
 	}
-	cp.apply(func() { cp.fault[service] = p })
+	cp.apply(service, func() { cp.fault[service] = p })
 }
 
 // FaultPolicyFor returns the service's fault policy (zero by default).
@@ -58,7 +58,7 @@ func (cp *ControlPlane) SetMirrorPolicy(service string, p MirrorPolicy) {
 	if p.Fraction < 0 || p.Fraction > 1 {
 		panic("mesh: mirror fraction must be in [0,1]")
 	}
-	cp.apply(func() { cp.mirror[service] = p })
+	cp.apply(service, func() { cp.mirror[service] = p })
 }
 
 // MirrorPolicyFor returns the service's mirror policy.
@@ -69,7 +69,7 @@ func (cp *ControlPlane) SetRateLimit(service string, p RateLimitPolicy) {
 	if p.RPS > 0 && p.Burst == 0 {
 		p.Burst = int(p.RPS + 1)
 	}
-	cp.apply(func() { cp.rate[service] = p })
+	cp.apply(service, func() { cp.rate[service] = p })
 }
 
 // RateLimitFor returns the service's rate limit (disabled by default).
@@ -103,7 +103,7 @@ func (tb *tokenBucket) admit(p RateLimitPolicy, now time.Duration) bool {
 // applyInboundRateLimit enforces the service's limit; it returns false
 // (and responds 429) when the request must be rejected.
 func (sc *Sidecar) applyInboundRateLimit(respond func(*httpsim.Response)) bool {
-	p := sc.mesh.cp.RateLimitFor(sc.service)
+	p := sc.rateLimitFor(sc.service)
 	if p.RPS <= 0 {
 		return true
 	}
@@ -121,7 +121,7 @@ func (sc *Sidecar) applyInboundRateLimit(respond func(*httpsim.Response)) bool {
 
 // maybeMirror fire-and-forgets a copy of req to the shadow service.
 func (sc *Sidecar) maybeMirror(service string, req *httpsim.Request) {
-	p := sc.mesh.cp.MirrorPolicyFor(service)
+	p := sc.mirrorPolicyFor(service)
 	if p.To == "" || p.Fraction <= 0 || sc.mesh.rng.Float64() >= p.Fraction {
 		return
 	}

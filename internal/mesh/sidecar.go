@@ -89,6 +89,11 @@ type Sidecar struct {
 	outlierActive map[string]bool
 	budgets       map[string]*retryBudget
 	serverFault   *serverFaultState
+
+	// ctrl is this sidecar's local snapshot of distributed routing
+	// state (nil in instant-propagation mode). Only the control-plane
+	// push path may mutate it — enforced by meshvet's ctlwrite.
+	ctrl *sidecarAgent
 }
 
 // InjectSidecar pairs a sidecar with the pod. The pod's service
@@ -119,6 +124,9 @@ func (m *Mesh) InjectSidecar(pod *cluster.Pod) *Sidecar {
 	}
 	sc.server = srv
 	m.sidecars[pod.Name()] = sc
+	if m.cp.dist != nil {
+		m.cp.dist.register(sc)
+	}
 	return sc
 }
 
@@ -157,6 +165,12 @@ func (sc *Sidecar) SetConnHook(f func(*transport.Conn, ConnClass)) { sc.connHook
 func (sc *Sidecar) handleInbound(ctx httpsim.Ctx, req *httpsim.Request, respond func(*httpsim.Response)) {
 	m := sc.mesh
 	m.sched.After(m.proxyDelay(), func() {
+		// Control-plane pushes terminate at the proxy: apply to the
+		// local snapshot and ACK/NACK.
+		if id := req.Headers.Get(HeaderCtrl); id != "" {
+			sc.handleCtrlPush(id, respond)
+			return
+		}
 		// Health probes are answered by the proxy itself: they prove
 		// the pod is reachable and its sidecar alive, nothing more.
 		if req.Headers.Get(HeaderHealth) != "" {
@@ -184,7 +198,7 @@ func (sc *Sidecar) handleInbound(ctx httpsim.Ctx, req *httpsim.Request, respond 
 			return
 		}
 		src := req.Headers.Get(HeaderSource)
-		if !sc.verifyPeer(req) || !m.cp.Authorized(src, sc.service) {
+		if !sc.verifyPeer(req) || !sc.authorized(src) {
 			m.metrics.Counter("mesh_requests_total",
 				metrics.Labels{"service": sc.service, "direction": "inbound", "code": "403"}).Inc()
 			resp := httpsim.NewResponse(httpsim.StatusForbidden)
@@ -251,7 +265,7 @@ func (sc *Sidecar) handleInbound(ctx httpsim.Ctx, req *httpsim.Request, respond 
 			return
 		}
 
-		ctl := sc.admissionFor(m.cp.AdmissionPolicyFor(sc.service))
+		ctl := sc.admissionFor(sc.admissionPolicyFor(sc.service))
 		if ctl == nil {
 			m.metrics.Counter("mesh_requests_total",
 				metrics.Labels{"service": sc.service, "direction": "inbound", "code": "ok"}).Inc()
@@ -348,8 +362,8 @@ func (sc *Sidecar) Call(req *httpsim.Request, cb func(*httpsim.Response, error))
 		req:     req,
 		cb:      cb,
 		span:    span,
-		retry:   m.cp.RetryPolicyFor(service),
-		breaker: m.cp.CircuitBreakerFor(service),
+		retry:   sc.retryPolicyFor(service),
+		breaker: sc.breakerFor(service),
 		start:   m.sched.Now(),
 	}
 	sc.ensureDefenses(service)
@@ -371,7 +385,7 @@ func (sc *Sidecar) Call(req *httpsim.Request, cb func(*httpsim.Response, error))
 		// long this call may chase a real response. Retry ladders
 		// against a dead upstream outlast the callers' own timeouts;
 		// serving degraded at the deadline keeps the whole tree alive.
-		if p := m.cp.FallbackFor(service); !p.IsZero() {
+		if p := sc.fallbackFor(service); !p.IsZero() {
 			c.fbTimer = m.sched.After(p.after(), func() {
 				if !c.done {
 					c.finish(nil, ErrTimeout)
@@ -381,7 +395,7 @@ func (sc *Sidecar) Call(req *httpsim.Request, cb func(*httpsim.Response, error))
 
 		start := func() {
 			c.launch()
-			if h := m.cp.HedgePolicyFor(service); h.Delay > 0 {
+			if h := sc.hedgePolicyFor(service); h.Delay > 0 {
 				m.sched.After(h.Delay, func() {
 					if !c.done && !c.hedged {
 						c.hedged = true
@@ -391,7 +405,7 @@ func (sc *Sidecar) Call(req *httpsim.Request, cb func(*httpsim.Response, error))
 			}
 		}
 		// Fault injection (client-side, once per logical call).
-		if f := m.cp.FaultPolicyFor(service); !f.IsZero() {
+		if f := sc.faultPolicyFor(service); !f.IsZero() {
 			if f.AbortProb > 0 && m.rng.Float64() < f.AbortProb {
 				c.finish(httpsim.NewResponse(f.AbortStatus), nil)
 				return
@@ -405,14 +419,16 @@ func (sc *Sidecar) Call(req *httpsim.Request, cb func(*httpsim.Response, error))
 	})
 }
 
-// endpointsFor resolves the service and applies routing rules.
+// endpointsFor resolves the service through this sidecar's discovery
+// view (live cluster state, or the pushed snapshot with distribution
+// enabled) and applies routing rules.
 func (sc *Sidecar) endpointsFor(service string, req *httpsim.Request) ([]*cluster.Pod, error) {
-	svc := sc.mesh.cluster.Service(service)
-	if svc == nil {
+	all, ok := sc.discoverEndpoints(service)
+	if !ok {
 		return nil, ErrNoService
 	}
 	subset := SubsetRef{}
-	if rule := sc.mesh.cp.RouteRuleFor(service); rule != nil {
+	if rule := sc.routeRuleFor(service); rule != nil {
 		subset = rule.DefaultSubset
 		matched := false
 		for _, hr := range rule.HeaderRoutes {
@@ -426,11 +442,14 @@ func (sc *Sidecar) endpointsFor(service string, req *httpsim.Request) ([]*cluste
 			subset = sc.pickWeighted(rule.Weights)
 		}
 	}
-	var eps []*cluster.Pod
-	if subset.IsZero() {
-		eps = svc.Endpoints()
-	} else {
-		eps = svc.Subset(subset.Key, subset.Value)
+	eps := all
+	if !subset.IsZero() {
+		eps = nil
+		for _, p := range all {
+			if p.Label(subset.Key) == subset.Value {
+				eps = append(eps, p)
+			}
+		}
 	}
 	if len(eps) == 0 {
 		return nil, ErrNoEndpoints

@@ -158,6 +158,38 @@ func (r *Registry) Histogram(name string, labels Labels) *hdr.Histogram {
 	return h
 }
 
+// Family identifies one registered metric family: a name plus the kind
+// of series it holds.
+type Family struct {
+	Name string
+	Kind string // "counter", "gauge", or "histogram"
+}
+
+// Families lists every registered family sorted by name then kind —
+// the hook the naming-convention audit tests against. A name used as
+// two kinds (it should not be) yields two entries.
+func (r *Registry) Families() []Family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var fams []Family
+	for name := range r.counters {
+		fams = append(fams, Family{Name: name, Kind: "counter"})
+	}
+	for name := range r.gauges {
+		fams = append(fams, Family{Name: name, Kind: "gauge"})
+	}
+	for name := range r.histograms {
+		fams = append(fams, Family{Name: name, Kind: "histogram"})
+	}
+	sort.Slice(fams, func(i, j int) bool {
+		if fams[i].Name != fams[j].Name {
+			return fams[i].Name < fams[j].Name
+		}
+		return fams[i].Kind < fams[j].Kind
+	})
+	return fams
+}
+
 // CounterTotal sums a counter family across all label sets.
 func (r *Registry) CounterTotal(name string) uint64 {
 	r.mu.Lock()

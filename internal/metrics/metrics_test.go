@@ -97,3 +97,25 @@ func TestHistogramAndDump(t *testing.T) {
 		t.Fatalf("dump missing histogram: %s", d)
 	}
 }
+
+func TestFamilies(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_total", Labels{"svc": "a"}).Inc()
+	r.Counter("b_total", Labels{"svc": "b"}).Inc() // same family: one entry
+	r.Gauge("a_depth", nil).Set(1)
+	r.ObserveDuration("c_duration", nil, time.Millisecond)
+	got := r.Families()
+	want := []Family{
+		{Name: "a_depth", Kind: "gauge"},
+		{Name: "b_total", Kind: "counter"},
+		{Name: "c_duration", Kind: "histogram"},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("Families() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Families()[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
