@@ -1,8 +1,8 @@
 # Developer entry points. CI (.github/workflows/ci.yml) runs `make check`.
 
-.PHONY: check build vet lint test race bench bench-json chaos-smoke ctrlplane-smoke
+.PHONY: check build vet lint test race bench bench-json chaos-smoke ctrlplane-smoke federation-smoke
 
-check: build vet lint test chaos-smoke ctrlplane-smoke
+check: build vet lint test chaos-smoke ctrlplane-smoke federation-smoke
 
 build:
 	go build ./...
@@ -41,6 +41,8 @@ bench-json:
 	@echo "wrote BENCH_zonefail.json"
 	go test . -run '^$$' -bench 'CtrlPlane' -benchtime 3x | go run ./cmd/benchjson > BENCH_ctrlplane.json
 	@echo "wrote BENCH_ctrlplane.json"
+	go test . -run '^$$' -bench 'Federation' -benchtime 3x | go run ./cmd/benchjson > BENCH_federation.json
+	@echo "wrote BENCH_federation.json"
 
 # Determinism golden check: the same seed must reproduce the E15 chaos
 # and E17 zone-failure runs byte-for-byte — including with the parallel
@@ -65,4 +67,14 @@ ctrlplane-smoke:
 	go run ./cmd/meshbench -exp ctrlplane -warmup 1s -measure 4s -seed 7 > $$b && \
 	go run ./cmd/meshbench -exp ctrlplane -warmup 1s -measure 4s -seed 7 -parallel 1 > $$c && \
 	cmp $$a $$b && cmp $$a $$c && echo "ctrlplane-smoke: ctrlplane deterministic (parallel == sequential)" ; \
+	rc=$$? ; rm -f $$a $$b $$c ; exit $$rc
+
+# Same golden property for E19: WAN chaos, per-region control planes,
+# summary exchange, and gateway routing must replay byte-for-byte.
+federation-smoke:
+	@a=$$(mktemp) && b=$$(mktemp) && c=$$(mktemp) && \
+	go run ./cmd/meshbench -exp federation -warmup 1s -measure 4s -seed 7 > $$a && \
+	go run ./cmd/meshbench -exp federation -warmup 1s -measure 4s -seed 7 > $$b && \
+	go run ./cmd/meshbench -exp federation -warmup 1s -measure 4s -seed 7 -parallel 1 > $$c && \
+	cmp $$a $$b && cmp $$a $$c && echo "federation-smoke: federation deterministic (parallel == sequential)" ; \
 	rc=$$? ; rm -f $$a $$b $$c ; exit $$rc

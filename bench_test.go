@@ -230,6 +230,24 @@ func BenchmarkCtrlPlane(b *testing.B) {
 	}
 }
 
+// BenchmarkFederation reproduces E19: region evacuation plus a WAN
+// partition against the failover-ladder sweep.
+func BenchmarkFederation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		flat := runFederationOnce("flat", "off", false, true, 1, 2*time.Second, benchWindow)
+		region := runFederationOnce("region", "region", false, true, 1, 2*time.Second, benchWindow)
+		full := runFederationOnce("full", "full", true, true, 1, 2*time.Second, benchWindow)
+		b.ReportMetric(100*flat.EvacAvail, "flat_evac_avail_pct")
+		b.ReportMetric(100*region.EvacAvail, "regiononly_evac_avail_pct")
+		b.ReportMetric(100*full.EvacAvail, "ladder_evac_avail_pct")
+		b.ReportMetric(100*full.PartAvail, "ladder_partition_avail_pct")
+		b.ReportMetric(msf(full.LSP99), "ladder_ls_p99_ms")
+		b.ReportMetric(float64(full.CrossRegion), "ladder_cross_region_selections")
+		b.ReportMetric(float64(full.EastWest), "ladder_eastwest_hops")
+		b.ReportMetric(msf(full.StaleP99), "ladder_stale_p99_ms")
+	}
+}
+
 // BenchmarkAdmissionQueue microbenchmarks the admission queue's
 // enqueue/shed hot path: a full queue absorbing LS arrivals by
 // displacing queued LI requests, and the CoDel pop law draining a

@@ -22,7 +22,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: fig4|licost|overhead|ablation|scavenger|adaptivelb|redundant|hops|bottleneck|skew|resilience|qdisc|overload|chaos|zonefail|ctrlplane|engine|all (engine is never part of all)")
+		exp      = flag.String("exp", "all", "experiment: fig4|licost|overhead|ablation|scavenger|adaptivelb|redundant|hops|bottleneck|skew|resilience|qdisc|overload|chaos|zonefail|ctrlplane|federation|engine|all (engine is never part of all)")
 		seed     = flag.Int64("seed", 1, "random seed (same seed = identical run)")
 		rps      = flag.Float64("rps", 40, "per-workload RPS for the ablation experiment")
 		levels   = flag.String("levels", "10,20,30,40,50", "comma-separated RPS levels for the fig4 sweep")
@@ -132,6 +132,10 @@ func main() {
 	if want("ctrlplane") {
 		ran = true
 		fmt.Println(meshlayer.FormatCtrlPlane(meshlayer.RunCtrlPlane(*seed, *warmup, *measure)))
+	}
+	if want("federation") {
+		ran = true
+		fmt.Println(meshlayer.FormatFederation(meshlayer.RunFederation(*seed, *warmup, *measure)))
 	}
 	// E16 measures the simulator itself (wall-clock, host-dependent), so
 	// it runs only when asked for explicitly — never as part of "all".

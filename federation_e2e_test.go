@@ -1,0 +1,104 @@
+package meshlayer
+
+import (
+	"testing"
+	"time"
+
+	"meshlayer/internal/lint/leakcheck"
+)
+
+// Short windows keep the simulated runs affordable under -race;
+// cmd/meshbench -exp federation is the paper-scale version. The
+// evacuation spans half the measured window and the WAN partition a
+// fifth, so even at test scale region-a drains for 2 s with region-b
+// unreachable for most of it.
+const (
+	federationTestWarmup  = 1 * time.Second
+	federationTestMeasure = 4 * time.Second
+)
+
+// TestFederationLadderOrdering is E19's headline claim at test scale:
+// under a region-a evacuation with a mid-evacuation region-b WAN
+// partition, region-only isolation collapses (its callers cannot leave
+// the draining region), the flat global mesh measurably degrades, and
+// the full failover ladder rides the east-west gateways to sustain
+// availability through both windows.
+func TestFederationLadderOrdering(t *testing.T) {
+	leakcheck.Check(t)
+	flat := runFederationOnce("flat", "off", false, true, 1, federationTestWarmup, federationTestMeasure)
+	region := runFederationOnce("region", "region", false, true, 1, federationTestWarmup, federationTestMeasure)
+	full := runFederationOnce("full", "full", false, true, 1, federationTestWarmup, federationTestMeasure)
+
+	if region.EvacAvail >= 0.7 {
+		t.Fatalf("region-only evacuation availability = %.1f%%, want a collapse (nothing may leave the region)",
+			100*region.EvacAvail)
+	}
+	// The acceptance bar: the full ladder holds >= 99% through both the
+	// evacuation and the WAN partition.
+	if full.EvacAvail < 0.99 || full.PartAvail < 0.99 {
+		t.Fatalf("full-ladder availability evac %.2f%% / partition %.2f%%, want >= 99%%",
+			100*full.EvacAvail, 100*full.PartAvail)
+	}
+	if full.Avail <= region.Avail || full.Avail <= flat.Avail {
+		t.Fatalf("full-ladder availability %.2f%% does not materially exceed region-only %.2f%% and flat %.2f%%",
+			100*full.Avail, 100*region.Avail, 100*flat.Avail)
+	}
+	if full.CrossRegion == 0 || full.EastWest == 0 {
+		t.Fatalf("full ladder recorded no gateway-mediated cross-region traffic: %+v", full)
+	}
+	if region.CrossRegion != 0 || region.EastWest != 0 {
+		t.Fatalf("region-only arm crossed regions: %+v", region)
+	}
+	// Split-brain is honest, not oracle: the federated arms route on
+	// pushed summaries, so config age is bounded below by the debounce.
+	if full.StaleP99 <= 0 {
+		t.Fatal("federated arm recorded no control-plane staleness")
+	}
+}
+
+// TestFederationDegradationServesFallbacks: the dependency-wide ratings
+// crash near the end of the suite must actually exercise graceful
+// degradation on the fallback arms, with provenance at the edge.
+func TestFederationDegradationServesFallbacks(t *testing.T) {
+	leakcheck.Check(t)
+	row := runFederationOnce("degraded", "full", true, true, 1, federationTestWarmup, federationTestMeasure)
+	if row.Fallbacks == 0 {
+		t.Fatal("no fallback responses served under the dependency-wide ratings loss")
+	}
+	if row.DegradedFrac <= 0 {
+		t.Fatal("no degraded responses observed at the gateway (provenance lost)")
+	}
+}
+
+// TestFederationFaultFreeOverheadFree: with three regions, per-region
+// control planes, and the full ladder — but no faults — every request
+// stays in its caller's zone: no gateway hops, no fallbacks.
+func TestFederationFaultFreeOverheadFree(t *testing.T) {
+	leakcheck.Check(t)
+	row := runFederationOnce("baseline", "full", true, false, 1, federationTestWarmup, federationTestMeasure)
+	if row.Avail < 0.999 {
+		t.Fatalf("fault-free availability = %.2f%%", 100*row.Avail)
+	}
+	if row.CrossRegion != 0 || row.EastWest != 0 {
+		t.Fatalf("fault-free run crossed regions (%d selections, %d gateway hops) with all-healthy locality",
+			row.CrossRegion, row.EastWest)
+	}
+	if row.Fallbacks != 0 || row.DegradedFrac != 0 {
+		t.Fatalf("fault-free run served %d fallbacks (%.2f%% degraded)", row.Fallbacks, 100*row.DegradedFrac)
+	}
+}
+
+// TestFederationDeterministic: equal seeds reproduce the federated
+// scenario — evacuation stagger, WAN partition, summary exchange and
+// all — byte-for-byte.
+func TestFederationDeterministic(t *testing.T) {
+	leakcheck.Check(t)
+	a := runFederationOnce("run", "full", true, true, 9, federationTestWarmup, federationTestMeasure)
+	b := runFederationOnce("run", "full", true, true, 9, federationTestWarmup, federationTestMeasure)
+	if a != b {
+		t.Fatalf("same seed diverged:\n%+v\n%+v", a, b)
+	}
+	if FormatFederation([]FederationRow{a}) != FormatFederation([]FederationRow{b}) {
+		t.Fatal("formatted output diverged")
+	}
+}

@@ -45,6 +45,17 @@ type ELibraryConfig struct {
 	// (zero: cluster.DefaultZoneUplink's 250 µs).
 	ZoneDelay time.Duration
 
+	// Regions replicates the zoned testbed across this many regions
+	// ("region-a", ...), each with Zones failure domains (default 2)
+	// carrying a full replica set, joined by WAN links between region
+	// spines. Every region gets an east-west gateway pod on its spine;
+	// the ingress gateway lives in region-a's first zone. <= 1 keeps
+	// the pre-federation topologies byte-identical.
+	Regions int
+	// WANDelay overrides the one-way WAN propagation delay (zero:
+	// cluster.DefaultWANLink's 25 ms).
+	WANDelay time.Duration
+
 	// Latency-sensitive response sizes per component.
 	LSDetailsBytes, LSRatingsBytes, LSReviewsBytes, LSFrontendBytes int
 	// Latency-insensitive response sizes: the ratings scan dominates.
@@ -105,6 +116,11 @@ type ELibrary struct {
 	// single-zone); AllRatings holds every ratings replica.
 	Zones      []string
 	AllRatings []*cluster.Pod
+
+	// Regions lists the region names in creation order and EastWest the
+	// per-region east-west gateway pods (nil when single-region).
+	Regions  []string
+	EastWest []*cluster.Pod
 }
 
 // BuildELibrary constructs the full Fig. 3 topology on a fresh
@@ -121,6 +137,9 @@ func BuildELibrary(cfg ELibraryConfig) *ELibrary {
 	link := simnet.LinkConfig{Rate: cfg.LinkRate, Delay: 20 * time.Microsecond}
 	bottleneck := simnet.LinkConfig{Rate: cfg.BottleneckRate, Delay: 20 * time.Microsecond}
 
+	if cfg.Regions > 1 {
+		return buildFederatedELibrary(cfg, sched, net, cl, link, bottleneck)
+	}
 	if cfg.Zones > 1 {
 		return buildZonedELibrary(cfg, sched, net, cl, link, bottleneck)
 	}
@@ -228,6 +247,102 @@ func buildZonedELibrary(cfg ELibraryConfig, sched *simnet.Scheduler, net *simnet
 	return e
 }
 
+// buildFederatedELibrary replicates the zoned testbed across
+// cfg.Regions regions: each region carries cfg.Zones zones (default 2),
+// every zone a full replica set, and the region spines are joined by
+// WAN links. One east-west gateway pod per region sits on its spine,
+// fronted by the mesh.EWGatewayService(region) service; the ingress
+// gateway lives in region-a's first zone, so under a region-a
+// evacuation the edge itself keeps running while its upstreams drain.
+func buildFederatedELibrary(cfg ELibraryConfig, sched *simnet.Scheduler, net *simnet.Network,
+	cl *cluster.Cluster, link, bottleneck simnet.LinkConfig) *ELibrary {
+	uplink := cluster.DefaultZoneUplink
+	if cfg.ZoneDelay > 0 {
+		uplink.Delay = cfg.ZoneDelay
+	}
+	wan := cluster.DefaultWANLink
+	if cfg.WANDelay > 0 {
+		wan.Delay = cfg.WANDelay
+	}
+	zonesPer := cfg.Zones
+	if zonesPer <= 1 {
+		zonesPer = 2
+	}
+
+	e := &ELibrary{Sched: sched, Net: net, Cluster: cl, Config: cfg}
+	for i := 0; i < cfg.Regions; i++ {
+		r := "region-" + string(rune('a'+i))
+		cl.AddRegion(r, wan)
+		e.Regions = append(e.Regions, r)
+		for j := 1; j <= zonesPer; j++ {
+			z := fmt.Sprintf("zone-%c%d", 'a'+i, j)
+			cl.AddZoneInRegion(z, r, uplink)
+			e.Zones = append(e.Zones, z)
+		}
+	}
+
+	gwPod := cl.AddPod(cluster.PodSpec{
+		Name: "gateway", Labels: map[string]string{"app": "gateway"}, Link: link, Zone: e.Zones[0]})
+	for zi, z := range e.Zones {
+		suffix := strings.TrimPrefix(z, "zone-")
+		fe := cl.AddPod(cluster.PodSpec{
+			Name: "frontend-" + suffix, Labels: map[string]string{"app": "frontend"},
+			Link: link, Workers: cfg.Workers, Zone: z})
+		dt := cl.AddPod(cluster.PodSpec{
+			Name: "details-" + suffix, Labels: map[string]string{"app": "details"},
+			Link: link, Workers: cfg.Workers, Zone: z})
+		rv := cl.AddPod(cluster.PodSpec{
+			Name: "reviews-" + suffix, Labels: map[string]string{"app": "reviews", "version": fmt.Sprintf("v%d", zi+1)},
+			Link: link, Workers: cfg.Workers, Zone: z})
+		rt := cl.AddPod(cluster.PodSpec{
+			Name: "ratings-" + suffix, Labels: map[string]string{"app": "ratings"},
+			Link: bottleneck, Workers: cfg.Workers, Zone: z})
+		if zi == 0 {
+			e.Frontend, e.Details, e.Ratings = fe, dt, rt
+		}
+		e.Reviews = append(e.Reviews, rv)
+		e.AllRatings = append(e.AllRatings, rt)
+	}
+
+	cl.AddService("frontend", 9080, map[string]string{"app": "frontend"})
+	cl.AddService("details", 9080, map[string]string{"app": "details"})
+	cl.AddService("reviews", 9080, map[string]string{"app": "reviews"})
+	cl.AddService("ratings", 9080, map[string]string{"app": "ratings"})
+
+	// Federation infrastructure: one east-west gateway per region, each
+	// behind its own single-pod service.
+	for _, r := range e.Regions {
+		name := mesh.EWGatewayService(r)
+		p := cl.AddPod(cluster.PodSpec{
+			Name: name, Labels: map[string]string{"app": name},
+			Link: link, Workers: cfg.Workers, Region: r})
+		cl.AddService(name, 9080, map[string]string{"app": name})
+		e.EastWest = append(e.EastWest, p)
+	}
+
+	e.Mesh = mesh.New(cl, cfg.Mesh)
+	e.Gateway = e.Mesh.NewGateway(gwPod)
+	for _, p := range e.EastWest {
+		e.Mesh.NewEastWestGateway(p)
+	}
+
+	for _, z := range e.Zones {
+		for _, p := range cl.ZonePods(z) {
+			switch p.Label("app") {
+			case "frontend":
+				e.registerFrontend(p)
+			case "details":
+				e.registerDetails(p)
+			case "reviews":
+				e.registerReviews(p)
+			case "ratings":
+				e.registerRatings(p)
+			}
+		}
+	}
+	return e
+}
+
 func fillDefaults(cfg ELibraryConfig) ELibraryConfig {
 	d := DefaultELibraryConfig()
 	d.Mesh = cfg.Mesh
@@ -242,6 +357,8 @@ func fillDefaults(cfg ELibraryConfig) ELibraryConfig {
 	}
 	d.Zones = cfg.Zones
 	d.ZoneDelay = cfg.ZoneDelay
+	d.Regions = cfg.Regions
+	d.WANDelay = cfg.WANDelay
 	return d
 }
 

@@ -23,10 +23,21 @@ var DefaultLink = simnet.LinkConfig{Rate: 15 * simnet.Gbps, Delay: 20 * time.Mic
 // inter-zone RTT cost that makes locality-aware routing worth having.
 var DefaultZoneUplink = simnet.LinkConfig{Rate: 40 * simnet.Gbps, Delay: 250 * time.Microsecond}
 
+// DefaultWANLink joins two region spines: an order of magnitude less
+// capacity than the intra-cluster spine and a 25 ms one-way delay
+// (~50 ms RTT), the geography that makes cross-region failover a last
+// resort rather than free capacity.
+var DefaultWANLink = simnet.LinkConfig{Rate: 10 * simnet.Gbps, Delay: 25 * time.Millisecond}
+
 // ZoneLabel is the well-known pod label carrying the pod's zone, set
 // automatically from PodSpec.Zone (topology.kubernetes.io/zone in
 // Kubernetes terms, shortened for the simulator).
 const ZoneLabel = "zone"
+
+// RegionLabel is the well-known pod label carrying the pod's region,
+// set automatically from PodSpec.Region
+// (topology.kubernetes.io/region in Kubernetes terms).
+const RegionLabel = "region"
 
 // PodSpec describes a pod to create.
 type PodSpec struct {
@@ -43,6 +54,12 @@ type PodSpec struct {
 	// bridge, creating the zone (with DefaultZoneUplink) on first use.
 	// Empty keeps the single-zone topology unchanged.
 	Zone string
+	// Region places the pod's zone (or, with no Zone, the pod itself)
+	// under that region's spine instead of the root bridge, creating the
+	// region (with DefaultWANLink to every earlier region) on first use.
+	// Empty keeps the single-region topology unchanged: zero-value specs
+	// reproduce the pre-federation wiring exactly.
+	Region string
 }
 
 // Pod is one scheduled workload instance with its own network identity.
@@ -54,6 +71,7 @@ type Pod struct {
 	uplink      *simnet.Link
 	workers     *WorkerPool
 	zone        string
+	region      string
 	notReady    bool
 	partitioned bool
 	execFactor  float64 // 0 or 1 = nominal speed
@@ -74,6 +92,9 @@ func (p *Pod) Label(k string) string { return p.labels[k] }
 // Zone returns the pod's zone ("" when the pod sits on the root
 // bridge of a single-zone cluster).
 func (p *Pod) Zone() string { return p.zone }
+
+// Region returns the pod's region ("" in a single-region cluster).
+func (p *Pod) Region() string { return p.region }
 
 // Node returns the pod's simnet node.
 func (p *Pod) Node() *simnet.Node { return p.node }
@@ -166,9 +187,11 @@ type Cluster struct {
 	bridge    *simnet.Node
 	pods      map[string]*Pod
 	podOrder  []string
-	services  map[string]*Service
-	zones     map[string]*zone
-	zoneOrder []string
+	services    map[string]*Service
+	zones       map[string]*zone
+	zoneOrder   []string
+	regions     map[string]*region
+	regionOrder []string
 	// onTopology, if set, runs after every discovery-relevant change:
 	// a pod added or a readiness flip. The simulated control plane
 	// subscribes here to learn about churn.
@@ -176,11 +199,26 @@ type Cluster struct {
 }
 
 // zone is one failure domain: its own bridge node, uplinked to the
-// root bridge so inter-zone traffic crosses exactly one spine link.
+// root bridge (or, in a federated cluster, to its region's spine) so
+// inter-zone traffic crosses exactly one spine link.
 type zone struct {
 	name   string
+	region string
 	bridge *simnet.Node
 	uplink *simnet.Link
+}
+
+// region is one geography: a spine node its zones uplink to, joined to
+// every other region's spine by a dedicated WAN link. The spines form a
+// full mesh so chaos can sever one region pair without touching the
+// rest; there is deliberately no path through the root bridge — a
+// severed WAN link is a real partition, not a detour.
+type region struct {
+	name  string
+	spine *simnet.Node
+	// wan holds this region's WAN links keyed by peer region name; the
+	// same *Link appears in both endpoints' maps.
+	wan map[string]*simnet.Link
 }
 
 // New builds a cluster with a bridge node named "bridge".
@@ -192,6 +230,7 @@ func New(net *simnet.Network) *Cluster {
 		pods:     make(map[string]*Pod),
 		services: make(map[string]*Service),
 		zones:    make(map[string]*zone),
+		regions:  make(map[string]*region),
 	}
 }
 
@@ -208,6 +247,17 @@ func (c *Cluster) Bridge() *simnet.Node { return c.bridge }
 // are otherwise created lazily with DefaultZoneUplink by the first
 // AddPod naming them; use AddZone first to override the spine link.
 func (c *Cluster) AddZone(name string, uplink simnet.LinkConfig) {
+	c.addZone(name, "", uplink)
+}
+
+// AddZoneInRegion creates a zone whose bridge uplinks to the region's
+// spine instead of the root bridge. The region is created lazily (with
+// DefaultWANLink) on first use.
+func (c *Cluster) AddZoneInRegion(name, region string, uplink simnet.LinkConfig) {
+	c.addZone(name, region, uplink)
+}
+
+func (c *Cluster) addZone(name, region string, uplink simnet.LinkConfig) {
 	if name == "" {
 		panic("cluster: zone needs a name")
 	}
@@ -217,18 +267,105 @@ func (c *Cluster) AddZone(name string, uplink simnet.LinkConfig) {
 	if uplink.Rate == 0 {
 		uplink = DefaultZoneUplink
 	}
+	parent := c.bridge
+	if region != "" {
+		parent = c.regionFor(region).spine
+	}
 	bridge := c.net.AddNode("bridge-" + name)
-	z := &zone{name: name, bridge: bridge, uplink: c.net.Connect(bridge, c.bridge, uplink)}
+	z := &zone{name: name, region: region, bridge: bridge,
+		uplink: c.net.Connect(bridge, parent, uplink)}
 	c.zones[name] = z
 	c.zoneOrder = append(c.zoneOrder, name)
 }
 
-func (c *Cluster) zoneFor(name string) *zone {
+func (c *Cluster) zoneFor(name, region string) *zone {
 	if z := c.zones[name]; z != nil {
+		if region != "" && z.region != region {
+			panic(fmt.Sprintf("cluster: zone %q is in region %q, not %q",
+				name, z.region, region))
+		}
 		return z
 	}
-	c.AddZone(name, DefaultZoneUplink)
+	c.addZone(name, region, DefaultZoneUplink)
 	return c.zones[name]
+}
+
+// AddRegion creates a region with an explicit WAN link configuration
+// used for the links joining its spine to every earlier region's spine.
+// Regions are otherwise created lazily with DefaultWANLink by the first
+// AddPod (or zone) naming them.
+func (c *Cluster) AddRegion(name string, wan simnet.LinkConfig) {
+	if name == "" {
+		panic("cluster: region needs a name")
+	}
+	if _, dup := c.regions[name]; dup {
+		panic(fmt.Sprintf("cluster: duplicate region %q", name))
+	}
+	if wan.Rate == 0 {
+		wan = DefaultWANLink
+	}
+	spine := c.net.AddNode("spine-" + name)
+	r := &region{name: name, spine: spine, wan: make(map[string]*simnet.Link)}
+	for _, peerName := range c.regionOrder {
+		peer := c.regions[peerName]
+		l := c.net.Connect(spine, peer.spine, wan)
+		r.wan[peerName] = l
+		peer.wan[name] = l
+	}
+	c.regions[name] = r
+	c.regionOrder = append(c.regionOrder, name)
+}
+
+func (c *Cluster) regionFor(name string) *region {
+	if r := c.regions[name]; r != nil {
+		return r
+	}
+	c.AddRegion(name, DefaultWANLink)
+	return c.regions[name]
+}
+
+// Regions returns region names in creation order.
+func (c *Cluster) Regions() []string {
+	return append([]string(nil), c.regionOrder...)
+}
+
+// RegionPods returns the region's pods in creation order.
+func (c *Cluster) RegionPods(region string) []*Pod {
+	var out []*Pod
+	for _, n := range c.podOrder {
+		if p := c.pods[n]; p.region == region {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// RegionSpine returns the region's spine node, or nil for an unknown
+// region.
+func (c *Cluster) RegionSpine(region string) *simnet.Node {
+	if r := c.regions[region]; r != nil {
+		return r.spine
+	}
+	return nil
+}
+
+// WANLink returns the link joining two regions' spines (symmetric in
+// its arguments), or nil if either region is unknown. WAN-scale chaos
+// severs or impairs these.
+func (c *Cluster) WANLink(a, b string) *simnet.Link {
+	if r := c.regions[a]; r != nil {
+		return r.wan[b]
+	}
+	return nil
+}
+
+// ZoneRegion returns the region a zone belongs to ("" for a zone on
+// the root bridge or an unknown zone).
+func (c *Cluster) ZoneRegion(zone string) string {
+	if z := c.zones[zone]; z != nil {
+		return z.region
+	}
+	return ""
 }
 
 // Zones returns zone names in creation order.
@@ -278,8 +415,16 @@ func (c *Cluster) AddPod(spec PodSpec) *Pod {
 		link = DefaultLink
 	}
 	bridge := c.bridge
-	if spec.Zone != "" {
-		bridge = c.zoneFor(spec.Zone).bridge
+	region := spec.Region
+	switch {
+	case spec.Zone != "":
+		z := c.zoneFor(spec.Zone, spec.Region)
+		bridge = z.bridge
+		// A pod inherits its zone's region: placement in a regional zone
+		// IS placement in that region.
+		region = z.region
+	case spec.Region != "":
+		bridge = c.regionFor(spec.Region).spine
 	}
 	node := c.net.AddNode(spec.Name)
 	l := c.net.Connect(node, bridge, link)
@@ -290,6 +435,9 @@ func (c *Cluster) AddPod(spec PodSpec) *Pod {
 	if spec.Zone != "" {
 		labels[ZoneLabel] = spec.Zone
 	}
+	if region != "" {
+		labels[RegionLabel] = region
+	}
 	p := &Pod{
 		name:    spec.Name,
 		labels:  labels,
@@ -297,6 +445,7 @@ func (c *Cluster) AddPod(spec PodSpec) *Pod {
 		host:    transport.NewHost(node),
 		uplink:  l,
 		zone:    spec.Zone,
+		region:  region,
 		workers: NewWorkerPool(c.sched, spec.Workers),
 	}
 	p.topoChanged = c.notifyTopology

@@ -1,0 +1,72 @@
+package cluster
+
+import (
+	"testing"
+
+	"meshlayer/internal/simnet"
+)
+
+// Tests for the region tier: spines, WAN links, zone->region
+// membership, and the zero-value single-region degenerate case.
+
+func TestRegionTopologyAndLookups(t *testing.T) {
+	_, c := newCluster(t)
+	c.AddRegion("region-a", DefaultWANLink)
+	c.AddRegion("region-b", simnet.LinkConfig{})
+	c.AddZoneInRegion("zone-a1", "region-a", simnet.LinkConfig{})
+	c.AddZoneInRegion("zone-b1", "region-b", simnet.LinkConfig{})
+
+	// Zone membership implies region membership: a pod placed only by
+	// zone inherits the zone's region, label included.
+	zoned := c.AddPod(PodSpec{Name: "zoned", Zone: "zone-a1"})
+	if zoned.Region() != "region-a" || zoned.Label(RegionLabel) != "region-a" {
+		t.Fatalf("zone-placed pod region = %q label %q, want region-a",
+			zoned.Region(), zoned.Label(RegionLabel))
+	}
+	// Region-only placement hangs the pod off the spine, zoneless.
+	spined := c.AddPod(PodSpec{Name: "spined", Region: "region-b"})
+	if spined.Region() != "region-b" || spined.Zone() != "" {
+		t.Fatalf("spine pod region = %q zone = %q", spined.Region(), spined.Zone())
+	}
+
+	if got := c.Regions(); len(got) != 2 || got[0] != "region-a" || got[1] != "region-b" {
+		t.Fatalf("Regions() = %v", got)
+	}
+	if got := c.RegionPods("region-a"); len(got) != 1 || got[0] != zoned {
+		t.Fatalf("RegionPods(region-a) = %v", got)
+	}
+	if c.RegionSpine("region-a") == nil || c.RegionSpine("region-x") != nil {
+		t.Fatal("RegionSpine lookup wrong")
+	}
+	if c.ZoneRegion("zone-b1") != "region-b" || c.ZoneRegion("zone-x") != "" {
+		t.Fatalf("ZoneRegion = %q / %q", c.ZoneRegion("zone-b1"), c.ZoneRegion("zone-x"))
+	}
+	// WAN links are symmetric lookups over one physical link.
+	ab, ba := c.WANLink("region-a", "region-b"), c.WANLink("region-b", "region-a")
+	if ab == nil || ab != ba {
+		t.Fatalf("WANLink lookup not symmetric: %v vs %v", ab, ba)
+	}
+	if c.WANLink("region-a", "region-x") != nil {
+		t.Fatal("WANLink to unknown region should be nil")
+	}
+}
+
+func TestRegionLazyCreationAndZeroValue(t *testing.T) {
+	_, c := newCluster(t)
+	// Zero value: no regions anywhere, all lookups empty.
+	p := c.AddPod(PodSpec{Name: "flat"})
+	if p.Region() != "" || len(c.Regions()) != 0 || c.WANLink("a", "b") != nil {
+		t.Fatal("regionless cluster leaked region state")
+	}
+
+	// Naming an unknown region in a pod spec creates it lazily with the
+	// default WAN profile — and wires it to every earlier region.
+	c.AddRegion("region-a", DefaultWANLink)
+	lazy := c.AddPod(PodSpec{Name: "lazy", Region: "region-z"})
+	if lazy.Region() != "region-z" {
+		t.Fatalf("lazy pod region = %q", lazy.Region())
+	}
+	if c.WANLink("region-a", "region-z") == nil {
+		t.Fatal("lazily created region has no WAN link to existing region")
+	}
+}

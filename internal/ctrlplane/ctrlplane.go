@@ -82,6 +82,11 @@ type Config struct {
 	// ResyncDelay is the backoff before re-pushing after a NACK or a
 	// lost connection (default 500ms).
 	ResyncDelay time.Duration
+	// OnSynced, when set, fires each time a subscriber catches up to the
+	// current server version through the push path (ack or empty-delta
+	// fast-forward). The mesh uses it to gate pod readiness on config
+	// sync. The initial Subscribe bootstrap does not fire it.
+	OnSynced func(subscriber string)
 }
 
 // Stats aggregates one server's distribution activity.
@@ -178,6 +183,13 @@ func (s *Server) SubscriberVersion(name string) uint64 {
 		return sub.version
 	}
 	return 0
+}
+
+// Current reports whether the named subscriber exists, is synced, and
+// has acknowledged the current server version.
+func (s *Server) Current(name string) bool {
+	sub := s.subs[name]
+	return sub != nil && sub.synced && sub.version == s.version
 }
 
 // SetResource stages a create-or-replace at a new server version and
@@ -278,6 +290,9 @@ func (s *Server) pushTo(sub *subscriber) {
 	if u == nil { // nothing changed from this subscriber's view
 		sub.version = s.version
 		s.setLagGauge(sub)
+		if s.cfg.OnSynced != nil {
+			s.cfg.OnSynced(sub.name)
+		}
 		return
 	}
 	typ := "delta"
@@ -315,6 +330,8 @@ func (s *Server) pushTo(sub *subscriber) {
 			s.setLagGauge(sub)
 			if sub.version != s.version {
 				s.pushTo(sub) // changes accumulated while in flight
+			} else if s.cfg.OnSynced != nil {
+				s.cfg.OnSynced(sub.name)
 			}
 		}
 	})

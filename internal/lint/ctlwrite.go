@@ -17,7 +17,10 @@ import (
 // which is exactly the bug class the versioned protocol exists to
 // rule out.
 //
-// Protected state: fields of ControlPlane, sidecarAgent, and Snapshot,
+// Protected state: fields of ControlPlane, sidecarAgent, Snapshot, and
+// ewSummaryTable (PR 7: a regional control plane's learned view of
+// peer-region capacity — the east-west routing state the failover
+// ladder spills onto, mutable only through the summary push path),
 // plus the Sidecar.ctrl agent pointer. Methods of a protected type may
 // mutate their own receiver's state (that is the push path); everyone
 // else needs a //meshvet:allow ctlwrite with justification — e.g.
@@ -31,9 +34,10 @@ var Ctlwrite = &Analyzer{
 // ctlProtectedTypes is the set of struct types whose fields form the
 // distributed routing state.
 var ctlProtectedTypes = map[string]bool{
-	"ControlPlane": true,
-	"sidecarAgent": true,
-	"Snapshot":     true,
+	"ControlPlane":   true,
+	"sidecarAgent":   true,
+	"Snapshot":       true,
+	"ewSummaryTable": true,
 }
 
 // ctlPkgAllowed limits name matching to the packages that actually

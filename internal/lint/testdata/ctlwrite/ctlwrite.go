@@ -44,12 +44,12 @@ func (s *Snapshot) Apply(version uint64, res map[string]any) {
 // rogue pokes routing state from outside the push path: every write
 // below must be flagged.
 func rogue(cp *ControlPlane, sc *Sidecar, snap *Snapshot) {
-	cp.routes["backend"] = "v2" // want "direct write to ControlPlane routing state"
-	cp.version++                // want "direct write to ControlPlane routing state"
-	sc.ctrl = nil               // want "direct write to Sidecar.ctrl"
-	sc.ctrl.snap = snap         // want "direct write to sidecarAgent routing state"
-	snap.Version = 7            // want "direct write to Snapshot routing state"
-	*snap = Snapshot{}          // want "direct write to Snapshot routing state"
+	cp.routes["backend"] = "v2"       // want "direct write to ControlPlane routing state"
+	cp.version++                      // want "direct write to ControlPlane routing state"
+	sc.ctrl = nil                     // want "direct write to Sidecar.ctrl"
+	sc.ctrl.snap = snap               // want "direct write to sidecarAgent routing state"
+	snap.Version = 7                  // want "direct write to Snapshot routing state"
+	*snap = Snapshot{}                // want "direct write to Snapshot routing state"
 	snap.Resources["backend"] = "eps" // want "direct write to Snapshot routing state"
 }
 
@@ -71,4 +71,38 @@ func sanctioned(sc *Sidecar, agent *sidecarAgent) {
 // reads shows that reading protected state is always fine.
 func reads(cp *ControlPlane, sc *Sidecar) (string, uint64) {
 	return cp.routes["backend"], sc.ctrl.snap.Version
+}
+
+// ewSummaryTable mirrors mesh.ewSummaryTable: a regional control
+// plane's learned per-region capacity summaries — the east-west
+// routing state the failover ladder spills onto.
+type ewSummaryTable struct {
+	counts map[string]map[string]int
+}
+
+// apply is the summary push path: the table's own methods maintain it.
+func (t *ewSummaryTable) apply(region string, counts map[string]int) {
+	t.counts[region] = counts
+}
+
+// regionalCP holds a summary table the way the distributor does.
+type regionalCP struct {
+	summary *ewSummaryTable
+}
+
+// rogueSummary pokes east-west routing state from outside the summary
+// push path: every write below must be flagged.
+func rogueSummary(t *ewSummaryTable, cp *regionalCP) {
+	t.counts["region-b"] = nil                      // want "direct write to ewSummaryTable routing state"
+	t.counts["region-b"]["backend"] = 3             // want "direct write to ewSummaryTable routing state"
+	cp.summary.counts = map[string]map[string]int{} // want "direct write to ewSummaryTable routing state"
+	*t = ewSummaryTable{}                           // want "direct write to ewSummaryTable routing state"
+	cp.summary = nil                                // swapping the holder's pointer is not a table write: fine
+}
+
+// readsSummary shows reads of summary state are fine, and method calls
+// route through the push path.
+func readsSummary(t *ewSummaryTable) int {
+	t.apply("region-b", map[string]int{"backend": 1})
+	return t.counts["region-b"]["backend"]
 }

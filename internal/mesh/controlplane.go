@@ -264,8 +264,10 @@ type ControlPlane struct {
 	pushDelay time.Duration
 
 	// dist is non-nil once EnableDistribution has switched the mesh to
-	// simulated config propagation.
+	// simulated config propagation; fed replaces it in per-region
+	// (federated) mode.
 	dist *distributor
+	fed  *federation
 
 	version uint64
 }
@@ -307,8 +309,10 @@ func (cp *ControlPlane) SetPushDelay(d time.Duration) {
 	if d < 0 {
 		d = 0
 	}
-	if cp.dist != nil {
-		cp.dist.srv.SetHold(d)
+	if ds := cp.distributors(); len(ds) > 0 {
+		for _, dist := range ds {
+			dist.srv.SetHold(d)
+		}
 		return
 	}
 	cp.pushDelay = d
@@ -321,8 +325,8 @@ func (cp *ControlPlane) apply(service string, mutate func()) {
 	run := func() {
 		mutate()
 		cp.bump()
-		if cp.dist != nil {
-			cp.dist.refreshService(service)
+		for _, d := range cp.distributors() {
+			d.refreshService(service)
 		}
 	}
 	if cp.pushDelay <= 0 {
@@ -434,12 +438,16 @@ func (cp *ControlPlane) OutlierFor(service string) OutlierPolicy {
 // service. A zero policy disables locality (the default).
 func (cp *ControlPlane) SetLocalityPolicy(service string, p LocalityPolicy) {
 	switch p.Mode {
-	case LocalityDisabled, LocalityStrict, LocalityFailover:
+	case LocalityDisabled, LocalityStrict, LocalityFailover,
+		LocalityRegionOnly, LocalityLadder:
 	default:
 		panic(fmt.Sprintf("mesh: unknown locality mode %q", p.Mode))
 	}
 	if p.OverprovisioningFactor < 0 {
 		panic("mesh: locality OverprovisioningFactor must be >= 0")
+	}
+	if p.PanicThreshold < 0 || p.PanicThreshold > 1 {
+		panic("mesh: locality PanicThreshold must be in [0, 1]")
 	}
 	cp.apply(service, func() { cp.locality[service] = p })
 }

@@ -17,15 +17,30 @@ import (
 // id the receiving sidecar uses to fetch the decoded update.
 const HeaderCtrl = "x-mesh-ctrl"
 
+// HeaderFed marks a control-plane-to-control-plane summary exchange
+// request (federated mode); its value is the message id.
+const HeaderFed = "x-mesh-fed"
+
 // CtrlPlanePod names the pod hosting the distributing control plane.
+// Federated mode runs one per region, named CtrlPlanePod + "-" + region.
 const CtrlPlanePod = "mesh-ctrlplane"
+
+// FedPort is the regional control planes' summary-exchange listener.
+const FedPort = 15010
 
 // serviceState is one service's routing state as distributed to
 // sidecars: the endpoint list plus whichever policies the operator has
 // set (nil = unset, default semantics apply). It is the Data payload
 // of a ctrlplane.Resource; sidecars route on their snapshotted copy.
 type serviceState struct {
-	Eps       []*cluster.Pod
+	Eps []*cluster.Pod
+	// Remote summarizes per-region endpoint counts learned from peer
+	// control planes (federated mode): the caller's ladder can spill to
+	// a region it holds no concrete endpoints for, via the east-west
+	// gateway. Nil outside federated mode. Entries follow region
+	// creation order and reflect the last summary received — a WAN
+	// partition freezes them (honest split-brain staleness).
+	Remote    []RemoteEndpoints
 	Rule      *RouteRule
 	LB        *LBPolicy
 	Retry     *RetryPolicy
@@ -45,7 +60,7 @@ type serviceState struct {
 
 // wireBytes estimates the encoded size (protobuf-ish costs).
 func (st *serviceState) wireBytes() int {
-	n := 48 + 24*len(st.Eps) + 16*len(st.Authz)
+	n := 48 + 24*len(st.Eps) + 16*len(st.Authz) + 16*len(st.Remote)
 	for _, set := range []bool{
 		st.LB != nil, st.Retry != nil, st.Breaker != nil, st.Hedge != nil,
 		st.Fault != nil, st.Mirror != nil, st.Rate != nil, st.Admission != nil,
@@ -74,8 +89,22 @@ type DistributionConfig struct {
 	// ResyncDelay is the backoff before re-pushing after a NACK or a
 	// lost connection (default 500ms).
 	ResyncDelay time.Duration
-	// Zone places the control-plane pod ("" = the root bridge).
+	// Zone places the control-plane pod ("" = the root bridge). Ignored
+	// in PerRegion mode, where each control-plane pod sits on its
+	// region's spine.
 	Zone string
+	// PerRegion runs one control-plane instance per cluster region.
+	// Each distributes only its own region's endpoints to local
+	// sidecars, plus gateway-summarized remote entries exchanged with
+	// peer control planes over the simulated WAN — so a WAN partition
+	// yields split-brain staleness instead of magically-global state.
+	// Requires at least one region.
+	PerRegion bool
+	// GateReadiness withholds a pod from distributed endpoint lists
+	// until its sidecar has acknowledged a current snapshot: a
+	// restarted or scaled-up pod is not routable on stale config. Off
+	// by default (pre-federation behavior).
+	GateReadiness bool
 }
 
 // distributor bridges the generic ctrlplane.Server to the mesh: it
@@ -88,6 +117,7 @@ type distributor struct {
 	pod         *cluster.Pod
 	srv         *ctrlplane.Server
 	pushTimeout time.Duration
+	resyncDelay time.Duration
 	clients     map[string]*httpsim.Client
 	// pending carries decoded updates to the receiving sidecar; the
 	// wire request references them by push id (the simulated body is
@@ -96,6 +126,45 @@ type distributor struct {
 	nextID  uint64
 	// lastEps dedups topology notifications per service.
 	lastEps map[string][]*cluster.Pod
+
+	// region scopes this instance in federated mode ("" = global): it
+	// distributes only local endpoints plus summarized remote entries.
+	region string
+	fed    *federation
+	// summary is the learned remote capacity table (federated mode).
+	summary *ewSummaryTable
+	// fedClients dials peer control planes, keyed by region.
+	fedClients map[string]*httpsim.Client
+	// lastAdv is the local capacity last advertised to peers; peerDirty
+	// and peerInflight track which peers still need the current counts.
+	lastAdv      map[string]int
+	peerDirty    map[string]bool
+	peerInflight map[string]bool
+
+	// gate withholds pods from endpoint lists until their sidecar acks
+	// a current snapshot; gated holds the pods currently withheld and
+	// lastReady the readiness seen at the previous topology scan.
+	gate      bool
+	gated     map[string]bool
+	lastReady map[string]bool
+}
+
+// federation ties the per-region distributors together: shared message
+// ids for control-plane-to-control-plane summary pushes and the region
+// order used for deterministic iteration.
+type federation struct {
+	dists    []*distributor
+	byRegion map[string]*distributor
+	// pending carries decoded summary messages to the receiving control
+	// plane, referenced by message id (wire bodies are size-only).
+	pending map[uint64]*fedMsg
+	nextID  uint64
+}
+
+// fedMsg is one summarized capacity advertisement between regions.
+type fedMsg struct {
+	from   string
+	counts map[string]int
 }
 
 // EnableDistribution switches the control plane from instantaneous
@@ -107,51 +176,192 @@ type distributor struct {
 // snapshots synchronously (a proxy blocks on its initial xDS fetch);
 // everything later is pushed.
 func (cp *ControlPlane) EnableDistribution(cfg DistributionConfig) {
-	if cp.dist != nil {
+	if cp.dist != nil || cp.fed != nil {
 		panic("mesh: distribution already enabled")
 	}
 	m := cp.mesh
 	if cfg.PushTimeout <= 0 {
 		cfg.PushTimeout = 2 * time.Second
 	}
+	if cfg.ResyncDelay <= 0 {
+		cfg.ResyncDelay = 500 * time.Millisecond
+	}
+	if !cfg.PerRegion {
+		d := newDistributor(cp, cfg, "")
+		cp.dist = d
+		d.start(m.Sidecars())
+		m.cluster.SetTopologyHook(d.topologyChanged)
+		d.seedReadiness()
+		return
+	}
+
+	// Federated mode: one control plane per region, each scoped to its
+	// region's pods and exchanging capacity summaries with peers over
+	// the simulated WAN.
+	regions := m.cluster.Regions()
+	if len(regions) == 0 {
+		panic("mesh: PerRegion distribution requires at least one region")
+	}
+	fed := &federation{
+		byRegion: make(map[string]*distributor),
+		pending:  make(map[uint64]*fedMsg),
+	}
+	cp.fed = fed
+	for _, r := range regions {
+		d := newDistributor(cp, cfg, r)
+		fed.dists = append(fed.dists, d)
+		fed.byRegion[r] = d
+	}
+	// Bootstrap the summary tables directly — federation peering, like
+	// the gateway addresses, is static configuration; only subsequent
+	// changes travel the WAN.
+	for _, d := range fed.dists {
+		counts := d.localCounts()
+		d.lastAdv = counts
+		for _, peer := range fed.dists {
+			if peer != d {
+				peer.summary.apply(d.region, counts)
+			}
+		}
+	}
+	for _, d := range fed.dists {
+		d.start(nil)
+	}
+	// Sidecars register with their own region's control plane.
+	for _, sc := range m.Sidecars() {
+		cp.distributorFor(sc.pod).register(sc)
+	}
+	m.cluster.SetTopologyHook(func() {
+		for _, d := range fed.dists {
+			d.topologyChanged()
+		}
+	})
+	for _, d := range fed.dists {
+		d.seedReadiness()
+	}
+}
+
+// newDistributor builds one distribution instance: its control-plane
+// pod (on the region's spine in federated mode), the ctrlplane server,
+// and — in federated mode — the WAN summary-exchange listener.
+func newDistributor(cp *ControlPlane, cfg DistributionConfig, region string) *distributor {
+	m := cp.mesh
+	name, zone := CtrlPlanePod, cfg.Zone
+	if region != "" {
+		name, zone = CtrlPlanePod+"-"+region, ""
+	}
 	pod := m.cluster.AddPod(cluster.PodSpec{
-		Name:   CtrlPlanePod,
-		Labels: map[string]string{"app": CtrlPlanePod},
-		Zone:   cfg.Zone,
+		Name:   name,
+		Labels: map[string]string{"app": name},
+		Zone:   zone,
+		Region: region,
 	})
 	d := &distributor{
 		cp:          cp,
 		pod:         pod,
 		pushTimeout: cfg.PushTimeout,
+		resyncDelay: cfg.ResyncDelay,
 		clients:     make(map[string]*httpsim.Client),
 		pending:     make(map[uint64]*ctrlplane.Update),
 		lastEps:     make(map[string][]*cluster.Pod),
+		region:      region,
+		gate:        cfg.GateReadiness,
+		gated:       make(map[string]bool),
+		lastReady:   make(map[string]bool),
 	}
 	d.srv = ctrlplane.NewServer(ctrlplane.Config{
-		Sched:     m.sched,
-		Transport: d,
-		Metrics:   m.metrics,
-		Debounce:  cfg.Debounce,
-		FullState: cfg.FullState,
+		Sched:       m.sched,
+		Transport:   d,
+		Metrics:     m.metrics,
+		Debounce:    cfg.Debounce,
+		FullState:   cfg.FullState,
 		ResyncDelay: cfg.ResyncDelay,
+		OnSynced:    d.subscriberSynced,
 	})
-	cp.dist = d
+	if region != "" {
+		d.fed = cp.fed
+		d.summary = newEWSummaryTable()
+		d.fedClients = make(map[string]*httpsim.Client)
+		d.lastAdv = make(map[string]int)
+		d.peerDirty = make(map[string]bool)
+		d.peerInflight = make(map[string]bool)
+		if _, err := httpsim.NewServer(pod.Host(), FedPort, d.handleFed); err != nil {
+			panic(err)
+		}
+	}
+	return d
+}
+
+// start stages every service resource and registers the given sidecars.
+func (d *distributor) start(sidecars []*Sidecar) {
 	for _, name := range d.serviceNames() {
 		d.refreshService(name)
 	}
-	for _, sc := range m.Sidecars() {
+	for _, sc := range sidecars {
 		d.register(sc)
 	}
-	m.cluster.SetTopologyHook(d.topologyChanged)
+}
+
+// seedReadiness records current pod readiness so the first topology
+// scan only gates actual flips, not pre-existing pods.
+func (d *distributor) seedReadiness() {
+	if !d.gate {
+		return
+	}
+	for _, p := range d.cp.mesh.cluster.Pods() {
+		if d.region != "" && p.Region() != d.region {
+			continue
+		}
+		d.lastReady[p.Name()] = p.Ready()
+	}
+}
+
+// distributorFor returns the distribution instance responsible for a
+// pod: the region's control plane in federated mode, the single global
+// one otherwise (nil when distribution is disabled).
+func (cp *ControlPlane) distributorFor(pod *cluster.Pod) *distributor {
+	if cp.fed != nil {
+		d := cp.fed.byRegion[pod.Region()]
+		if d == nil {
+			panic("mesh: pod " + pod.Name() + " is outside every federated region")
+		}
+		return d
+	}
+	return cp.dist
+}
+
+// distributors returns every distribution instance in region order
+// (one entry in single-control-plane mode, none when disabled).
+func (cp *ControlPlane) distributors() []*distributor {
+	if cp.fed != nil {
+		return cp.fed.dists
+	}
+	if cp.dist != nil {
+		return []*distributor{cp.dist}
+	}
+	return nil
 }
 
 // Distribution returns the distribution server for stats and staleness
-// inspection, or nil in instant-propagation mode.
+// inspection, or nil in instant-propagation or federated mode (use
+// Distributions there).
 func (cp *ControlPlane) Distribution() *ctrlplane.Server {
 	if cp.dist == nil {
 		return nil
 	}
 	return cp.dist.srv
+}
+
+// Distributions returns every distribution server in region order: one
+// per region in federated mode, a single server otherwise, nil when
+// distribution is disabled.
+func (cp *ControlPlane) Distributions() []*ctrlplane.Server {
+	ds := cp.distributors()
+	out := make([]*ctrlplane.Server, 0, len(ds))
+	for _, d := range ds {
+		out = append(out, d.srv)
+	}
+	return out
 }
 
 // serviceNames returns every name that needs a resource: cluster
@@ -223,10 +433,23 @@ func policyKeys(cp *ControlPlane) []string {
 
 // register subscribes a sidecar and installs its bootstrapped agent.
 func (d *distributor) register(sc *Sidecar) {
-	agent := &sidecarAgent{snap: ctrlplane.NewSnapshot()}
+	agent := &sidecarAgent{snap: ctrlplane.NewSnapshot(), dist: d}
 	agent.applyUpdate(d.srv.Subscribe(sc.pod.Name()))
 	//meshvet:allow ctlwrite registration installs the snapshot the push path maintains
 	sc.ctrl = agent
+	// The bootstrap fetch is synchronous, so a pod gated at AddPod time
+	// becomes routable the moment its sidecar comes up synced.
+	d.subscriberSynced(sc.pod.Name())
+}
+
+// subscriberSynced lifts the config-sync readiness gate once the pod's
+// sidecar has acknowledged the current snapshot (ctrlplane.OnSynced).
+func (d *distributor) subscriberSynced(name string) {
+	if !d.gated[name] || !d.srv.Current(name) {
+		return
+	}
+	delete(d.gated, name)
+	d.topologyChanged() // the pod just became routable
 }
 
 // refreshService rebuilds one service's resource from the control
@@ -241,14 +464,44 @@ func (d *distributor) refreshService(service string) {
 }
 
 // topologyChanged reacts to discovery churn (pod added, readiness
-// flip): any service whose endpoint list changed is re-staged.
+// flip): any service whose routable endpoint list changed is
+// re-staged. In federated mode, changed local capacity is also
+// advertised to peer control planes.
 func (d *distributor) topologyChanged() {
+	if d.gate {
+		d.updateGates()
+	}
 	for _, svc := range d.cp.mesh.cluster.Services() {
-		eps := svc.Endpoints()
+		eps := d.routableEps(svc)
 		if epsEqual(d.lastEps[svc.Name()], eps) {
 			continue
 		}
 		d.refreshService(svc.Name())
+	}
+	if d.region != "" {
+		d.sendSummaries()
+	}
+}
+
+// updateGates scans for pods newly flipped to ready whose sidecar has
+// not acknowledged a current snapshot, and gates them: a restarting
+// pod is not routable on stale config. Unready pods leave the gate set
+// (readiness excludes them anyway).
+func (d *distributor) updateGates() {
+	for _, p := range d.cp.mesh.cluster.Pods() {
+		if d.region != "" && p.Region() != d.region {
+			continue
+		}
+		ready := p.Ready()
+		was, seen := d.lastReady[p.Name()]
+		d.lastReady[p.Name()] = ready
+		if !ready {
+			delete(d.gated, p.Name())
+			continue
+		}
+		if (!seen || !was) && !d.srv.Current(p.Name()) {
+			d.gated[p.Name()] = true
+		}
 	}
 }
 
@@ -264,12 +517,38 @@ func epsEqual(a, b []*cluster.Pod) bool {
 	return true
 }
 
+// routableEps narrows a service's ready endpoints to the ones this
+// instance distributes: its own region's pods in federated mode
+// (east-west gateway services excepted — their cross-region addresses
+// are static federation config), minus any config-sync-gated pods.
+func (d *distributor) routableEps(svc *cluster.Service) []*cluster.Pod {
+	eps := svc.Endpoints()
+	if d.region == "" && len(d.gated) == 0 {
+		return eps
+	}
+	regional := d.region != "" && !isEWService(svc.Name())
+	out := eps[:0:0]
+	for _, p := range eps {
+		if regional && p.Region() != d.region {
+			continue
+		}
+		if d.gated[p.Name()] {
+			continue
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
 // buildState snapshots the operator-intent maps for one service.
 func (d *distributor) buildState(service string) *serviceState {
 	cp := d.cp
 	st := &serviceState{}
 	if svc := cp.mesh.cluster.Service(service); svc != nil {
-		st.Eps = svc.Endpoints()
+		st.Eps = d.routableEps(svc)
+		if d.region != "" && !isEWService(service) {
+			st.Remote = d.summary.remoteFor(service, cp.mesh.cluster.Regions())
+		}
 	}
 	st.Rule = cp.rules[service]
 	if p, ok := cp.lb[service]; ok {
@@ -375,12 +654,156 @@ func (d *distributor) clientFor(sub string, addr simnet.Addr) *httpsim.Client {
 	return cl
 }
 
+// localCounts summarizes this region's routable capacity per service —
+// what peers advertise to their sidecars as Remote entries. East-west
+// gateway services are excluded (static federation config, never
+// summarized).
+func (d *distributor) localCounts() map[string]int {
+	out := make(map[string]int)
+	for _, svc := range d.cp.mesh.cluster.Services() {
+		if isEWService(svc.Name()) {
+			continue
+		}
+		if n := len(d.routableEps(svc)); n > 0 {
+			out[svc.Name()] = n
+		}
+	}
+	return out
+}
+
+// sendSummaries advertises local capacity to every peer control plane
+// whose view is behind. A peer that cannot be reached stays dirty and
+// is retried after the resync delay — so across a WAN partition its
+// table simply freezes at the last delivered summary.
+func (d *distributor) sendSummaries() {
+	counts := d.localCounts()
+	if !countsEqual(d.lastAdv, counts) {
+		d.lastAdv = counts
+		for _, peer := range d.fed.dists {
+			if peer != d {
+				d.peerDirty[peer.region] = true
+			}
+		}
+	}
+	for _, peer := range d.fed.dists {
+		if peer != d {
+			d.shipSummary(peer.region)
+		}
+	}
+}
+
+func countsEqual(a, b map[string]int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// shipSummary sends the current advertisement to one peer region as a
+// simulated HTTP request over the WAN, with the same pending-map
+// indirection the sidecar push path uses.
+func (d *distributor) shipSummary(peer string) {
+	if d.peerInflight[peer] || !d.peerDirty[peer] {
+		return
+	}
+	d.peerInflight[peer] = true
+	d.peerDirty[peer] = false
+	counts := make(map[string]int, len(d.lastAdv))
+	for k, v := range d.lastAdv {
+		counts[k] = v
+	}
+	fed := d.fed
+	fed.nextID++
+	id := fed.nextID
+	fed.pending[id] = &fedMsg{from: d.region, counts: counts}
+	req := httpsim.NewRequest("POST", "/ctrlplane/summary")
+	req.Headers.Set(HeaderFed, strconv.FormatUint(id, 10))
+	req.Headers.Set(HeaderSource, d.pod.Name())
+	req.BodyBytes = 32 + 24*len(counts)
+	m := d.cp.mesh
+	cl := d.fedClientFor(peer)
+	settled := false
+	timer := m.sched.After(d.pushTimeout, func() {
+		if settled {
+			return
+		}
+		settled = true
+		delete(fed.pending, id)
+		cl.Conn().Abort()
+		delete(d.fedClients, peer)
+		d.summaryFailed(peer)
+	})
+	cl.Do(req, func(resp *httpsim.Response, err error) {
+		if settled {
+			return
+		}
+		settled = true
+		timer.Cancel()
+		delete(fed.pending, id)
+		if err != nil || resp.Status != httpsim.StatusOK {
+			if err != nil {
+				delete(d.fedClients, peer)
+			}
+			d.summaryFailed(peer)
+			return
+		}
+		d.peerInflight[peer] = false
+		if d.peerDirty[peer] { // capacity moved again while in flight
+			d.shipSummary(peer)
+		}
+	})
+}
+
+// summaryFailed re-arms delivery to a peer after the resync backoff.
+func (d *distributor) summaryFailed(peer string) {
+	d.peerInflight[peer] = false
+	d.peerDirty[peer] = true
+	d.cp.mesh.sched.After(d.resyncDelay, func() { d.shipSummary(peer) })
+}
+
+func (d *distributor) fedClientFor(peer string) *httpsim.Client {
+	cl := d.fedClients[peer]
+	if cl == nil || cl.Closed() {
+		cl = httpsim.NewClient(d.pod.Host(), d.fed.byRegion[peer].pod.Addr(), FedPort, transport.Options{CC: "reno"})
+		d.fedClients[peer] = cl
+	}
+	return cl
+}
+
+// handleFed applies one peer capacity summary to this control plane's
+// table and re-stages any service whose remote view changed. 404 drops
+// a message the sender has already timed out.
+func (d *distributor) handleFed(_ httpsim.Ctx, req *httpsim.Request, respond func(*httpsim.Response)) {
+	id, err := strconv.ParseUint(req.Headers.Get(HeaderFed), 10, 64)
+	if err != nil {
+		respond(httpsim.NewResponse(httpsim.StatusNotFound))
+		return
+	}
+	msg := d.fed.pending[id]
+	if msg == nil {
+		respond(httpsim.NewResponse(httpsim.StatusNotFound))
+		return
+	}
+	for _, service := range d.summary.apply(msg.from, msg.counts) {
+		d.refreshService(service)
+	}
+	respond(httpsim.NewResponse(httpsim.StatusOK))
+}
+
 // sidecarAgent is the sidecar-local xDS client: the snapshot of
 // distributed routing state this sidecar routes on. All mutation goes
 // through applyUpdate — the push path; meshvet's ctlwrite analyzer
 // enforces that nothing else writes it.
 type sidecarAgent struct {
 	snap *ctrlplane.Snapshot
+	// dist is the distribution instance this sidecar subscribes to —
+	// its own region's control plane in federated mode.
+	dist *distributor
 }
 
 // applyUpdate installs one push; false = NACK (delta base mismatch).
@@ -399,12 +822,12 @@ func (a *sidecarAgent) state(service string) *serviceState {
 // snapshot: 200 ACKs, 409 NACKs (delta base mismatch), 404 drops a
 // push the server has already timed out.
 func (sc *Sidecar) handleCtrlPush(pushID string, respond func(*httpsim.Response)) {
-	d := sc.mesh.cp.dist
 	id, err := strconv.ParseUint(pushID, 10, 64)
-	if d == nil || err != nil || sc.ctrl == nil {
+	if err != nil || sc.ctrl == nil || sc.ctrl.dist == nil {
 		respond(httpsim.NewResponse(httpsim.StatusNotFound))
 		return
 	}
+	d := sc.ctrl.dist
 	u := d.pending[id]
 	if u == nil {
 		// The server gave up on this push; a late apply would desync

@@ -1,0 +1,193 @@
+package mesh
+
+import (
+	"sort"
+	"testing"
+	"time"
+)
+
+// Tests for per-region control-plane distribution: regionally scoped
+// endpoint snapshots, gateway-summarized remote capacity, split-brain
+// staleness under WAN partition, and the config-sync readiness gate.
+
+// epNames returns the sorted pod names a sidecar currently knows for
+// service.
+func epNames(sc *Sidecar, service string) []string {
+	eps, _ := sc.discoverEndpoints(service)
+	names := make([]string, 0, len(eps))
+	for _, p := range eps {
+		names = append(names, p.Name())
+	}
+	sort.Strings(names)
+	return names
+}
+
+// remoteCounts returns a sidecar's snapshotted per-region capacity
+// summaries for service.
+func remoteCounts(sc *Sidecar, service string) map[string]int {
+	st, _ := sc.ctrlState(service)
+	if st == nil {
+		return nil
+	}
+	out := map[string]int{}
+	for _, r := range st.Remote {
+		out[r.Region] = r.Count
+	}
+	return out
+}
+
+func equalNames(got, want []string) bool {
+	if len(got) != len(want) {
+		return false
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestPerRegionDistributionScopesEndpoints(t *testing.T) {
+	bed := buildFedBed(t, defaultFedZones)
+	cp := bed.m.ControlPlane()
+	cp.EnableDistribution(DistributionConfig{PerRegion: true, Debounce: 10 * time.Millisecond})
+
+	if got := len(cp.Distributions()); got != 3 {
+		t.Fatalf("Distributions() returned %d servers, want one per region", got)
+	}
+	if cp.Distribution() != nil {
+		t.Fatal("Distribution() must be nil in per-region mode")
+	}
+	bed.sched.RunFor(time.Second)
+
+	// The frontend's snapshot holds only its own region's backends; the
+	// other regions appear as gateway capacity summaries, not addresses.
+	if got := epNames(bed.fe, "backend"); !equalNames(got, []string{"backend-a1", "backend-a2"}) {
+		t.Fatalf("region-a snapshot eps = %v, want the two region-a backends", got)
+	}
+	want := map[string]int{"region-b": 1, "region-c": 1}
+	if got := remoteCounts(bed.fe, "backend"); len(got) != 2 || got["region-b"] != 1 || got["region-c"] != 1 {
+		t.Fatalf("remote summaries = %v, want %v", got, want)
+	}
+	// East-west gateway services are static federation config: their
+	// cross-region addresses stay in every regional snapshot.
+	if got := epNames(bed.fe, EWGatewayService("region-b")); len(got) != 1 {
+		t.Fatalf("east-west service eps = %v, want the remote gateway pod", got)
+	}
+}
+
+func TestPerRegionLadderFailsOverViaSummaries(t *testing.T) {
+	// With distribution on, the ladder's remote tiers are built from
+	// summaries rather than live discovery: drain the caller's region
+	// and traffic must still climb onto the WAN.
+	bed := buildFedBed(t, defaultFedZones)
+	cp := bed.m.ControlPlane()
+	cp.EnableDistribution(DistributionConfig{PerRegion: true, Debounce: 10 * time.Millisecond})
+	cp.SetLocalityPolicy("backend", LocalityPolicy{Mode: LocalityLadder})
+	bed.cl.Pod("backend-a1").SetReady(false)
+	bed.cl.Pod("backend-a2").SetReady(false)
+
+	var failures int
+	bed.fireN(t, 20, 300*time.Millisecond, 10*time.Millisecond, &failures)
+	bed.sched.Run()
+	if failures != 0 {
+		t.Fatalf("%d requests failed during summary-driven failover", failures)
+	}
+	if got := bed.hits["backend-b"] + bed.hits["backend-c"]; got != 20 {
+		t.Fatalf("hits = %v, want all 20 absorbed by remote regions", bed.hits)
+	}
+	if bed.m.Metrics().CounterTotal("gateway_eastwest_ingress_total") == 0 {
+		t.Fatal("failover did not traverse the east-west gateways")
+	}
+}
+
+func TestWANPartitionFreezesPeerSummaries(t *testing.T) {
+	// Split-brain: while region-b's WAN links are down, its capacity
+	// changes cannot reach region-a, whose sidecars keep routing on the
+	// frozen (now wrong) summary. Healing the WAN reconverges.
+	bed := buildFedBed(t, defaultFedZones)
+	cp := bed.m.ControlPlane()
+	cp.EnableDistribution(DistributionConfig{
+		PerRegion:   true,
+		Debounce:    10 * time.Millisecond,
+		PushTimeout: 200 * time.Millisecond,
+		ResyncDelay: 100 * time.Millisecond,
+	})
+	bed.sched.RunFor(500 * time.Millisecond)
+	if got := remoteCounts(bed.fe, "backend"); got["region-b"] != 1 {
+		t.Fatalf("pre-partition summaries = %v", got)
+	}
+
+	for _, peer := range []string{"region-a", "region-c"} {
+		bed.cl.WANLink("region-b", peer).SetDown(true)
+	}
+	bed.cl.Pod("backend-b").SetReady(false)
+	bed.sched.RunFor(2 * time.Second)
+	// Honest staleness: region-a still believes region-b has capacity.
+	if got := remoteCounts(bed.fe, "backend"); got["region-b"] != 1 {
+		t.Fatalf("partitioned summaries = %v, want region-b frozen at 1", got)
+	}
+
+	for _, peer := range []string{"region-a", "region-c"} {
+		bed.cl.WANLink("region-b", peer).SetDown(false)
+	}
+	bed.sched.RunFor(2 * time.Second)
+	if got := remoteCounts(bed.fe, "backend"); got["region-b"] != 0 {
+		t.Fatalf("post-heal summaries = %v, want region-b drained", got)
+	}
+}
+
+func TestGateReadinessClosesStaleDialWindow(t *testing.T) {
+	// The stale-dial window: a pod restarts and flips ready while its
+	// sidecar still cannot reach the control plane, so peers route to a
+	// pod acting on stale config. GateReadiness keeps the pod out of
+	// routable endpoints until its sidecar acknowledges a current
+	// snapshot; without the gate the window is observable.
+	for _, gate := range []bool{false, true} {
+		tb := buildBed(t, Config{Seed: 3}, echoBackend)
+		cp := tb.m.ControlPlane()
+		cp.EnableDistribution(DistributionConfig{
+			Debounce:      5 * time.Millisecond,
+			PushTimeout:   100 * time.Millisecond,
+			ResyncDelay:   50 * time.Millisecond,
+			GateReadiness: gate,
+		})
+		tb.sched.RunFor(500 * time.Millisecond)
+
+		// Crash-restart backend-1: partitioned first (the crash), then
+		// ready again before its network path is back — the deploy-storm
+		// ordering where kubelet readiness races the xDS resync.
+		b1 := tb.cl.Pod("backend-1")
+		b1.Partition(true)
+		b1.SetReady(false)
+		tb.sched.RunFor(500 * time.Millisecond)
+		if got := epNames(tb.fe, "backend"); !equalNames(got, []string{"backend-2"}) {
+			t.Fatalf("gate=%v: eps after crash = %v, want backend-2 only", gate, got)
+		}
+
+		b1.SetReady(true)
+		tb.sched.RunFor(300 * time.Millisecond)
+		if cp.Distribution().Current("backend-1") {
+			t.Fatalf("gate=%v: scenario broken, backend-1 resynced while partitioned", gate)
+		}
+		inWindow := equalNames(epNames(tb.fe, "backend"), []string{"backend-1", "backend-2"})
+		if gate && inWindow {
+			t.Fatal("gate on: desynced pod became routable — stale-dial window open")
+		}
+		if !gate && !inWindow {
+			t.Fatal("gate off: expected the stale-dial window to be observable")
+		}
+
+		// Network back: the control plane resyncs the sidecar, the gate
+		// lifts, and the pod becomes routable in both modes.
+		b1.Partition(false)
+		tb.sched.RunFor(2 * time.Second)
+		if !cp.Distribution().Current("backend-1") {
+			t.Fatalf("gate=%v: backend-1 never resynced after heal", gate)
+		}
+		if got := epNames(tb.fe, "backend"); !equalNames(got, []string{"backend-1", "backend-2"}) {
+			t.Fatalf("gate=%v: eps after heal = %v, want both backends", gate, got)
+		}
+	}
+}

@@ -124,38 +124,49 @@ func (sc *Sidecar) pickEndpoint(service string, eps []*cluster.Pod) *cluster.Pod
 	// remote spillover level) before health filtering, so panic routing
 	// and fail-open judge the level actually being load-balanced.
 	eps = sc.localitySelect(service, eps)
+	return sc.pickFrom(service, eps, false)
+}
+
+// pickFrom load-balances over one already-narrowed priority level.
+// panicOpen is the ladder's per-tier fail-open (locality.go): health
+// filtering, slow-start, and the outlier panic logic are skipped so
+// traffic spreads across every host in the tier.
+func (sc *Sidecar) pickFrom(service string, eps []*cluster.Pod, panicOpen bool) *cluster.Pod {
 	now := sc.mesh.sched.Now()
-	eligible := eps[:0:0]
-	for _, ep := range eps {
-		if sc.epState(ep.Addr()).available(now) {
-			eligible = append(eligible, ep)
-		}
-	}
-	// LB slow-start: a warming endpoint is admitted with probability
-	// equal to its ramp fraction, so recovered hosts take load
-	// gradually. Skipped when it would empty the eligible set.
-	if len(eligible) > 1 {
-		kept := eligible[:0:0]
-		for _, ep := range eligible {
-			st := sc.epState(ep.Addr())
-			if now < st.warmUntil && st.warmUntil > st.warmSince {
-				frac := float64(now-st.warmSince) / float64(st.warmUntil-st.warmSince)
-				if sc.mesh.rng.Float64() >= frac {
-					continue
-				}
+	eligible := eps
+	if !panicOpen {
+		eligible = eps[:0:0]
+		for _, ep := range eps {
+			if sc.epState(ep.Addr()).available(now) {
+				eligible = append(eligible, ep)
 			}
-			kept = append(kept, ep)
 		}
-		if len(kept) > 0 {
-			eligible = kept
+		// LB slow-start: a warming endpoint is admitted with probability
+		// equal to its ramp fraction, so recovered hosts take load
+		// gradually. Skipped when it would empty the eligible set.
+		if len(eligible) > 1 {
+			kept := eligible[:0:0]
+			for _, ep := range eligible {
+				st := sc.epState(ep.Addr())
+				if now < st.warmUntil && st.warmUntil > st.warmSince {
+					frac := float64(now-st.warmSince) / float64(st.warmUntil-st.warmSince)
+					if sc.mesh.rng.Float64() >= frac {
+						continue
+					}
+				}
+				kept = append(kept, ep)
+			}
+			if len(kept) > 0 {
+				eligible = kept
+			}
 		}
-	}
-	if pf := sc.outlierFor(service).PanicThreshold; pf > 0 &&
-		float64(len(eligible)) < pf*float64(len(eps)) {
-		eligible = eps // panic routing: too few healthy hosts, use them all
-	}
-	if len(eligible) == 0 {
-		eligible = eps // all breakers open: fail open rather than refuse
+		if pf := sc.outlierFor(service).PanicThreshold; pf > 0 &&
+			float64(len(eligible)) < pf*float64(len(eps)) {
+			eligible = eps // panic routing: too few healthy hosts, use them all
+		}
+		if len(eligible) == 0 {
+			eligible = eps // all breakers open: fail open rather than refuse
+		}
 	}
 	switch sc.lbPolicyFor(service) {
 	case LBRandom:
@@ -241,6 +252,22 @@ func (sc *Sidecar) epState(addr simnet.Addr) *endpointState {
 	if !ok {
 		st = &endpointState{}
 		sc.endpoints[addr] = st
+	}
+	return st
+}
+
+// regionPath returns the sidecar's health state for the WAN path to a
+// remote region (the east-west gateway route). It shares the endpoint
+// state machine — consecutive-failure breaker, half-open probes — but
+// lives outside the per-address map: the active health checker and
+// outlier sweeper never touch it, so a dark path recovers only through
+// breaker trial requests, which is all a caller can honestly know
+// about a region it cannot see into.
+func (sc *Sidecar) regionPath(region string) *endpointState {
+	st, ok := sc.regionPaths[region]
+	if !ok {
+		st = &endpointState{}
+		sc.regionPaths[region] = st
 	}
 	return st
 }

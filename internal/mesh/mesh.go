@@ -87,6 +87,8 @@ type Mesh struct {
 	rng     *rand.Rand
 
 	sidecars map[string]*Sidecar
+	// eastwest holds the per-region east-west gateways (eastwest.go).
+	eastwest map[string]*EastWestGateway
 	delay    time.Duration
 
 	// Degraded-response provenance (see degrade.go): trace ID -> the
@@ -111,6 +113,7 @@ func New(cl *cluster.Cluster, cfg Config) *Mesh {
 		metrics:  metrics.NewRegistry(),
 		rng:      rand.New(rand.NewSource(cfg.Seed)),
 		sidecars: make(map[string]*Sidecar),
+		eastwest: make(map[string]*EastWestGateway),
 		delay:    delay,
 		degraded: make(map[string]degradedEntry),
 	}

@@ -63,9 +63,10 @@ type Sidecar struct {
 	server  *httpsim.Server
 	app     AppHandler
 
-	pools      map[poolKey]*httpsim.Client
-	endpoints  map[simnet.Addr]*endpointState
-	rrCounters map[string]uint64
+	pools       map[poolKey]*httpsim.Client
+	endpoints   map[simnet.Addr]*endpointState
+	regionPaths map[string]*endpointState
+	rrCounters  map[string]uint64
 
 	inboundFilters  []InboundFilter
 	outboundFilters []OutboundFilter
@@ -112,6 +113,7 @@ func (m *Mesh) InjectSidecar(pod *cluster.Pod) *Sidecar {
 		service:       service,
 		pools:         make(map[poolKey]*httpsim.Client),
 		endpoints:     make(map[simnet.Addr]*endpointState),
+		regionPaths:   make(map[string]*endpointState),
 		rrCounters:    make(map[string]uint64),
 		deadlines:     admission.NewDeadlines(),
 		hcActive:      make(map[string]bool),
@@ -124,8 +126,8 @@ func (m *Mesh) InjectSidecar(pod *cluster.Pod) *Sidecar {
 	}
 	sc.server = srv
 	m.sidecars[pod.Name()] = sc
-	if m.cp.dist != nil {
-		m.cp.dist.register(sc)
+	if d := m.cp.distributorFor(pod); d != nil {
+		d.register(sc)
 	}
 	return sc
 }
@@ -463,12 +465,42 @@ func (c *call) launch() {
 	c.attempts++
 
 	eps, err := sc.endpointsFor(c.service, c.req)
+	if err == ErrNoEndpoints {
+		// The failover ladder may still reach gateway-summarized remote
+		// regions; pickTarget reports ErrNoEndpoints itself otherwise.
+		eps, err = nil, nil
+	}
 	if err != nil {
 		c.finish(nil, err)
 		return
 	}
-	ep := sc.pickEndpoint(c.service, eps)
+	// The ladder picks per attempt: a retry after a failed cross-region
+	// attempt may land on a different tier (or region) than the first.
+	ep, via := sc.pickTarget(c.service, c.req, eps)
+	if via != "" {
+		// Cross-region: the attempt dials the local egress gateway, which
+		// forwards to the target region's ingress gateway over the WAN.
+		gwEps, gwErr := sc.endpointsFor(EWGatewayService(sc.pod.Region()), c.req)
+		if gwErr != nil {
+			c.finish(nil, gwErr)
+			return
+		}
+		ep = sc.pickEndpoint(EWGatewayService(sc.pod.Region()), gwEps)
+	}
+	if ep == nil {
+		c.finish(nil, ErrNoEndpoints)
+		return
+	}
+	// A cross-region attempt accounts against the WAN path to its target
+	// region, not against the local egress pod every region shares: a
+	// partitioned region's failures must trip that region's path breaker
+	// only, or they would black-hole the healthy regions behind the same
+	// gateway. The path state is what lets the data plane learn WAN-side
+	// sickness the frozen control-plane summaries cannot show.
 	st := sc.epState(ep.Addr())
+	if via != "" {
+		st = sc.regionPath(via)
+	}
 	st.inflight++
 	// If the breaker is half-open this attempt is the single trial
 	// request whose outcome decides close vs re-open.
@@ -531,7 +563,12 @@ func (c *call) launch() {
 			settle(nil, ErrTimeout)
 		})
 	}
-	client.Do(c.req.Clone(), func(resp *httpsim.Response, err error) { settle(resp, err) })
+	out := c.req.Clone()
+	if via != "" {
+		out.Headers.Set(HeaderEWService, c.service)
+		out.Headers.Set(HeaderEWRegion, via)
+	}
+	client.Do(out, func(resp *httpsim.Response, err error) { settle(resp, err) })
 }
 
 func (c *call) shouldRetry(resp *httpsim.Response, err error) bool {
