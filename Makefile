@@ -1,8 +1,8 @@
 # Developer entry points. CI (.github/workflows/ci.yml) runs `make check`.
 
-.PHONY: check build vet lint test race bench bench-json chaos-smoke ctrlplane-smoke federation-smoke
+.PHONY: check build vet lint test race bench bench-json chaos-smoke ctrlplane-smoke federation-smoke hybrid-smoke
 
-check: build vet lint test chaos-smoke ctrlplane-smoke federation-smoke
+check: build vet lint test chaos-smoke ctrlplane-smoke federation-smoke hybrid-smoke
 
 build:
 	go build ./...
@@ -77,4 +77,24 @@ federation-smoke:
 	go run ./cmd/meshbench -exp federation -warmup 1s -measure 4s -seed 7 > $$b && \
 	go run ./cmd/meshbench -exp federation -warmup 1s -measure 4s -seed 7 -parallel 1 > $$c && \
 	cmp $$a $$b && cmp $$a $$c && echo "federation-smoke: federation deterministic (parallel == sequential)" ; \
+	rc=$$? ; rm -f $$a $$b $$c ; exit $$rc
+
+# Determinism golden for the fluid fast path (E20 and -fidelity): the
+# fidelity ladder and a full chaos run under flow and hybrid fidelity
+# must replay byte-for-byte — including with the sweep pool disabled,
+# which pins parallel == sequential for the flow-event scheduler too.
+hybrid-smoke:
+	@a=$$(mktemp) && b=$$(mktemp) && c=$$(mktemp) && \
+	go run ./cmd/meshbench -exp fidelity -zones 20 > $$a && \
+	go run ./cmd/meshbench -exp fidelity -zones 20 > $$b && \
+	go run ./cmd/meshbench -exp fidelity -zones 20 -parallel 1 > $$c && \
+	cmp $$a $$b && cmp $$a $$c && echo "hybrid-smoke: E20 deterministic (parallel == sequential)" && \
+	go run ./cmd/meshbench -exp chaos -fidelity flow -warmup 1s -measure 4s -seed 7 > $$a && \
+	go run ./cmd/meshbench -exp chaos -fidelity flow -warmup 1s -measure 4s -seed 7 > $$b && \
+	go run ./cmd/meshbench -exp chaos -fidelity flow -warmup 1s -measure 4s -seed 7 -parallel 1 > $$c && \
+	cmp $$a $$b && cmp $$a $$c && echo "hybrid-smoke: chaos deterministic under flow fidelity" && \
+	go run ./cmd/meshbench -exp chaos -fidelity hybrid -warmup 1s -measure 4s -seed 7 > $$a && \
+	go run ./cmd/meshbench -exp chaos -fidelity hybrid -warmup 1s -measure 4s -seed 7 > $$b && \
+	go run ./cmd/meshbench -exp chaos -fidelity hybrid -warmup 1s -measure 4s -seed 7 -parallel 1 > $$c && \
+	cmp $$a $$b && cmp $$a $$c && echo "hybrid-smoke: chaos deterministic under hybrid fidelity" ; \
 	rc=$$? ; rm -f $$a $$b $$c ; exit $$rc

@@ -18,11 +18,12 @@ import (
 	"time"
 
 	"meshlayer"
+	"meshlayer/internal/simnet"
 )
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: fig4|licost|overhead|ablation|scavenger|adaptivelb|redundant|hops|bottleneck|skew|resilience|qdisc|overload|chaos|zonefail|ctrlplane|federation|engine|all (engine is never part of all)")
+		exp      = flag.String("exp", "all", "experiment: fig4|licost|overhead|ablation|scavenger|adaptivelb|redundant|hops|bottleneck|skew|resilience|qdisc|overload|chaos|zonefail|ctrlplane|federation|engine|fidelity|all (engine and fidelity are never part of all)")
 		seed     = flag.Int64("seed", 1, "random seed (same seed = identical run)")
 		rps      = flag.Float64("rps", 40, "per-workload RPS for the ablation experiment")
 		levels   = flag.String("levels", "10,20,30,40,50", "comma-separated RPS levels for the fig4 sweep")
@@ -32,11 +33,19 @@ func main() {
 		chart    = flag.Bool("chart", false, "also render fig4 as an ASCII chart")
 		csv      = flag.Bool("csv", false, "emit fig4 as CSV instead of a table")
 		parallel = flag.Int("parallel", meshlayer.MaxParallel, "max concurrent simulation runs per sweep (1 = sequential; output is identical either way)")
+		fidelity = flag.String("fidelity", "packet", "simulation fidelity for every experiment: packet|flow|hybrid (E20 compares all three itself, regardless)")
+		zones    = flag.Int("zones", 0, "E20 fan-in zone count, 100 pods each (0 = the full 100-zone, 10k-pod sweep)")
 	)
 	flag.Parse()
 	if *parallel > 0 {
 		meshlayer.MaxParallel = *parallel
 	}
+	fid, err := simnet.ParseFidelity(*fidelity)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "meshbench:", err)
+		os.Exit(2)
+	}
+	simnet.SetDefaultFidelity(fid)
 
 	rpsLevels, err := parseLevels(*levels)
 	if err != nil {
@@ -142,6 +151,12 @@ func main() {
 	if *exp == "engine" {
 		ran = true
 		fmt.Println(meshlayer.FormatEngine(meshlayer.RunEngineBench(0, 0)))
+	}
+	// E20 is deterministic but deliberately heavyweight (a 10k-pod
+	// sweep), so it too runs only when asked for explicitly.
+	if *exp == "fidelity" {
+		ran = true
+		fmt.Println(meshlayer.FormatFidelity(meshlayer.RunFidelityBench(*zones, 0)))
 	}
 	if !ran {
 		fmt.Fprintf(os.Stderr, "meshbench: unknown experiment %q\n", *exp)

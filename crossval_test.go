@@ -1,0 +1,228 @@
+package meshlayer
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"meshlayer/internal/simnet"
+)
+
+// Cross-validation of the hybrid fidelity mode: every experiment that
+// feeds the repo's conclusions is rerun with the flow-level fast path
+// armed, and its headline metrics must land within a stated tolerance
+// of the packet-mode reference. The tolerances encode the fidelity
+// contract documented in DESIGN.md ("Fidelity modes"): small RPCs are
+// byte-exact in every mode (tight), bulk-transfer latencies are
+// rate-accurate but not queue-accurate (loose), and availability is
+// preserved because faults always demote to packets (absolute points).
+
+// tol passes when |hybrid-packet| <= max(abs, rel*|packet|).
+type tol struct{ rel, abs float64 }
+
+var (
+	tolTight = tol{0.10, 0.002} // RPC paths: hybrid leaves them on packets
+	tolMed   = tol{0.40, 0.020} // mixed paths: some bulk sharing upstream
+	tolLoose = tol{0.90, 0.100} // bulk-dominated tails: rate-accurate only
+	tolFrac  = tol{0.00, 0.05}  // availability / shares: 5 points absolute
+	tolRate  = tol{0.30, 0.00}  // goodput in Mbps
+)
+
+// indicator encodes a qualitative claim as a 0/1 metric: both
+// fidelities must agree on it. Unmitigated-baseline queueing tails are
+// asserted this way — their magnitude is congestion-window and
+// head-of-line dynamics the fluid model deliberately abstracts away
+// (DESIGN.md: rate-accurate, not queue-accurate), but the paper's
+// ordering claim must survive in every mode.
+func indicator(name string, claim bool) metric {
+	v := 0.0
+	if claim {
+		v = 1
+	}
+	return metric{name, v, tolFrac}
+}
+
+type metric struct {
+	name string
+	val  float64
+	t    tol
+}
+
+func m(name string, v float64, t tol) metric        { return metric{name, v, t} }
+func md(name string, d time.Duration, t tol) metric { return metric{name, d.Seconds(), t} }
+
+// crossCase is one experiment: run executes it under the process-wide
+// default fidelity and distills the metrics under test. The same
+// closure runs for both arms, so metric order is identical by
+// construction and the comparison is positional.
+type crossCase struct {
+	name  string
+	short bool // also runs under -short
+	run   func() []metric
+}
+
+func crossCases() []crossCase {
+	const seed = 5
+	mixed := MixedConfig{Warmup: time.Second, Measure: 4 * time.Second}
+	return []crossCase{
+		{"E1-E3 fig4 sweep (RPS 30)", true, func() []metric {
+			pts := RunSweep(SweepConfig{RPSLevels: []float64{30}, Opt: PaperOptimizations(),
+				Seed: seed, Warmup: mixed.Warmup, Measure: mixed.Measure})
+			p := pts[0]
+			return []metric{
+				indicator("base LS p99 >= 3x opt", p.Base.LS.P99 >= 3*p.Opt.LS.P99),
+				md("opt LS p50", p.Opt.LS.P50, tolMed),
+				md("opt LS p99", p.Opt.LS.P99, tolMed),
+				md("opt LI p99", p.Opt.LI.P99, tolLoose),
+			}
+		}},
+		{"E4 sidecar overhead", true, func() []metric {
+			rows := RunSidecarOverhead(500, seed)
+			last := rows[len(rows)-1]
+			return []metric{
+				md(last.Name+" p50", last.P50, tolTight),
+				md(last.Name+" p99", last.P99, tolTight),
+			}
+		}},
+		{"E5 ablation (RPS 30)", false, func() []metric {
+			rows := RunAblation(30, seed, mixed)
+			return []metric{
+				indicator("baseline LS p99 >= 3x routing+tc", rows[0].LSP99 >= 3*rows[2].LSP99),
+				md("routing+tc LS p50", rows[2].LSP50, tolMed),
+				md("routing+tc LS p99", rows[2].LSP99, tolMed),
+				md("routing+tc LI p99", rows[2].LIP99, tolLoose),
+			}
+		}},
+		{"E6 scavenger", false, func() []metric {
+			rows := RunScavenger(seed) // reno, cubic, lp, ledbat
+			return []metric{
+				md("ledbat LS p50", rows[3].LSP50, tolMed),
+				m("ledbat bulk Mbps", rows[3].BulkMbps, tolRate),
+				m("reno bulk Mbps", rows[0].BulkMbps, tolRate),
+			}
+		}},
+		{"E7 adaptive LB", false, func() []metric {
+			rows := RunAdaptiveLB(50, seed) // rr, random, least-request, ewma
+			return []metric{
+				md("ewma p50", rows[3].P50, tolTight),
+				md("ewma p99", rows[3].P99, tolMed),
+				m("ewma slow share", rows[3].SlowShare, tolFrac),
+			}
+		}},
+		{"E8 redundant requests", false, func() []metric {
+			rows := RunRedundant(30, seed)
+			return []metric{
+				md("hedged p50", rows[1].P50, tolMed),
+				md("hedged p99", rows[1].P99, tolMed),
+			}
+		}},
+		{"E9 hop depth", false, func() []metric {
+			rows := RunHopDepth(nil, 300, seed)
+			last := rows[len(rows)-1]
+			return []metric{
+				md(fmt.Sprintf("depth %d p50", last.Depth), last.P50, tolMed),
+				md("per-hop", last.PerHop, tolMed),
+			}
+		}},
+		{"E10 bottleneck 1 Gbps", false, func() []metric {
+			rows := RunBottleneckSweep([]float64{1}, seed, mixed)
+			return []metric{
+				indicator("base LS p99 >= 2x opt", rows[0].BaseP99 >= 2*rows[0].OptP99),
+				md("opt LS p99", rows[0].OptP99, tolMed),
+			}
+		}},
+		{"E11 skew 1 MB", false, func() []metric {
+			rows := RunSkewSweep([]float64{1}, seed, mixed)
+			return []metric{
+				indicator("base LS p99 >= 2x opt", rows[0].BaseP99 >= 2*rows[0].OptP99),
+				md("opt LS p99", rows[0].OptP99, tolMed),
+			}
+		}},
+		{"E12 resilience", false, func() []metric {
+			rows := RunResilience(30, seed)
+			var out []metric
+			for _, r := range rows {
+				if r.Phase != "during partition" {
+					continue
+				}
+				out = append(out,
+					m(r.Config+" error rate", r.ErrorRate, tolFrac),
+					md(r.Config+" p99", r.P99, tolLoose))
+			}
+			return out
+		}},
+		{"E13 qdisc comparison", true, func() []metric {
+			rows := RunQdiscComparison(40, seed, mixed) // fifo, red, codel, priority
+			last := rows[len(rows)-1]
+			return []metric{
+				md("fifo LS p99", rows[0].LSP99, tolLoose),
+				md("fifo LI p99", rows[0].LIP99, tolLoose),
+				md(last.Name+" LS p99", last.LSP99, tolMed),
+			}
+		}},
+		{"E17 zone failure", true, func() []metric {
+			rows := RunZoneFail(seed, time.Second, 4*time.Second)
+			last := rows[len(rows)-1]
+			return []metric{
+				m(last.Config+" avail", last.Avail, tolFrac),
+				m(last.Config+" outage avail", last.OutageAvail, tolFrac),
+				md(last.Config+" LS p99", last.LSP99, tolLoose),
+			}
+		}},
+		{"E19 federation", false, func() []metric {
+			rows := RunFederation(seed, time.Second, 4*time.Second)
+			last := rows[len(rows)-1]
+			return []metric{
+				m(last.Config+" avail", last.Avail, tolFrac),
+				m(last.Config+" partition avail", last.PartAvail, tolFrac),
+				md(last.Config+" LS p50", last.LSP50, tolLoose),
+			}
+		}},
+	}
+}
+
+// TestHybridCrossValidation reruns the experiment suite under hybrid
+// fidelity and asserts every headline metric against its packet-mode
+// reference. Failures print a per-metric diff table.
+func TestHybridCrossValidation(t *testing.T) {
+	defer simnet.SetDefaultFidelity(simnet.FidelityPacket)
+	for _, c := range crossCases() {
+		if testing.Short() && !c.short {
+			continue
+		}
+		t.Run(c.name, func(t *testing.T) {
+			simnet.SetDefaultFidelity(simnet.FidelityPacket)
+			ref := c.run()
+			simnet.SetDefaultFidelity(simnet.FidelityHybrid)
+			got := c.run()
+			if len(got) != len(ref) {
+				t.Fatalf("metric count changed across fidelities: %d vs %d", len(ref), len(got))
+			}
+			var b strings.Builder
+			failed := false
+			fmt.Fprintf(&b, "%-34s %12s %12s %10s %10s  %s\n",
+				"metric", "packet", "hybrid", "diff", "allowed", "ok")
+			for i, r := range ref {
+				h := got[i]
+				if h.name != r.name {
+					t.Fatalf("metric %d renamed across fidelities: %q vs %q", i, r.name, h.name)
+				}
+				allowed := math.Max(r.t.abs, r.t.rel*math.Abs(r.val))
+				diff := math.Abs(h.val - r.val)
+				ok := diff <= allowed
+				if !ok {
+					failed = true
+				}
+				fmt.Fprintf(&b, "%-34s %12.6g %12.6g %10.4g %10.4g  %v\n",
+					r.name, r.val, h.val, diff, allowed, ok)
+			}
+			if failed {
+				t.Errorf("hybrid fidelity outside tolerance:\n%s", b.String())
+			} else {
+				t.Logf("\n%s", b.String())
+			}
+		})
+	}
+}

@@ -109,21 +109,21 @@ func RunEngineBench(events, packets int) EngineBench {
 		out.PktAllocsPer = float64(mallocs) / float64(packets)
 	}
 
-	// Reference sweep, sequential then parallel.
-	sweep := func() {
+	// Reference sweep, sequential then parallel. The sequential arm pins
+	// Workers on its own sweep rather than toggling the MaxParallel
+	// global, so -parallel (and any concurrent sweep) is unaffected.
+	sweep := func(workers int) {
 		RunSweep(SweepConfig{
 			RPSLevels: []float64{15, 35},
 			Opt:       PaperOptimizations(),
 			Seed:      3,
 			Warmup:    time.Second,
 			Measure:   2 * time.Second,
+			Workers:   workers,
 		})
 	}
-	old := MaxParallel
-	MaxParallel = 1
-	seqT, _ := measured(sweep)
-	MaxParallel = old
-	parT, _ := measured(sweep)
+	seqT, _ := measured(func() { sweep(1) })
+	parT, _ := measured(func() { sweep(0) })
 	out.SweepSeqSec = seqT.Seconds()
 	out.SweepParSec = parT.Seconds()
 	return out

@@ -40,6 +40,9 @@ type SweepConfig struct {
 	// Seed and the window sizes are shared across levels.
 	Seed                      int64
 	Warmup, Measure, Cooldown time.Duration
+	// Workers bounds this sweep's run concurrency; 0 means MaxParallel,
+	// 1 forces sequential execution. Output is identical either way.
+	Workers int
 }
 
 // DefaultSweepConfig mirrors Fig. 4: RPS 10..50, the paper's
@@ -68,7 +71,7 @@ func RunSweep(cfg SweepConfig) []SweepPoint {
 	for i, rps := range cfg.RPSLevels {
 		out[i].RPS = rps
 	}
-	runIndexed(2*len(out), func(k int) {
+	runIndexedWorkers(2*len(out), cfg.Workers, func(k int) {
 		i := k / 2
 		mixed := MixedConfig{RPS: out[i].RPS, Seed: cfg.Seed, Warmup: cfg.Warmup, Measure: cfg.Measure, Cooldown: cfg.Cooldown}
 		if k%2 == 0 {

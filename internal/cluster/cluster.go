@@ -182,11 +182,11 @@ func (p *Pod) Workers() *WorkerPool { return p.workers }
 
 // Cluster owns pods and services on one simulated host.
 type Cluster struct {
-	net       *simnet.Network
-	sched     *simnet.Scheduler
-	bridge    *simnet.Node
-	pods      map[string]*Pod
-	podOrder  []string
+	net         *simnet.Network
+	sched       *simnet.Scheduler
+	bridge      *simnet.Node
+	pods        map[string]*Pod
+	podOrder    []string
 	services    map[string]*Service
 	zones       map[string]*zone
 	zoneOrder   []string

@@ -1,0 +1,52 @@
+package httpsim
+
+import (
+	"testing"
+	"time"
+
+	"meshlayer/internal/simnet"
+	"meshlayer/internal/transport"
+)
+
+// TestLargeBodyFluidFidelity reruns the large-body timing check under
+// flow and hybrid fidelity: the response must arrive at the same
+// rate-determined time (within tolerance) while costing a fraction of
+// the scheduler events — the tentpole property, observed end-to-end
+// through the HTTP layer.
+func TestLargeBodyFluidFidelity(t *testing.T) {
+	run := func(fid simnet.Fidelity) (done time.Duration, steps uint64) {
+		e := newEnv(t, simnet.LinkConfig{Rate: 8 * simnet.Mbps, Delay: 0})
+		e.net.SetFidelity(fid)
+		NewServer(e.hb, 8080, func(ctx Ctx, req *Request, respond func(*Response)) {
+			resp := NewResponse(StatusOK)
+			resp.BodyBytes = 1 << 20
+			respond(resp)
+		})
+		cl := NewClient(e.ha, e.hb.Node().Addr(), 8080, transport.Options{})
+		cl.Do(NewRequest("GET", "/big"), func(r *Response, err error) {
+			if err != nil {
+				t.Fatalf("%v: %v", fid, err)
+			}
+			done = e.sched.Now()
+		})
+		e.sched.RunUntil(30 * time.Second)
+		return done, e.sched.Steps()
+	}
+
+	pktDone, pktSteps := run(simnet.FidelityPacket)
+	for _, fid := range []simnet.Fidelity{simnet.FidelityFlow, simnet.FidelityHybrid} {
+		fluDone, fluSteps := run(fid)
+		if fluDone == 0 {
+			t.Fatalf("%v: no response", fid)
+		}
+		// Rate fidelity: within 15% of the packet-mode completion.
+		lo, hi := pktDone*85/100, pktDone*115/100
+		if fluDone < lo || fluDone > hi {
+			t.Fatalf("%v: done at %v, packet mode %v (want within 15%%)", fid, fluDone, pktDone)
+		}
+		// Event economy: at least 10x fewer scheduler steps.
+		if fluSteps*10 > pktSteps {
+			t.Fatalf("%v: %d steps vs packet %d — want >=10x fewer", fid, fluSteps, pktSteps)
+		}
+	}
+}

@@ -63,3 +63,60 @@ type pool struct {
 func (pl *pool) put(p *packet) {
 	pl.free = append(pl.free, p) //meshvet:allow poolescape this free list IS the pool: the one sanctioned retainer
 }
+
+// --- flow-scheduler shapes ---
+//
+// The fluid-flow engine recycles flow records through a free list and
+// filters its active set in place; these fixtures pin the analyzer
+// behavior its pooling discipline relies on.
+
+// fluidflow mirrors the engine's pool-recycled flow record.
+//
+//meshvet:pooled
+type fluidflow struct {
+	id   int64
+	rate float64
+	done func()
+}
+
+type engine struct {
+	active []*fluidflow
+	free   []*fluidflow
+}
+
+// batchCollect mirrors a completion/demotion sweep: collecting pooled
+// flows into a fresh batch slice is retention and needs an annotation.
+func (e *engine) batchCollect(hit func(*fluidflow) bool) []*fluidflow {
+	var victims []*fluidflow
+	for _, f := range e.active {
+		if hit(f) {
+			victims = append(victims, f) // want "pooled fluidflow appended to a slice is retained past this call"
+		}
+	}
+	return victims
+}
+
+// inPlaceFilter mirrors the engine's keep-filter: refilling the active
+// set it already owns is sanctioned, recorded by the annotation.
+func (e *engine) inPlaceFilter(hit func(*fluidflow) bool) {
+	keep := e.active[:0]
+	for _, f := range e.active {
+		if !hit(f) {
+			keep = append(keep, f) //meshvet:allow poolescape in-place filter of the engine's own active set
+		}
+	}
+	e.active = keep
+}
+
+// callbackCapture mirrors deferring a demotion callback that captures
+// the pooled flow itself instead of copying out what it needs first.
+func callbackCapture(f *fluidflow, after func(func())) {
+	after(func() {
+		f.done() // want "closure captures pooled fluidflow f"
+	})
+}
+
+// recycleFlow is the engine's free list, the sanctioned retainer.
+func (e *engine) recycleFlow(f *fluidflow) {
+	e.free = append(e.free, f) //meshvet:allow poolescape this free list IS the pool: the one sanctioned retainer
+}

@@ -85,3 +85,94 @@ func BenchmarkPacketPath(b *testing.B) {
 		b.Fatalf("delivered %d packets, want %d", delivered, b.N)
 	}
 }
+
+// BenchmarkFlowScheduler measures the flow-engine hot path: a steady
+// population of fluid flows arriving, sharing a two-hop path, and
+// completing, so every iteration is one Start + its share of the
+// batched recompute + one completion dispatch. ns/op here is the cost
+// of simulating one entire bulk transfer under flow fidelity — compare
+// against BenchmarkPacketPath times the packets such a transfer needs.
+func BenchmarkFlowScheduler(b *testing.B) {
+	s := NewScheduler()
+	net := NewNetwork(s)
+	net.SetFidelity(FidelityFlow)
+	na, sw, nb := net.AddNode("a"), net.AddNode("sw"), net.AddNode("b")
+	net.Connect(na, sw, LinkConfig{Rate: 10 * Gbps, Delay: 10 * time.Microsecond})
+	net.Connect(sw, nb, LinkConfig{Rate: 10 * Gbps, Delay: 10 * time.Microsecond})
+	eng := net.FlowEngine()
+	path, _, ok := eng.ResolvePath(na, FlowKey{Src: na.Addr(), Dst: nb.Addr()})
+	if !ok {
+		b.Fatal("no path")
+	}
+	const population = 16
+	started := 0
+	var onDone func()
+	start := func() {
+		if started < b.N {
+			started++
+			eng.Start(path, 1<<20, onDone, nil)
+		}
+	}
+	onDone = start
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < population && started < b.N; i++ {
+		start()
+	}
+	s.Run()
+	b.StopTimer()
+	if got := eng.Stats().Completed; got != uint64(b.N) {
+		b.Fatalf("completed %d flows, want %d", got, b.N)
+	}
+}
+
+// BenchmarkHybridPacketPath measures the packet hot path with the
+// hybrid flow engine armed and fluid resident on the link: every
+// packet pays the residual-rate serialization coupling plus the
+// contention sensor. The delta against BenchmarkPacketPath is the
+// per-packet cost of hybrid fidelity.
+func BenchmarkHybridPacketPath(b *testing.B) {
+	s := NewScheduler()
+	net := NewNetwork(s)
+	net.SetFidelity(FidelityHybrid)
+	na, nb := net.AddNode("a"), net.AddNode("b")
+	nc := net.AddNode("c")
+	net.Connect(na, nb, LinkConfig{Rate: 15 * Gbps, Delay: 10 * time.Microsecond})
+	// A long-lived fluid flow crosses the benchmark link but is
+	// bottlenecked by its 1 Gbps first hop, keeping its share below the
+	// demotion threshold while exercising the coupled serialization.
+	net.Connect(nc, na, LinkConfig{Rate: 1 * Gbps, Delay: 10 * time.Microsecond})
+	eng := net.FlowEngine()
+	fpath, _, ok := eng.ResolvePath(nc, FlowKey{Src: nc.Addr(), Dst: nb.Addr()})
+	if !ok {
+		b.Fatal("no fluid path")
+	}
+	eng.Start(fpath, 1<<50, nil, nil)
+	flow := FlowKey{Src: na.Addr(), Dst: nb.Addr(), SrcPort: 1, DstPort: 2, Proto: ProtoUDP}
+	// 16-packet window: a deeper burst would cross DemoteBacklog and
+	// evict the resident flow mid-benchmark.
+	const window = 16
+	sent, delivered := 0, 0
+	var send func()
+	send = func() {
+		for sent < b.N && sent-delivered < window {
+			p := net.AllocPacket()
+			p.Flow = flow
+			p.Size = MTU
+			na.Inject(p)
+			sent++
+		}
+	}
+	nb.SetDeliver(func(p *Packet) { delivered++; send() })
+	b.ReportAllocs()
+	b.ResetTimer()
+	send()
+	s.Run()
+	b.StopTimer()
+	if delivered != b.N {
+		b.Fatalf("delivered %d packets, want %d", delivered, b.N)
+	}
+	if eng.Stats().Demoted != 0 {
+		b.Fatal("fluid flow demoted: the benchmark must measure coexistence, not demotion")
+	}
+}

@@ -42,6 +42,9 @@ func (n *NIC) Impair(cfg Impairment) {
 		return
 	}
 	n.impair = &impairedDir{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	if e := n.node.net.flowEng; e != nil {
+		e.noteImpaired(n)
+	}
 }
 
 // Impaired reports whether an impairment is currently attached.

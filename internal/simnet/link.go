@@ -105,6 +105,17 @@ type NIC struct {
 	// callback — allocated once per NIC instead of once per packet.
 	txPacket *Packet
 	txDone   func()
+
+	// Flow-engine state, owned by FlowEngine.recompute. fluidRate is the
+	// aggregate fluid throughput (bytes/sec) crossing this NIC — always 0
+	// in packet fidelity; the rest is progressive-filling scratch. Kept
+	// as fields rather than engine-side maps so the recompute hot path
+	// and the per-packet serializeDelay lookup stay allocation- and
+	// hash-free.
+	fluidRate float64
+	fluidCap  float64
+	fluidCnt  int
+	fluidSeen bool
 }
 
 // Node returns the node the NIC belongs to.
@@ -120,12 +131,17 @@ func (n *NIC) Peer() *NIC { return n.peer }
 func (n *NIC) Qdisc() Qdisc { return n.qdisc }
 
 // SetQdisc replaces the egress qdisc. Packets already queued in the old
-// discipline are dropped (mirroring `tc qdisc replace`).
+// discipline are dropped (mirroring `tc qdisc replace`). Fluid flows
+// crossing this NIC demote: custom disciplines only exist in the
+// packet model.
 func (n *NIC) SetQdisc(q Qdisc) {
 	if q == nil {
 		q = NewFIFO(0)
 	}
 	n.qdisc = q
+	if e := n.node.net.flowEng; e != nil {
+		e.demoteNIC(n)
+	}
 }
 
 // TxBytes returns cumulative bytes serialized onto the link.
@@ -158,6 +174,9 @@ func (n *NIC) Send(p *Packet) {
 		n.node.net.freePacket(p)
 		return
 	}
+	if e := n.node.net.flowEng; e != nil {
+		e.noteSend(n, p.Size)
+	}
 	if !n.busy {
 		n.transmitNext()
 	}
@@ -182,7 +201,7 @@ func (n *NIC) transmitNext() {
 	if p.SentAt == 0 {
 		p.SentAt = sched.Now()
 	}
-	tx := n.link.serializationDelay(p.Size)
+	tx := n.serializeDelay(p.Size)
 	n.txPackets++
 	n.txBytes += uint64(p.Size)
 	if n.tap != nil {

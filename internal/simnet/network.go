@@ -19,9 +19,17 @@ type Network struct {
 	byAddr map[Addr]*Node
 	byName map[string]*Node
 
-	// routes[src][dstID] = egress NIC; rebuilt by ComputeRoutes.
+	// routes[src][dstID] = egress NIC. Rows are built lazily on first
+	// use (see nextHop) and all invalidated together on topology change,
+	// so a 10k-node topology never pays for the all-pairs table.
 	routes [][]*NIC
 	dirty  bool
+
+	// fidelity is captured from defaultFidelity at construction; flowEng
+	// is non-nil exactly when fidelity is flow or hybrid (see fidelity.go
+	// and flow.go).
+	fidelity Fidelity
+	flowEng  *FlowEngine
 
 	onDrop DropFunc
 	pktSeq uint64
@@ -72,11 +80,16 @@ func NewNetwork(s *Scheduler) *Network {
 	if s == nil {
 		panic("simnet: nil scheduler")
 	}
-	return &Network{
-		sched:  s,
-		byAddr: make(map[Addr]*Node),
-		byName: make(map[string]*Node),
+	n := &Network{
+		sched:    s,
+		byAddr:   make(map[Addr]*Node),
+		byName:   make(map[string]*Node),
+		fidelity: defaultFidelity,
 	}
+	if n.fidelity != FidelityPacket {
+		n.flowEng = newFlowEngine(n)
+	}
+	return n
 }
 
 // Scheduler returns the scheduler driving this network.
@@ -172,25 +185,51 @@ func (n *Network) freePacket(p *Packet) {
 }
 
 // ComputeRoutes (re)builds all-pairs shortest-path next-hop tables using
-// Dijkstra from every node with link weights as costs. Called lazily on
-// first routing after a topology change.
+// Dijkstra from every node with link weights as costs. Routing itself
+// only builds rows on demand (see nextHop); this eager form remains for
+// callers that want the full table up front.
 func (n *Network) ComputeRoutes() {
-	n.routes = make([][]*NIC, len(n.nodes))
+	n.invalidateRoutes()
 	for _, src := range n.nodes {
 		n.routes[src.id] = n.dijkstra(src)
+	}
+}
+
+// invalidateRoutes resets the route table to all-unbuilt rows.
+func (n *Network) invalidateRoutes() {
+	if cap(n.routes) < len(n.nodes) {
+		n.routes = make([][]*NIC, len(n.nodes))
+	} else {
+		n.routes = n.routes[:len(n.nodes)]
+		for i := range n.routes {
+			n.routes[i] = nil
+		}
 	}
 	n.dirty = false
 }
 
 func (n *Network) nextHop(from *Node, dst Addr) *NIC {
 	if n.dirty {
-		n.ComputeRoutes()
+		n.invalidateRoutes()
 	}
 	dn, ok := n.byAddr[dst]
 	if !ok {
 		return nil
 	}
-	return n.routes[from.id][dn.id]
+	// Leaf shortcut at scale: on topologies large enough that per-source
+	// Dijkstra rows dominate memory, a single-homed node needs no table —
+	// its only NIC is the next hop. Gated on topology size so drop
+	// accounting for unroutable destinations on small topologies stays
+	// byte-identical to the historical goldens.
+	if len(n.nodes) >= leafShortcutMin && len(from.nics) == 1 {
+		return from.nics[0]
+	}
+	row := n.routes[from.id]
+	if row == nil {
+		row = n.dijkstra(from)
+		n.routes[from.id] = row
+	}
+	return row[dn.id]
 }
 
 // dijkstra returns, for each destination node ID, the egress NIC at src.

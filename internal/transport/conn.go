@@ -112,6 +112,17 @@ type Conn struct {
 	// maxConsecRTOs.
 	consecRTOs int
 
+	// Fluid fast path (flow/hybrid fidelity; see fluid.go).
+	fluidQ         []fluidRange  // queued fluid ranges, ascending seq
+	fluidActive    bool          // fluidQ[0] is in the engine right now
+	fluidID        simnet.FlowID // engine handle for the active flow
+	fluidSpans     []fluidSpan   // fluid-delivered, not yet acked
+	fluidProp      time.Duration // one-way prop delay of the active path
+	fluidDoneFn    func()        // bound callbacks, allocated once
+	fluidDemoteFn  func()
+	fluidCompleted uint64 // messages delivered via the fast path
+	fluidDemotions uint64 // flows demoted back to packets
+
 	// Stats.
 	retransmits uint64
 	timeouts    uint64
@@ -186,8 +197,26 @@ func (c *Conn) Retransmits() uint64 { return c.retransmits }
 // Timeouts returns the count of RTO expirations.
 func (c *Conn) Timeouts() uint64 { return c.timeouts }
 
-// BytesAcked returns cumulatively acknowledged payload bytes.
-func (c *Conn) BytesAcked() uint64 { return c.bytesAcked }
+// BytesAcked returns cumulatively acknowledged payload bytes. An
+// active fluid flow contributes its analytic progress: its bytes are
+// governed by the engine's fair share rather than acks, and counting
+// them only at the final delivery notice would make the goodput of a
+// long-lived bulk transfer read as zero under flow or hybrid fidelity.
+// Progress of a flow that is later demoted is re-earned by the packet
+// path, so the value can briefly regress across a demotion.
+func (c *Conn) BytesAcked() uint64 {
+	n := c.bytesAcked
+	if c.fluidActive && len(c.fluidQ) > 0 {
+		if eng := c.host.net.FlowEngine(); eng != nil {
+			if rem, ok := eng.Remaining(c.fluidID); ok {
+				if size := float64(c.fluidQ[0].end - c.fluidQ[0].seq); rem < size {
+					n += uint64(size - rem)
+				}
+			}
+		}
+	}
+	return n
+}
 
 // InFlight returns unacknowledged bytes.
 func (c *Conn) InFlight() int { return int(c.sndNxt - c.sndUna) }
@@ -211,6 +240,9 @@ func (c *Conn) SendMessage(meta any, size int) error {
 	c.sendEnd += uint64(size)
 	c.pendBounds = append(c.pendBounds, Bound{End: c.sendEnd, Meta: meta})
 	c.msgsOut++
+	if c.shouldFluid(size) {
+		c.fluidQ = append(c.fluidQ, fluidRange{seq: c.sendEnd - uint64(size), end: c.sendEnd, meta: meta})
+	}
 	if c.state == stateEstablished {
 		c.trySend()
 	}
@@ -239,6 +271,7 @@ func (c *Conn) Abort() {
 
 func (c *Conn) teardown(err error) {
 	c.state = stateClosed
+	c.cancelFluid()
 	c.rtoTimer.Cancel()
 	c.synTimer.Cancel()
 	c.host.removeConn(c)
@@ -284,14 +317,38 @@ func (c *Conn) trySend() {
 	if c.state != stateEstablished {
 		return
 	}
+	for {
+		// Packet-send up to the next fluid range (or everything, when
+		// none is queued — the packet-mode hot path, byte-identical to
+		// the historical loop).
+		limit := c.sendEnd
+		if len(c.fluidQ) > 0 {
+			limit = c.fluidQ[0].seq
+		}
+		c.sendWindow(limit)
+		if len(c.fluidQ) == 0 || c.fluidActive || c.sndNxt != c.fluidQ[0].seq {
+			break
+		}
+		if c.startFluid() {
+			break
+		}
+		// The range fell back to the packet path; re-derive the limit
+		// and keep sending.
+	}
+	c.maybeSendFIN()
+}
+
+// sendWindow emits MSS-sized segments of [sndNxt, limit) as the
+// congestion and peer windows allow.
+func (c *Conn) sendWindow(limit uint64) {
 	wnd := uint64(c.Window())
-	for c.sndNxt < c.sendEnd {
-		inFlight := c.sndNxt - c.sndUna
+	for c.sndNxt < limit {
+		inFlight := c.sndNxt - c.sndUna - c.fluidOutstanding()
 		if inFlight >= wnd {
 			break
 		}
 		n := uint64(MSS)
-		if avail := c.sendEnd - c.sndNxt; avail < n {
+		if avail := limit - c.sndNxt; avail < n {
 			n = avail
 		}
 		if wnd-inFlight < n {
@@ -302,7 +359,6 @@ func (c *Conn) trySend() {
 		c.sendSegment(c.sndNxt, int(n))
 		c.sndNxt += n
 	}
-	c.maybeSendFIN()
 }
 
 func (c *Conn) sendSegment(seq uint64, length int) {
@@ -332,7 +388,7 @@ func (c *Conn) maybeSendFIN() {
 	if !c.finQueued || c.finSent || c.sndNxt != c.sendEnd {
 		return
 	}
-	if c.sndNxt-c.sndUna >= uint64(c.Window()) {
+	if c.sndNxt-c.sndUna-c.fluidOutstanding() >= uint64(c.Window()) {
 		return
 	}
 	c.finSent = true
@@ -460,6 +516,16 @@ func (c *Conn) onRTO() {
 		c.teardown(ErrRetransmitLimit)
 		return
 	}
+	if len(c.segs) == 0 && len(c.fluidSpans) > 0 {
+		// Only fluid-delivered bytes are unacked: the delivery notice's
+		// ACK was lost. Re-announce it — the receiver deduplicates via
+		// its lastBound watermark — and leave cc alone: fluid bytes were
+		// never under its control.
+		c.rto = min(c.currentRTO()*2, 60*time.Second)
+		c.resendFluidNotice()
+		c.armRTO()
+		return
+	}
 	c.cc.OnTimeout()
 	c.dupAcks = 0
 	// Stay in loss recovery until everything outstanding at the
@@ -552,7 +618,14 @@ func (c *Conn) processAck(seg *Segment) {
 		}
 		c.segs = c.segs[i:]
 		c.sampleRTT(seg.TSEcr)
-		c.cc.OnAck(acked, c.lastRTTSample)
+		// Fluid bytes bypass congestion control: the engine's fair share
+		// governed them, so cc is only credited with packet-path bytes.
+		if fluid := c.ackFluidSpans(c.sndUna); fluid > 0 {
+			acked -= fluid
+		}
+		if acked > 0 {
+			c.cc.OnAck(acked, c.lastRTTSample)
+		}
 		if c.recovering {
 			if c.sndUna >= c.recoverPt {
 				c.recovering = false

@@ -1,0 +1,241 @@
+package transport
+
+import "time"
+
+// Fluid fast path: under flow or hybrid fidelity, bulk messages are
+// carried by the simnet flow engine as analytic rate-shared flows
+// instead of MSS-sized packet trains.
+//
+// Stream semantics are preserved exactly. A fluid-eligible message
+// occupies its normal range of sequence space; the packet path sends
+// everything before it, then the range is handed to the engine
+// (startFluid) and sndNxt parks at its start. At the analytic
+// completion time the bytes count as sent, sndNxt jumps to the range
+// end, and after the path's propagation delay one macro SegDATA
+// "notice" materializes at the destination node — delivered locally,
+// since the payload already traversed the network as fluid. The
+// receiver runs its ordinary processData/ACK machinery on the notice,
+// so delivery callbacks, FIN sequencing, and cumulative ACKs are all
+// driven by the same code as packet mode, and a lost ACK is repaired
+// by the existing RTO (which resends the notice, deduplicated by the
+// receiver's lastBound watermark).
+//
+// Congestion control is bypassed for fluid bytes — the engine's
+// max-min fair share replaces it — so acked fluid spans are subtracted
+// before cc.OnAck and from the in-flight window math. Only reno/cubic
+// connections use the fast path: scavenger controllers (ledbat, lp)
+// exist to yield to foreground packets, a behavior fair sharing would
+// erase.
+//
+// If the engine demotes the flow (contention in hybrid mode,
+// impairment/down/qdisc in any mode), the whole remaining range is
+// re-queued for the packet path — re-sending from the range start is
+// the documented approximation; the receiver has seen none of it.
+
+// FluidCutover is the message size, in bytes, at which flow and hybrid
+// fidelity promote a message to a fluid flow. Smaller messages —
+// RPC-sized — keep exact packet behavior in every mode, which is what
+// keeps latency metrics comparable across fidelities.
+const FluidCutover = 4096
+
+// fluidRange is one queued fluid-eligible message: the byte range it
+// occupies in the send stream and its delivery metadata.
+type fluidRange struct {
+	seq, end uint64
+	meta     any
+}
+
+// fluidSpan is a fluid-delivered range that the peer has not yet
+// cumulatively acked. Spans gate cc crediting and window accounting,
+// and carry enough to resend the delivery notice on RTO.
+type fluidSpan struct {
+	seq, end uint64
+	meta     any
+}
+
+// FluidCompleted returns messages delivered via the fluid fast path.
+func (c *Conn) FluidCompleted() uint64 { return c.fluidCompleted }
+
+// FluidDemotions returns fluid flows demoted back to the packet path.
+func (c *Conn) FluidDemotions() uint64 { return c.fluidDemotions }
+
+// shouldFluid reports whether a message of the given size should ride
+// the fluid fast path on this connection.
+func (c *Conn) shouldFluid(size int) bool {
+	if c.host.net.FlowEngine() == nil || size < FluidCutover {
+		return false
+	}
+	switch c.cc.Name() {
+	case "reno", "cubic":
+	default:
+		return false // scavenger CCs deliberately yield; keep them on packets
+	}
+	return true
+}
+
+// startFluid hands fluidQ[0] to the flow engine. The caller has already
+// packet-sent every byte before the range (sndNxt == fluidQ[0].seq).
+// Returns false if the path is unusable, in which case the range is
+// popped and falls back to the packet path (its bound is still in
+// pendBounds).
+func (c *Conn) startFluid() bool {
+	eng := c.host.net.FlowEngine()
+	r := c.fluidQ[0]
+	path, prop, ok := eng.ResolvePath(c.host.node, c.flow)
+	if ok && !eng.PathEligible(path) {
+		// Impaired, down, custom-qdisc, or backlogged hops need exact
+		// packet behavior in every fidelity — loss and AQM do not exist
+		// in the fluid model.
+		ok = false
+	}
+	if !ok {
+		c.fluidQ = c.fluidQ[1:]
+		return false
+	}
+	// The bound rides the flow now; drop it from pendBounds so the
+	// packet path cannot deliver it twice.
+	if len(c.pendBounds) > 0 && c.pendBounds[0].End == r.end {
+		c.pendBounds = c.pendBounds[1:]
+	}
+	if c.fluidDoneFn == nil {
+		c.fluidDoneFn = c.onFluidComplete
+		c.fluidDemoteFn = c.onFluidDemote
+	}
+	c.fluidProp = prop
+	c.fluidActive = true
+	c.fluidID = eng.Start(path, int64(r.end-r.seq), c.fluidDoneFn, c.fluidDemoteFn)
+	return true
+}
+
+// onFluidComplete runs at the analytic completion time: the last byte
+// has left the source. The bytes count as sent, and the delivery
+// notice materializes at the destination after the path's one-way
+// propagation delay.
+func (c *Conn) onFluidComplete() {
+	if c.state != stateEstablished || !c.fluidActive {
+		return
+	}
+	r := c.fluidQ[0]
+	c.fluidQ = c.fluidQ[1:]
+	c.fluidActive = false
+	c.fluidID = 0
+	c.fluidCompleted++
+	c.bytesSent += r.end - r.seq
+	c.sndNxt = r.end
+	c.fluidSpans = append(c.fluidSpans, fluidSpan{seq: r.seq, end: r.end, meta: r.meta})
+	completed := c.host.sched.Now()
+	c.host.sched.After(c.fluidProp, func() {
+		c.injectFluidNotice(r.seq, r.end, r.meta, completed)
+	})
+	c.armRTO()
+	c.trySend()
+}
+
+// onFluidDemote runs (deferred through the scheduler by the engine)
+// when the active flow is demoted to packet fidelity. The remaining
+// range goes back to the packet path from its start.
+func (c *Conn) onFluidDemote() {
+	if c.state != stateEstablished || !c.fluidActive || len(c.fluidQ) == 0 {
+		return
+	}
+	c.fluidActive = false
+	c.fluidID = 0
+	c.fluidDemotions++
+	r := c.fluidQ[0]
+	c.fluidQ = c.fluidQ[1:]
+	// Restore the message bound at the front of pendBounds (it precedes
+	// every bound still there) so sendSegment re-attaches it.
+	c.pendBounds = append(c.pendBounds, Bound{})
+	copy(c.pendBounds[1:], c.pendBounds)
+	c.pendBounds[0] = Bound{End: r.end, Meta: r.meta}
+	c.trySend()
+}
+
+// injectFluidNotice delivers the macro segment for a completed fluid
+// range directly at the destination node: the payload already crossed
+// the network as fluid, so the notice takes no link resources and
+// cannot be lost. completedAt becomes TSVal so the receiver's ACK
+// yields a true path-RTT sample; pass 0 (RTO resends) to suppress the
+// sample, Karn-style.
+func (c *Conn) injectFluidNotice(seq, end uint64, meta any, completedAt time.Duration) {
+	if c.state == stateClosed {
+		return
+	}
+	dst := c.host.net.NodeByAddr(c.flow.Dst)
+	if dst == nil {
+		return
+	}
+	s := c.host.allocSeg()
+	s.Kind = SegDATA
+	s.Wnd = rcvWindow
+	s.TSVal = completedAt
+	s.TSEcr = c.lastTSVal
+	s.Seq = seq
+	s.Len = int(end - seq)
+	s.Bounds = append(s.Bounds[:0], Bound{End: end, Meta: meta})
+	p := c.host.net.AllocPacket()
+	p.Flow = c.flow
+	p.Size = ctrlSize // the data went fluid; this is only the delivery notice
+	p.Mark = c.opts.Mark
+	p.Payload = s //meshvet:allow poolescape the segment rides in the packet; the receiving host frees it after handling
+	dst.Inject(p)
+}
+
+// resendFluidNotice re-announces the oldest unacked fluid span — the
+// RTO path for a lost ACK of a fluid delivery. TSVal 0 suppresses RTT
+// sampling from the retransmit.
+func (c *Conn) resendFluidNotice() {
+	if len(c.fluidSpans) == 0 {
+		return
+	}
+	sp := c.fluidSpans[0]
+	c.injectFluidNotice(sp.seq, sp.end, sp.meta, 0)
+}
+
+// ackFluidSpans consumes fluid spans cumulatively acked up to upTo and
+// returns how many fluid bytes that covered — bytes the congestion
+// controller must not be credited with.
+func (c *Conn) ackFluidSpans(upTo uint64) int {
+	if len(c.fluidSpans) == 0 {
+		return 0
+	}
+	n := 0
+	keep := c.fluidSpans[:0]
+	for _, sp := range c.fluidSpans {
+		switch {
+		case sp.end <= upTo:
+			n += int(sp.end - sp.seq)
+		case sp.seq < upTo:
+			n += int(upTo - sp.seq)
+			sp.seq = upTo
+			keep = append(keep, sp)
+		default:
+			keep = append(keep, sp)
+		}
+	}
+	c.fluidSpans = keep
+	return n
+}
+
+// fluidOutstanding returns fluid-delivered bytes not yet acked. They
+// are excluded from packet window math: the engine's fair share, not
+// cwnd, governed them.
+func (c *Conn) fluidOutstanding() uint64 {
+	var n uint64
+	for _, sp := range c.fluidSpans {
+		n += sp.end - sp.seq
+	}
+	return n
+}
+
+// cancelFluid releases the active flow at teardown.
+func (c *Conn) cancelFluid() {
+	if !c.fluidActive {
+		return
+	}
+	if eng := c.host.net.FlowEngine(); eng != nil {
+		eng.Cancel(c.fluidID)
+	}
+	c.fluidActive = false
+	c.fluidID = 0
+}

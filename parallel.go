@@ -19,7 +19,17 @@ var MaxParallel = runtime.GOMAXPROCS(0)
 // must write its result only to slots owned by index i — never to
 // state shared across indices.
 func runIndexed(n int, fn func(i int)) {
-	workers := MaxParallel
+	runIndexedWorkers(n, MaxParallel, fn)
+}
+
+// runIndexedWorkers is runIndexed with an explicit worker bound, for
+// callers that need a specific parallelism for one sweep (a sequential
+// reference arm, say) without mutating the MaxParallel global out from
+// under concurrent sweeps. workers <= 0 selects MaxParallel.
+func runIndexedWorkers(n, workers int, fn func(i int)) {
+	if workers <= 0 {
+		workers = MaxParallel
+	}
 	if workers > n {
 		workers = n
 	}
