@@ -11,10 +11,16 @@ vet:
 	go vet ./...
 
 # meshvet (cmd/meshvet, internal/lint) machine-checks the simulator's
-# determinism, pooling, and concurrency invariants: no wall clock or
-# global randomness in sim code, no order-dependent range-over-map, no
-# pooled-value retention, index-owned writes in parallel sweeps, no
-# routing-state mutation outside the control-plane push path.
+# invariants — ten analyzers sharing a cross-package fact store: no
+# wall clock or global randomness in sim code, no order-dependent
+# range-over-map, no pooled-value retention, index-owned writes in
+# parallel sweeps, no routing-state mutation outside the control-plane
+# push path, x-mesh-* headers only through the internal/mesh registry,
+# FlowEngine scratch/pool/timer hygiene, metric names as registered
+# constants, and single-owner simnet.Timer discipline.
+# `go run ./cmd/meshvet -doc` prints each analyzer's documentation;
+# -json/-github emit machine-readable reports, -fix applies the
+# headerreg literal -> constant rewrites.
 lint:
 	go run ./cmd/meshvet ./...
 
@@ -23,9 +29,13 @@ test:
 
 # Short-mode suite under the race detector: the quick leg that
 # complements the indexowned analyzer (static ownership proofs) with
-# runtime interleaving checks.
+# runtime interleaving checks. The explicit legs pin the PR 8 fluid
+# fast path: the full flow-engine suite (not just short mode) and the
+# hybrid cross-validation harness both replay under -race.
 race:
 	go test -race -short -timeout 10m ./...
+	go test -race -timeout 10m -run 'Flow|Fluid|Hybrid' ./internal/simnet
+	go test -race -short -timeout 10m -run TestHybridCrossValidation .
 
 bench:
 	go test -bench=. -benchtime=1x -run=^$$ .

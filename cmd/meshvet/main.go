@@ -1,36 +1,73 @@
 // Command meshvet runs the meshlayer invariant analyzers (see
 // internal/lint) over the module and exits non-zero on any finding.
-// It is the machine-checked form of the determinism, pooling, and
-// concurrency rules that PRs 2–3 established by hand:
+// It is the machine-checked form of the determinism, pooling,
+// concurrency, and (since the federation/fluid era) header, metric,
+// and timer-ownership rules:
 //
 //	walltime    no wall-clock reads in sim code
 //	globalrand  no process-global randomness in sim code
 //	mapiter     no order-dependent work inside range-over-map
 //	poolescape  no retention of //meshvet:pooled values past Release
 //	indexowned  runIndexed workers write only index-owned slots
+//	ctlwrite    routing state mutated only by sanctioned writers
+//	headerreg   x-mesh-* headers through the internal/mesh registry
+//	fluidstate  FlowEngine scratch/pool/timer hygiene
+//	metricdecl  metric names as registered constants, one kind each
+//	timerown    captured simnet.Timers cancelled, owned once, or returned
 //
 // Usage:
 //
-//	go run ./cmd/meshvet [packages]   (default ./...)
+//	go run ./cmd/meshvet [flags] [packages]   (default ./...)
+//
+//	-doc       print each analyzer's documentation and exit
+//	-json      emit diagnostics as a JSON array on stdout
+//	-o file    also write the JSON report to file (implies collecting it)
+//	-github    emit GitHub Actions workflow annotations (::error ...)
+//	-fix       apply suggested fixes (headerreg literal -> constant)
 //
 // Run it from inside the module: package loading and the source
 // importer resolve module-local imports through the go command.
 // Justified exceptions are annotated in source with
-// //meshvet:allow <analyzer> <reason>; `meshvet -doc` prints each
-// analyzer's full documentation.
+// //meshvet:allow <analyzer> <reason>.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"go/token"
 	"os"
+	"path/filepath"
+	"sort"
+	"strings"
 
 	"meshlayer/internal/lint"
 )
 
+// jsonDiagnostic is the machine-readable form of one finding. Offsets
+// are byte offsets into the named file, so editors and the -fix
+// applier agree on the span without re-tokenizing.
+type jsonDiagnostic struct {
+	File     string   `json:"file"`
+	Line     int      `json:"line"`
+	Col      int      `json:"col"`
+	Analyzer string   `json:"analyzer"`
+	Message  string   `json:"message"`
+	Fix      *jsonFix `json:"fix,omitempty"`
+}
+
+type jsonFix struct {
+	StartOffset int    `json:"start_offset"`
+	EndOffset   int    `json:"end_offset"`
+	NewText     string `json:"new_text"`
+}
+
 func main() {
 	doc := flag.Bool("doc", false, "print each analyzer's documentation and exit")
+	asJSON := flag.Bool("json", false, "emit diagnostics as JSON on stdout")
+	outFile := flag.String("o", "", "write the JSON report to this file")
+	github := flag.Bool("github", false, "emit GitHub Actions ::error annotations")
+	applyFix := flag.Bool("fix", false, "apply suggested fixes to the source files")
 	flag.Parse()
 	if *doc {
 		for _, a := range lint.All {
@@ -50,11 +87,147 @@ func main() {
 		os.Exit(2)
 	}
 	diags := lint.Run(fset, pkgs, lint.All)
-	for _, d := range diags {
-		fmt.Println(d.String())
+
+	if *applyFix {
+		fixed, err := applyFixes(diags)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "meshvet: -fix: %v\n", err)
+			os.Exit(2)
+		}
+		diags = remaining(diags)
+		fmt.Fprintf(os.Stderr, "meshvet: applied %d fix(es), %d diagnostic(s) remain\n", fixed, len(diags))
 	}
+
+	report := make([]jsonDiagnostic, 0, len(diags))
+	for _, d := range diags {
+		jd := jsonDiagnostic{
+			File:     relPath(d.Pos.Filename),
+			Line:     d.Pos.Line,
+			Col:      d.Pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		}
+		if d.Fix != nil {
+			jd.Fix = &jsonFix{
+				StartOffset: d.Fix.Start.Offset,
+				EndOffset:   d.Fix.End.Offset,
+				NewText:     d.Fix.NewText,
+			}
+		}
+		report = append(report, jd)
+	}
+
+	if *outFile != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "meshvet: %v\n", err)
+			os.Exit(2)
+		}
+		if err := os.WriteFile(*outFile, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "meshvet: %v\n", err)
+			os.Exit(2)
+		}
+	}
+
+	switch {
+	case *asJSON:
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			fmt.Fprintf(os.Stderr, "meshvet: %v\n", err)
+			os.Exit(2)
+		}
+	case *github:
+		for _, jd := range report {
+			fmt.Printf("::error file=%s,line=%d,col=%d,title=meshvet %s::%s\n",
+				jd.File, jd.Line, jd.Col, jd.Analyzer, escapeAnnotation(jd.Message))
+		}
+	default:
+		for _, d := range diags {
+			fmt.Println(d.String())
+		}
+	}
+
 	if n := len(diags); n > 0 {
 		fmt.Fprintf(os.Stderr, "meshvet: %d issue(s) in %d package(s)\n", n, len(pkgs))
 		os.Exit(1)
 	}
+}
+
+// relPath renders filename relative to the working directory so
+// annotations and reports are repo-relative regardless of how the
+// loader resolved them.
+func relPath(filename string) string {
+	wd, err := os.Getwd()
+	if err != nil {
+		return filename
+	}
+	rel, err := filepath.Rel(wd, filename)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return filename
+	}
+	return filepath.ToSlash(rel)
+}
+
+// escapeAnnotation applies the GitHub workflow-command escaping rules
+// to a message (the data portion of ::error).
+func escapeAnnotation(s string) string {
+	s = strings.ReplaceAll(s, "%", "%25")
+	s = strings.ReplaceAll(s, "\r", "%0D")
+	s = strings.ReplaceAll(s, "\n", "%0A")
+	return s
+}
+
+// applyFixes rewrites the source files with every suggested fix,
+// returning how many were applied. Fixes within one file are applied
+// back-to-front so earlier offsets stay valid; overlapping fixes abort
+// rather than corrupt the file.
+func applyFixes(diags []lint.Diagnostic) (int, error) {
+	byFile := map[string][]*lint.SuggestedFix{}
+	for i := range diags {
+		if f := diags[i].Fix; f != nil {
+			byFile[f.Start.Filename] = append(byFile[f.Start.Filename], f)
+		}
+	}
+	applied := 0
+	files := make([]string, 0, len(byFile))
+	for f := range byFile {
+		files = append(files, f)
+	}
+	sort.Strings(files)
+	for _, filename := range files {
+		fixes := byFile[filename]
+		sort.Slice(fixes, func(i, j int) bool { return fixes[i].Start.Offset > fixes[j].Start.Offset })
+		for i := 1; i < len(fixes); i++ {
+			if fixes[i].End.Offset > fixes[i-1].Start.Offset {
+				return applied, fmt.Errorf("%s: overlapping suggested fixes", filename)
+			}
+		}
+		src, err := os.ReadFile(filename)
+		if err != nil {
+			return applied, err
+		}
+		for _, f := range fixes {
+			if f.Start.Offset < 0 || f.End.Offset > len(src) || f.Start.Offset > f.End.Offset {
+				return applied, fmt.Errorf("%s: fix span [%d,%d) outside file", filename, f.Start.Offset, f.End.Offset)
+			}
+			src = append(src[:f.Start.Offset], append([]byte(f.NewText), src[f.End.Offset:]...)...)
+			applied++
+		}
+		if err := os.WriteFile(filename, src, 0o644); err != nil {
+			return applied, err
+		}
+	}
+	return applied, nil
+}
+
+// remaining filters out the diagnostics whose fixes were just applied.
+func remaining(diags []lint.Diagnostic) []lint.Diagnostic {
+	out := diags[:0]
+	for _, d := range diags {
+		if d.Fix == nil {
+			out = append(out, d)
+		}
+	}
+	return out
 }

@@ -6,6 +6,7 @@ import (
 
 	"meshlayer/internal/app"
 	"meshlayer/internal/chaos"
+	"meshlayer/internal/ctrlplane"
 	"meshlayer/internal/mesh"
 	"meshlayer/internal/workload"
 )
@@ -193,7 +194,7 @@ func runCtrlPlaneOnce(name string, zones int, dist bool, debounce time.Duration,
 		row.Timeouts, row.Resyncs = st.Timeouts, st.Resyncs
 		row.MaxLag = st.MaxLag
 		row.StaleP99 = e.Mesh.Metrics().
-			Histogram("ctrlplane_staleness_seconds", nil).QuantileDuration(0.99)
+			Histogram(ctrlplane.MetricStalenessSeconds, nil).QuantileDuration(0.99)
 	}
 	return row
 }

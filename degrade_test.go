@@ -50,7 +50,7 @@ func TestDegradedFallbackPropagation(t *testing.T) {
 		t.Fatalf("status = %d, want 200", gotResp.Status)
 	}
 	if got := gotResp.Headers.Get(mesh.HeaderDegraded); got != "ratings" {
-		t.Fatalf("x-mesh-degraded = %q, want %q", got, "ratings")
+		t.Fatalf("%s = %q, want %q", mesh.HeaderDegraded, got, "ratings")
 	}
 	if n := e.Mesh.Metrics().CounterTotal("mesh_fallback_served_total"); n == 0 {
 		t.Fatal("no fallback recorded")

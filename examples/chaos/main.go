@@ -42,7 +42,7 @@ func main() {
 		ec := app.BuildECommerce(app.ECommerceConfig{Seed: 42})
 		ec.Mesh.ControlPlane().SetRateLimit("db", mesh.RateLimitPolicy{RPS: 30, Burst: 5})
 		r := drive(ec)
-		limited := ec.Mesh.Metrics().Counter("mesh_requests_total",
+		limited := ec.Mesh.Metrics().Counter(mesh.MetricRequestsTotal,
 			map[string]string{"service": "db", "direction": "inbound", "code": "429"}).Value()
 		fmt.Printf("    measured=%d p99=%v, db rejections (429): %d\n", r.Measured, r.P99(), limited)
 	}

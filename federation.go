@@ -7,6 +7,7 @@ import (
 
 	"meshlayer/internal/app"
 	"meshlayer/internal/chaos"
+	"meshlayer/internal/ctrlplane"
 	"meshlayer/internal/mesh"
 )
 
@@ -217,7 +218,7 @@ func runFederationOnce(name, ladder string, fallback, withFaults bool,
 	}
 	if federated {
 		row.StaleP99 = e.Mesh.Metrics().
-			Histogram("ctrlplane_staleness_seconds", nil).QuantileDuration(0.99)
+			Histogram(ctrlplane.MetricStalenessSeconds, nil).QuantileDuration(0.99)
 	}
 	return row
 }

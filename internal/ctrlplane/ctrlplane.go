@@ -265,6 +265,7 @@ func (s *Server) stage() {
 		return
 	}
 	s.flushArmed = true
+	s.flushTimer.Cancel() // fired or cancelled when !flushArmed; cancel before re-arm
 	s.flushTimer = s.cfg.Sched.After(s.cfg.Debounce+s.hold, s.flush)
 }
 
@@ -307,7 +308,7 @@ func (s *Server) pushTo(sub *subscriber) {
 	}
 	s.stats.WireBytes += uint64(u.WireBytes)
 	if s.cfg.Metrics != nil {
-		s.cfg.Metrics.Counter("ctrlplane_push_bytes_total", nil).Add(uint64(u.WireBytes))
+		s.cfg.Metrics.Counter(MetricPushBytesTotal, nil).Add(uint64(u.WireBytes))
 	}
 	sub.inflight = true
 	s.cfg.Transport.Push(sub.name, u, func(ack bool, err error) {
@@ -398,11 +399,20 @@ const (
 	resourceHeaderBytes = 24
 )
 
+// Metric families (meshvet's metricdecl: names are constants, declared
+// once; MetricStalenessSeconds is also read by the experiment tables).
+const (
+	MetricPushTotal        = "ctrlplane_push_total"
+	MetricPushBytesTotal   = "ctrlplane_push_bytes_total"
+	MetricStalenessSeconds = "ctrlplane_staleness_seconds"
+	MetricVersionLag       = "ctrlplane_version_lag"
+)
+
 func (s *Server) pushResult(typ, result string) {
 	if s.cfg.Metrics == nil {
 		return
 	}
-	s.cfg.Metrics.Counter("ctrlplane_push_total", metrics.Labels{"type": typ, "result": result}).Inc()
+	s.cfg.Metrics.Counter(MetricPushTotal, metrics.Labels{"type": typ, "result": result}).Inc()
 }
 
 // observeStaleness records, per acknowledged resource the subscriber
@@ -420,7 +430,7 @@ func (s *Server) observeStaleness(u *Update, base uint64) {
 		if u.Resources[i].Version <= base {
 			continue
 		}
-		s.cfg.Metrics.ObserveDuration("ctrlplane_staleness_seconds", nil, now-u.Resources[i].ChangedAt)
+		s.cfg.Metrics.ObserveDuration(MetricStalenessSeconds, nil, now-u.Resources[i].ChangedAt)
 	}
 }
 
@@ -428,6 +438,6 @@ func (s *Server) setLagGauge(sub *subscriber) {
 	if s.cfg.Metrics == nil {
 		return
 	}
-	s.cfg.Metrics.Gauge("ctrlplane_version_lag", metrics.Labels{"subscriber": sub.name}).
+	s.cfg.Metrics.Gauge(MetricVersionLag, metrics.Labels{"subscriber": sub.name}).
 		Set(float64(s.version - sub.version))
 }

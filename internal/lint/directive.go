@@ -44,10 +44,10 @@ func (fd *fileDirectives) suppressed(analyzer string, line int) bool {
 }
 
 // parseDirectives scans every comment in file, validates meshvet
-// directives, and returns the suppression table plus the qualified
-// names of types this file marks //meshvet:pooled. Malformed
-// directives are appended to diags under the reserved "directive"
-// analyzer name.
+// directives, and returns the suppression table plus the names of
+// types this file marks //meshvet:pooled (resolved to objects — and
+// exported as PooledFacts — by Run). Malformed directives are appended
+// to diags under the reserved "directive" analyzer name.
 func parseDirectives(fset *token.FileSet, file *ast.File, pkgPath string, diags *[]Diagnostic) (*fileDirectives, []string) {
 	fd := &fileDirectives{allows: map[allowKey]bool{}}
 	var pooled []string
@@ -141,7 +141,7 @@ func parseDirectives(fset *token.FileSet, file *ast.File, pkgPath string, diags 
 					report(c.Pos(), "//meshvet:pooled must be attached to a type declaration (doc comment or same line)")
 					continue
 				}
-				pooled = append(pooled, pkgPath+"."+typeName)
+				pooled = append(pooled, typeName)
 			default:
 				report(c.Pos(), "unknown meshvet directive %q (known: allow, pooled)", verb)
 			}

@@ -63,9 +63,9 @@ type U struct{} //meshvet:pooled
 var NotAType = 1 //meshvet:pooled
 `
 	_, _, pooled, diags := parseSrc(t, src)
-	want := map[string]bool{"example.com/p.T": true, "example.com/p.U": true}
+	want := map[string]bool{"T": true, "U": true}
 	if len(pooled) != 2 || !want[pooled[0]] || !want[pooled[1]] {
-		t.Errorf("pooled = %v, want T and U qualified by the package path", pooled)
+		t.Errorf("pooled = %v, want the bare names T and U (facts key them by object)", pooled)
 	}
 	if len(diags) != 1 || !strings.Contains(diags[0].Message, "must be attached to a type declaration") {
 		t.Errorf("detached pooled marker must be a diagnostic, got %v", diags)

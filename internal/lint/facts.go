@@ -1,0 +1,128 @@
+package lint
+
+import (
+	"go/types"
+	"reflect"
+)
+
+// Cross-package facts, the lightweight analogue of go/analysis facts.
+//
+// An analyzer running on a package may attach a Fact to any
+// types.Object it can see — typically an exported declaration, since
+// only those are referenceable downstream. When a dependent package is
+// analyzed later (Run processes packages in dependency order, and the
+// loader type-checks every module-local package exactly once so object
+// identity holds across package boundaries), the same analyzer imports
+// those facts to reason about declarations it did not itself visit:
+// "this const is a registered mesh header", "this type is pooled",
+// "this name is already registered as a counter".
+//
+// Facts are namespaced per analyzer: headerreg cannot see metricdecl's
+// facts. The reserved "pooled" namespace carries the //meshvet:pooled
+// directive markings the framework itself exports before any analyzer
+// runs (see Run), so every analyzer can ask about pooled types through
+// Pass.pooledType without re-parsing directives.
+
+// Fact is a marker interface for fact types. Implementations must be
+// pointer types so ImportObjectFact can fill the caller's copy.
+type Fact interface{ AFact() }
+
+// ObjectFact pairs an object with one fact attached to it.
+type ObjectFact struct {
+	Object types.Object
+	Fact   Fact
+}
+
+// pooledNS is the reserved fact namespace for //meshvet:pooled type
+// markings, exported by the framework during directive parsing.
+const pooledNS = "pooled"
+
+// PooledFact marks a type declaration as pool-recycled
+// (//meshvet:pooled). It lives in the reserved "pooled" namespace.
+type PooledFact struct{}
+
+func (*PooledFact) AFact() {}
+
+type factKey struct {
+	ns  string
+	obj types.Object
+}
+
+// factStore holds every fact exported during one Run, in deterministic
+// insertion order (packages are processed in dependency order, files
+// and declarations in source order).
+type factStore struct {
+	byKey map[factKey][]Fact
+	order map[string][]ObjectFact
+}
+
+func newFactStore() *factStore {
+	return &factStore{
+		byKey: map[factKey][]Fact{},
+		order: map[string][]ObjectFact{},
+	}
+}
+
+func (s *factStore) export(ns string, obj types.Object, fact Fact) {
+	k := factKey{ns, obj}
+	s.byKey[k] = append(s.byKey[k], fact)
+	s.order[ns] = append(s.order[ns], ObjectFact{Object: obj, Fact: fact})
+}
+
+// get returns the first fact on obj in ns whose dynamic type matches
+// fact's, or nil.
+func (s *factStore) get(ns string, obj types.Object, fact Fact) Fact {
+	want := reflect.TypeOf(fact)
+	for _, f := range s.byKey[factKey{ns, obj}] {
+		if reflect.TypeOf(f) == want {
+			return f
+		}
+	}
+	return nil
+}
+
+// all returns every fact in ns with fact's dynamic type, in export
+// order.
+func (s *factStore) all(ns string, fact Fact) []ObjectFact {
+	want := reflect.TypeOf(fact)
+	var out []ObjectFact
+	for _, of := range s.order[ns] {
+		if reflect.TypeOf(of.Fact) == want {
+			out = append(out, of)
+		}
+	}
+	return out
+}
+
+// ExportObjectFact attaches fact to obj in the running analyzer's
+// namespace, making it visible to the same analyzer in this and every
+// dependent package.
+func (p *Pass) ExportObjectFact(obj types.Object, fact Fact) {
+	if obj == nil || fact == nil {
+		panic("lint: ExportObjectFact with nil object or fact")
+	}
+	p.store.export(p.Analyzer.Name, obj, fact)
+}
+
+// ImportObjectFact copies into fact the fact of fact's type previously
+// exported on obj by this analyzer (in this package or a dependency),
+// reporting whether one was found. fact must be a non-nil pointer.
+func (p *Pass) ImportObjectFact(obj types.Object, fact Fact) bool {
+	if obj == nil {
+		return false
+	}
+	got := p.store.get(p.Analyzer.Name, obj, fact)
+	if got == nil {
+		return false
+	}
+	rv := reflect.ValueOf(fact)
+	rv.Elem().Set(reflect.ValueOf(got).Elem())
+	return true
+}
+
+// AllObjectFacts lists every fact of example's dynamic type exported by
+// this analyzer so far, in deterministic export order — declarations in
+// dependencies first, then this package's in source order.
+func (p *Pass) AllObjectFacts(example Fact) []ObjectFact {
+	return p.store.all(p.Analyzer.Name, example)
+}

@@ -1,0 +1,296 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Fluidstate pins the PR 8 FlowEngine hygiene rules — the ones whose
+// violation shows up as a wrong rate (stale scratch), a corrupted
+// transfer (pooled flow read after free), or a silently stuck
+// simulation (orphaned completion timer), none of which fail loudly:
+//
+//  1. Scratch ownership. The per-NIC fluid scratch fields (fluidRate,
+//     fluidCap, fluidCnt, fluidSeen) are owned by FlowEngine's
+//     recompute cycle: only FlowEngine methods may write them.
+//  2. Reset before rebuild. A FlowEngine method that rebuilds scratch
+//     state (writes any non-zero value into it) must first reset all
+//     four fields to their zero values — the previous active set's
+//     numbers are garbage for the new one.
+//  3. No use after free. Once a fluid flow is handed to
+//     FlowEngine.free it belongs to the pool; reading it afterwards
+//     reads the next transfer's state. Capture what the continuation
+//     needs (the callback, the id) before freeing. The check is
+//     textual within the enclosing function, matching the engine's
+//     straight-line free sites.
+//  4. Cancel before re-arm. The engine's single completion timer may
+//     only be replaced by a fresh timer after the pending one is
+//     cancelled in the same function — an orphaned completion fires
+//     into a recomputed flow set and completes the wrong flow. (This
+//     is the demotion-path discipline: every demotion funnels through
+//     a refresh that cancels before re-arming.)
+//
+// The analyzer applies inside meshlayer/internal/simnet (and the
+// meshvet testdata packages); the types are matched by name there.
+var Fluidstate = &Analyzer{
+	Name: "fluidstate",
+	Doc:  "FlowEngine hygiene: scratch reset before rebuild, no pooled-flow use after free, completion timer cancelled before re-arm",
+	Run:  runFluidstate,
+}
+
+// fluidScratchFields are the per-NIC scratch fields owned by
+// FlowEngine.recompute.
+var fluidScratchFields = map[string]bool{
+	"fluidRate": true,
+	"fluidCap":  true,
+	"fluidCnt":  true,
+	"fluidSeen": true,
+}
+
+func fluidPkgAllowed(path string) bool {
+	return path == "meshlayer/internal/simnet" || strings.HasPrefix(path, "meshvet/testdata/")
+}
+
+// fluidNamedIs reports whether t (behind pointers) is the named type
+// `name` declared in a fluidstate-scoped package.
+func fluidNamedIs(pass *Pass, t types.Type, name string) bool {
+	for {
+		ptr, ok := t.(*types.Pointer)
+		if !ok {
+			break
+		}
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Name() == name && obj.Pkg() != nil && fluidPkgAllowed(obj.Pkg().Path())
+}
+
+func runFluidstate(pass *Pass) {
+	if !fluidPkgAllowed(pass.Pkg.Path()) {
+		return
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fn, ok := decl.(*ast.FuncDecl); ok && fn.Body != nil {
+				checkFluidFunc(pass, fn)
+			}
+		}
+	}
+}
+
+func checkFluidFunc(pass *Pass, fn *ast.FuncDecl) {
+	isEngineMethod := fn.Recv != nil && len(fn.Recv.List) > 0 &&
+		fluidNamedIs(pass, pass.TypeOf(fn.Recv.List[0].Type), "FlowEngine")
+
+	// Rule 1 + 2: collect scratch writes, split into resets (zero
+	// value) and rebuilds (anything else).
+	resetPos := map[string]token.Pos{} // field -> earliest reset position
+	var firstBuild token.Pos
+	var firstBuildField string
+	noteWrite := func(field string, pos token.Pos, reset bool) {
+		if !isEngineMethod {
+			pass.Reportf(pos,
+				"NIC fluid scratch field %s written outside a FlowEngine method; the scratch is owned by the engine's recompute cycle", field)
+			return
+		}
+		if reset {
+			if old, ok := resetPos[field]; !ok || pos < old {
+				resetPos[field] = pos
+			}
+			return
+		}
+		if firstBuild == token.NoPos || pos < firstBuild {
+			firstBuild, firstBuildField = pos, field
+		}
+	}
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				field, ok := fluidScratchTarget(pass, lhs)
+				if !ok {
+					continue
+				}
+				reset := false
+				if len(n.Lhs) == len(n.Rhs) && n.Tok == token.ASSIGN {
+					reset = isZeroExpr(n.Rhs[i])
+				}
+				noteWrite(field, lhs.Pos(), reset)
+			}
+			checkFluidTimerArm(pass, fn, n)
+		case *ast.IncDecStmt:
+			if field, ok := fluidScratchTarget(pass, n.X); ok {
+				noteWrite(field, n.X.Pos(), false)
+			}
+		}
+		return true
+	})
+
+	if firstBuild != token.NoPos {
+		for field := range fluidScratchFields {
+			if pos, ok := resetPos[field]; !ok || pos >= firstBuild {
+				pass.Reportf(firstBuild,
+					"fluid scratch rebuild (%s) without first resetting %s; reset all four scratch fields before reuse — the previous flow set's values are stale",
+					firstBuildField, field)
+			}
+		}
+	}
+
+	checkFluidUseAfterFree(pass, fn)
+}
+
+// fluidScratchTarget reports whether expr writes a fluid scratch field
+// of a NIC, returning the field name.
+func fluidScratchTarget(pass *Pass, expr ast.Expr) (string, bool) {
+	sel, ok := expr.(*ast.SelectorExpr)
+	if !ok || !fluidScratchFields[sel.Sel.Name] {
+		return "", false
+	}
+	if !fluidNamedIs(pass, pass.TypeOf(sel.X), "NIC") {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}
+
+// isZeroExpr recognizes the zero values the reset idiom uses: 0, 0.0,
+// false, and nil.
+func isZeroExpr(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.BasicLit:
+		return e.Value == "0" || e.Value == "0.0"
+	case *ast.Ident:
+		return e.Name == "false" || e.Name == "nil"
+	}
+	return false
+}
+
+// checkFluidTimerArm enforces rule 4 on one assignment: replacing the
+// engine's completion timer with a freshly scheduled one requires a
+// textually earlier <recv>.timer.Cancel() in the same function.
+// Assigning the zero Timer (a composite literal) is the "consumed"
+// marker and is always allowed.
+func checkFluidTimerArm(pass *Pass, fn *ast.FuncDecl, n *ast.AssignStmt) {
+	if len(n.Lhs) != len(n.Rhs) {
+		return
+	}
+	for i, lhs := range n.Lhs {
+		sel, ok := lhs.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "timer" || !fluidNamedIs(pass, pass.TypeOf(sel.X), "FlowEngine") {
+			continue
+		}
+		if _, isLit := n.Rhs[i].(*ast.CompositeLit); isLit {
+			continue
+		}
+		if !cancelledBefore(pass, fn, types.ExprString(sel), lhs.Pos()) {
+			pass.Reportf(lhs.Pos(),
+				"completion timer %s re-armed without cancelling the pending timer first; an orphaned completion fires into a recomputed flow set",
+				types.ExprString(sel))
+		}
+	}
+}
+
+// cancelledBefore reports whether fn contains a call <target>.Cancel()
+// at a position before pos.
+func cancelledBefore(pass *Pass, fn *ast.FuncDecl, target string, pos token.Pos) bool {
+	found := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() >= pos {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Cancel" {
+			return true
+		}
+		if types.ExprString(sel.X) == target {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// checkFluidUseAfterFree enforces rule 3: after a variable is passed to
+// FlowEngine.free, later uses of it in the same function are flagged,
+// until (if ever) the variable is wholly reassigned.
+func checkFluidUseAfterFree(pass *Pass, fn *ast.FuncDecl) {
+	// freed maps a variable object to the end position of its free call.
+	freed := map[types.Object]token.Pos{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) != 1 {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "free" || !fluidNamedIs(pass, pass.TypeOf(sel.X), "FlowEngine") {
+			return true
+		}
+		if id, ok := call.Args[0].(*ast.Ident); ok {
+			if obj := pass.Info.ObjectOf(id); obj != nil {
+				if old, dup := freed[obj]; !dup || call.End() < old {
+					freed[obj] = call.End()
+				}
+			}
+		}
+		return true
+	})
+	if len(freed) == 0 {
+		return
+	}
+
+	// A whole-variable reassignment re-validates the handle from that
+	// point on.
+	revalidated := map[types.Object]token.Pos{}
+	reassigned := map[*ast.Ident]bool{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj := pass.Info.ObjectOf(id)
+			if obj == nil {
+				continue
+			}
+			if end, wasFreed := freed[obj]; wasFreed && id.Pos() > end {
+				reassigned[id] = true
+				if old, ok := revalidated[obj]; !ok || id.Pos() < old {
+					revalidated[obj] = id.Pos()
+				}
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || reassigned[id] {
+			return true
+		}
+		obj := pass.Info.ObjectOf(id)
+		if obj == nil {
+			return true
+		}
+		end, wasFreed := freed[obj]
+		if !wasFreed || id.Pos() <= end {
+			return true
+		}
+		if rev, ok := revalidated[obj]; ok && id.Pos() > rev {
+			return true
+		}
+		pass.Reportf(id.Pos(),
+			"pooled flow %s used after FlowEngine.free returned it to the pool; capture what the continuation needs before freeing", id.Name)
+		return true
+	})
+}

@@ -1,0 +1,185 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"strings"
+)
+
+// Headerreg pins the mesh-header provenance invariant that PRs 5–7
+// made load-bearing: every `x-mesh-*` header the mesh stamps, reads,
+// or strips (`x-mesh-degraded` honesty, `x-mesh-region` provenance,
+// the east-west and control-plane envelopes) is a named constant in
+// one registry — internal/mesh/headers.go — and every use goes
+// through that constant. A raw "x-mesh-..." string anywhere else is
+// one typo away from a header that silently never matches, which is
+// exactly how a degraded response loses its provenance stamp.
+//
+// Mechanically:
+//
+//   - A const whose string value starts with "x-mesh-" declared in the
+//     registry file exports a MeshHeaderFact, making the registration
+//     visible to every dependent package.
+//   - A const with an x-mesh value declared anywhere else is flagged:
+//     registrations live in the registry.
+//   - Any other string literal starting with "x-mesh-" is flagged.
+//     When the literal equals a registered header's value the
+//     diagnostic carries a suggested fix replacing the literal with
+//     the registry constant (`meshvet -fix` applies it).
+//
+// The registry file is headers.go in meshlayer/internal/mesh (or in a
+// meshvet/testdata package, for the analyzer's own test suite).
+var Headerreg = &Analyzer{
+	Name: "headerreg",
+	Doc:  "require every x-mesh-* header string to be a constant in the internal/mesh header registry, referenced through it",
+	Run:  runHeaderreg,
+}
+
+// MeshHeaderFact marks a const as a registered mesh header.
+type MeshHeaderFact struct {
+	Value string
+}
+
+func (*MeshHeaderFact) AFact() {}
+
+// meshHeaderPrefix is the namespace the registry owns.
+const meshHeaderPrefix = "x-mesh-"
+
+// headerRegistryFile reports whether the file at filename, in the
+// package being analyzed, is the header registry.
+func headerRegistryFile(pkgPath, filename string) bool {
+	if filepath.Base(filename) != "headers.go" {
+		return false
+	}
+	return pkgPath == "meshlayer/internal/mesh" || strings.HasPrefix(pkgPath, "meshvet/testdata/")
+}
+
+func runHeaderreg(pass *Pass) {
+	// Pass 1: collect registrations (and misplaced registrations) from
+	// const declarations, remembering every literal that forms a const
+	// value so pass 2 does not double-report it.
+	constLits := map[*ast.BasicLit]bool{}
+	for _, f := range pass.Files {
+		filename := pass.Fset.Position(f.Pos()).Filename
+		inRegistry := headerRegistryFile(pass.Pkg.Path(), filename)
+		seen := map[string]*ast.Ident{} // registry value -> first declaring ident
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.CONST {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					obj, ok := pass.Info.Defs[name].(*types.Const)
+					if !ok || obj.Val().Kind() != constant.String {
+						continue
+					}
+					v := constant.StringVal(obj.Val())
+					// The bare prefix is a namespace, not a header name;
+					// prefix-matching code may hold it without registering.
+					if !strings.HasPrefix(v, meshHeaderPrefix) || v == meshHeaderPrefix {
+						continue
+					}
+					if i < len(vs.Values) {
+						if lit, ok := vs.Values[i].(*ast.BasicLit); ok {
+							constLits[lit] = true
+						}
+					}
+					if !inRegistry {
+						pass.Reportf(name.Pos(),
+							"header constant %s = %q declared outside the header registry; mesh headers are registered in internal/mesh/headers.go",
+							name.Name, v)
+						continue
+					}
+					if prev, dup := seen[v]; dup {
+						pass.Reportf(name.Pos(),
+							"header %q registered twice (%s and %s); one header, one constant", v, prev.Name, name.Name)
+						continue
+					}
+					seen[v] = name
+					pass.ExportObjectFact(obj, &MeshHeaderFact{Value: v})
+				}
+			}
+		}
+	}
+
+	// The full registry visible here: facts from dependencies plus the
+	// ones this package just exported.
+	registered := pass.AllObjectFacts((*MeshHeaderFact)(nil))
+
+	// Pass 2: every other x-mesh string literal is a violation.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			lit, ok := n.(*ast.BasicLit)
+			if !ok || lit.Kind != token.STRING || constLits[lit] {
+				return true
+			}
+			v, err := stringLitValue(lit.Value)
+			if err != nil || !strings.HasPrefix(v, meshHeaderPrefix) || v == meshHeaderPrefix {
+				return true
+			}
+			if obj := headerConstFor(registered, v); obj != nil {
+				ref := headerConstRef(pass, f, obj)
+				pass.ReportfFix(lit.Pos(), lit.End(), ref,
+					"raw mesh header %q; use the registry constant %s", v, ref)
+			} else {
+				pass.Reportf(lit.Pos(),
+					"raw mesh header %q is not in the header registry; add a constant to internal/mesh/headers.go and use it", v)
+			}
+			return true
+		})
+	}
+}
+
+// headerConstFor returns the const object registered for value v.
+func headerConstFor(registered []ObjectFact, v string) types.Object {
+	for _, of := range registered {
+		if of.Fact.(*MeshHeaderFact).Value == v {
+			return of.Object
+		}
+	}
+	return nil
+}
+
+// headerConstRef renders the reference to a registry constant as seen
+// from file f: bare in the registry's own package, qualified by the
+// file's import name for it elsewhere.
+func headerConstRef(pass *Pass, f *ast.File, obj types.Object) string {
+	if obj.Pkg() == pass.Pkg {
+		return obj.Name()
+	}
+	pkgName := obj.Pkg().Name()
+	for _, imp := range f.Imports {
+		path, err := stringLitValue(imp.Path.Value)
+		if err != nil || path != obj.Pkg().Path() {
+			continue
+		}
+		if imp.Name != nil {
+			pkgName = imp.Name.Name
+		}
+		break
+	}
+	return pkgName + "." + obj.Name()
+}
+
+// stringLitValue unquotes a string literal's source text.
+func stringLitValue(src string) (string, error) {
+	v := constant.MakeFromLiteral(src, token.STRING, 0)
+	if v.Kind() != constant.String {
+		return "", errNotString
+	}
+	return constant.StringVal(v), nil
+}
+
+var errNotString = &notStringError{}
+
+type notStringError struct{}
+
+func (*notStringError) Error() string { return "not a string literal" }

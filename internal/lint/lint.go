@@ -17,6 +17,24 @@
 //     index parameter.
 //   - ctlwrite:   sidecar routing state is mutated only through the
 //     control-plane push path.
+//   - headerreg:  every x-mesh-* header string is a constant in the
+//     header registry (internal/mesh/headers.go) and is referenced
+//     through it.
+//   - fluidstate: FlowEngine hygiene — per-NIC fluid scratch reset
+//     before rebuild, no use of a pooled flow after free, completion
+//     timer cancelled before re-arm.
+//   - metricdecl: metric names are named constants at registration
+//     sites, follow the naming convention, and register as one kind.
+//   - timerown:   a captured simnet.Timer is cancelled somewhere or
+//     handed to exactly one owner.
+//
+// Since PR 9 the framework also carries cross-package facts (facts.go):
+// analyzers export facts about declarations ("this const is a
+// registered mesh header", "this const names a counter"), and the same
+// analyzer imports them when it later runs on a dependent package. Run
+// processes packages in dependency order and the loader type-checks
+// each module-local package exactly once, so a types.Object is the one
+// identity for a declaration everywhere it is referenced.
 //
 // Two comment directives configure the suite in source:
 //
@@ -48,7 +66,7 @@ type Analyzer struct {
 // All is the registry of every meshvet analyzer, in reporting order.
 // Directive validation accepts exactly these names (plus the reserved
 // "directive" pseudo-analyzer used for malformed-directive reports).
-var All = []*Analyzer{Walltime, Globalrand, Mapiter, Poolescape, Indexowned, Ctlwrite}
+var All = []*Analyzer{Walltime, Globalrand, Mapiter, Poolescape, Indexowned, Ctlwrite, Headerreg, Fluidstate, Metricdecl, Timerown}
 
 // DirectiveAnalyzerName labels diagnostics produced by directive
 // validation itself. It is reserved: //meshvet:allow cannot suppress it.
@@ -72,12 +90,7 @@ type Pass struct {
 	Pkg      *types.Package
 	Info     *types.Info
 
-	// Pooled holds the qualified names ("pkg/path.TypeName") of every
-	// type marked //meshvet:pooled anywhere in the analyzed module, so
-	// cross-package retention (e.g. mesh code holding a simnet.Packet)
-	// is visible without an analysis-facts mechanism.
-	Pooled map[string]bool
-
+	store *factStore
 	diags *[]Diagnostic
 }
 
@@ -88,6 +101,23 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 		Pos:      p.Fset.Position(pos),
 		Analyzer: p.Analyzer.Name,
 		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// ReportfFix records a diagnostic carrying a machine-applicable
+// suggested edit: replace source bytes [pos, end) with newText. The
+// offsets in the fix are resolved file offsets, so `meshvet -fix` (and
+// any -json consumer) can apply it without re-parsing.
+func (p *Pass) ReportfFix(pos, end token.Pos, newText string, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+		Fix: &SuggestedFix{
+			Start:   p.Fset.Position(pos),
+			End:     p.Fset.Position(end),
+			NewText: newText,
+		},
 	})
 }
 
@@ -104,11 +134,21 @@ func (p *Pass) TypeOf(e ast.Expr) types.Type {
 	return nil
 }
 
-// Diagnostic is one finding at a resolved source position.
+// SuggestedFix is a machine-applicable edit: replace the source bytes
+// from Start.Offset to End.Offset with NewText.
+type SuggestedFix struct {
+	Start   token.Position
+	End     token.Position
+	NewText string
+}
+
+// Diagnostic is one finding at a resolved source position, optionally
+// carrying a suggested edit.
 type Diagnostic struct {
 	Pos      token.Position
 	Analyzer string
 	Message  string
+	Fix      *SuggestedFix
 }
 
 func (d Diagnostic) String() string {
@@ -135,7 +175,10 @@ func sortDiagnostics(ds []Diagnostic) {
 }
 
 // pooledType reports whether t (possibly behind pointers) is a named
-// type marked //meshvet:pooled, returning its display name.
+// type marked //meshvet:pooled, returning its display name. The
+// marking travels as a framework fact in the reserved "pooled"
+// namespace, so cross-package retention (e.g. mesh code holding a
+// simnet.Packet) resolves through object identity.
 func (p *Pass) pooledType(t types.Type) (string, bool) {
 	for {
 		ptr, ok := t.(*types.Pointer)
@@ -152,8 +195,7 @@ func (p *Pass) pooledType(t types.Type) (string, bool) {
 	if obj == nil || obj.Pkg() == nil {
 		return "", false
 	}
-	key := obj.Pkg().Path() + "." + obj.Name()
-	if p.Pooled[key] {
+	if p.store.get(pooledNS, obj, (*PooledFact)(nil)) != nil {
 		return obj.Name(), true
 	}
 	return "", false

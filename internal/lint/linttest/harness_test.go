@@ -1,0 +1,151 @@
+package linttest
+
+import (
+	"go/ast"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"meshlayer/internal/lint"
+)
+
+// boomAnalyzer reports at every identifier spelled "boom" — a
+// deterministic diagnostic source for exercising the harness itself.
+var boomAnalyzer = &lint.Analyzer{
+	Name: "boomtest",
+	Doc:  "reports every identifier named boom",
+	Run: func(p *lint.Pass) {
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if id, ok := n.(*ast.Ident); ok && id.Name == "boom" {
+					p.Reportf(id.Pos(), "boom here")
+				}
+				return true
+			})
+		}
+	},
+}
+
+// writePkg materializes one-file packages for the harness to load.
+func writePkg(t *testing.T, src string) string {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "a.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// TestWantOnFirstLine anchors an expectation on line 1 of the file —
+// the package clause — both directly and via a want@-1 from line 2.
+func TestWantOnFirstLine(t *testing.T) {
+	dir := writePkg(t, `package boom // want "boom here"
+`)
+	problems, err := run(dir, []*lint.Analyzer{boomAnalyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 0 {
+		t.Errorf("want on first line must claim the diagnostic, got %q", problems)
+	}
+}
+
+func TestWantAnchoredToFirstLine(t *testing.T) {
+	dir := writePkg(t, `package boom
+// want@-1 "boom here"
+`)
+	problems, err := run(dir, []*lint.Analyzer{boomAnalyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 0 {
+		t.Errorf("want@-1 resolving to line 1 must claim the diagnostic, got %q", problems)
+	}
+}
+
+// TestWantOnLastLine puts the expectation on the final source line.
+func TestWantOnLastLine(t *testing.T) {
+	dir := writePkg(t, `package p
+
+var boom = 1 // want "boom here"`)
+	problems, err := run(dir, []*lint.Analyzer{boomAnalyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 0 {
+		t.Errorf("want on the last line must claim the diagnostic, got %q", problems)
+	}
+}
+
+func TestWantAnchoredToLastLine(t *testing.T) {
+	dir := writePkg(t, `package p
+
+// want@+1 "boom here"
+var boom = 1`)
+	problems, err := run(dir, []*lint.Analyzer{boomAnalyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 0 {
+		t.Errorf("want@+1 resolving to the last line must claim the diagnostic, got %q", problems)
+	}
+}
+
+// TestAnchorBeforeFileStart and TestAnchorPastFileEnd pin the boundary
+// contract: an anchor resolving outside the file is a harness error —
+// not a panic, and not a silently never-matching expectation.
+func TestAnchorBeforeFileStart(t *testing.T) {
+	dir := writePkg(t, `package p
+// want@-5 "never matches"
+var x = 1
+`)
+	_, err := run(dir, []*lint.Analyzer{boomAnalyzer})
+	if err == nil || !strings.Contains(err.Error(), "outside the file") {
+		t.Fatalf("anchor resolving before line 1 must error, got %v", err)
+	}
+}
+
+func TestAnchorPastFileEnd(t *testing.T) {
+	dir := writePkg(t, `package p
+// want@+10 "never matches"
+var x = 1
+`)
+	_, err := run(dir, []*lint.Analyzer{boomAnalyzer})
+	if err == nil || !strings.Contains(err.Error(), "outside the file") {
+		t.Fatalf("anchor resolving past the last line must error, got %v", err)
+	}
+}
+
+// TestUnexpectedAndMissing pins the two mismatch directions: an
+// unclaimed diagnostic and an unclaimed want are separate problems.
+func TestUnexpectedAndMissing(t *testing.T) {
+	dir := writePkg(t, `package p
+
+var boom = 1
+var ok = 2 // want "boom here"
+`)
+	problems, err := run(dir, []*lint.Analyzer{boomAnalyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 2 {
+		t.Fatalf("problems = %q, want an unexpected-diagnostic and a no-diagnostic entry", problems)
+	}
+	if !strings.Contains(problems[0], "unexpected diagnostic") || !strings.Contains(problems[1], "no diagnostic matching") {
+		t.Errorf("problems = %q, want [unexpected..., no diagnostic...]", problems)
+	}
+}
+
+// TestMalformedWantComment: a comment that looks like a want but does
+// not parse is an error, not a silently ignored expectation.
+func TestMalformedWantComment(t *testing.T) {
+	dir := writePkg(t, `package p
+
+var boom = 1 // want "unterminated
+`)
+	_, err := run(dir, []*lint.Analyzer{boomAnalyzer})
+	if err == nil || !strings.Contains(err.Error(), "malformed want comment") {
+		t.Fatalf("malformed want must error, got %v", err)
+	}
+}

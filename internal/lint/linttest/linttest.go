@@ -12,6 +12,12 @@
 // diagnostic, so both false positives and false negatives fail the
 // test. A line with a violation plus a //meshvet:allow directive and
 // no want comment asserts the suppression path end to end.
+//
+// An anchor may relocate the expectation: `// want@-1 "re"` claims a
+// diagnostic one line above the comment (needed when the diagnostic
+// lands on a comment-only line, which cannot hold a second comment).
+// An anchor that resolves outside the file — before line 1 or past the
+// last line — is a harness error, not a silent never-matching want.
 package linttest
 
 import (
@@ -47,28 +53,43 @@ type want struct {
 // on any mismatch between reported diagnostics and want comments.
 func Run(t *testing.T, dir string, analyzers ...*lint.Analyzer) {
 	t.Helper()
+	problems, err := run(dir, analyzers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range problems {
+		t.Error(p)
+	}
+}
+
+// run is the testing.T-free core: it returns one problem string per
+// unexpected or missing diagnostic, or an error when the package or
+// its want comments cannot be processed at all.
+func run(dir string, analyzers []*lint.Analyzer) ([]string, error) {
 	fset := token.NewFileSet()
 	pkg, err := lint.LoadDir(fset, dir, "meshvet/testdata/"+filepath.Base(dir))
 	if err != nil {
-		t.Fatalf("loading %s: %v", dir, err)
+		return nil, fmt.Errorf("loading %s: %v", dir, err)
 	}
 	diags := lint.Run(fset, []*lint.Package{pkg}, analyzers)
 
 	wants, err := collectWants(fset, dir)
 	if err != nil {
-		t.Fatal(err)
+		return nil, err
 	}
 
+	var problems []string
 	for _, d := range diags {
 		if w := claim(wants, d.Pos.Filename, d.Pos.Line, d.Message); w == nil {
-			t.Errorf("unexpected diagnostic: %s", d)
+			problems = append(problems, fmt.Sprintf("unexpected diagnostic: %s", d))
 		}
 	}
 	for _, w := range wants {
 		if !w.claimed {
-			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.pattern)
+			problems = append(problems, fmt.Sprintf("%s:%d: no diagnostic matching %q", w.file, w.line, w.pattern))
 		}
 	}
+	return problems, nil
 }
 
 func claim(wants []*want, file string, line int, msg string) *want {
@@ -96,36 +117,39 @@ func collectWants(fset *token.FileSet, dir string) ([]*want, error) {
 		if err != nil {
 			return nil, err
 		}
-		{
-			for _, cg := range f.Comments {
-				for _, c := range cg.List {
-					m := wantRe.FindStringSubmatch(c.Text)
-					if m == nil {
-						if strings.Contains(c.Text, "want ") && strings.Contains(c.Text, `"`) {
-							return nil, fmt.Errorf("%s: malformed want comment: %s", fname, c.Text)
-						}
-						continue
+		lastLine := fset.File(f.Pos()).LineCount()
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					if strings.Contains(c.Text, "want ") && strings.Contains(c.Text, `"`) {
+						return nil, fmt.Errorf("%s: malformed want comment: %s", fname, c.Text)
 					}
-					pos := fset.Position(c.Pos())
-					line := pos.Line
-					if m[1] != "" {
-						off, err := strconv.Atoi(m[1][1:])
-						if err != nil {
-							return nil, fmt.Errorf("%s:%d: bad want anchor %q", fname, pos.Line, m[1])
-						}
-						line += off
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				line := pos.Line
+				if m[1] != "" {
+					off, err := strconv.Atoi(m[1][1:])
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: bad want anchor %q", fname, pos.Line, m[1])
 					}
-					for _, q := range wantArgRe.FindAllString(m[2], -1) {
-						unq, err := strconv.Unquote(q)
-						if err != nil {
-							return nil, fmt.Errorf("%s:%d: bad want pattern %s: %v", fname, pos.Line, q, err)
-						}
-						re, err := regexp.Compile(unq)
-						if err != nil {
-							return nil, fmt.Errorf("%s:%d: bad want regexp %q: %v", fname, pos.Line, unq, err)
-						}
-						wants = append(wants, &want{file: pos.Filename, line: line, pattern: re})
+					line += off
+				}
+				if line < 1 || line > lastLine {
+					return nil, fmt.Errorf("%s:%d: want anchor %q resolves to line %d, outside the file (1..%d)",
+						fname, pos.Line, m[1], line, lastLine)
+				}
+				for _, q := range wantArgRe.FindAllString(m[2], -1) {
+					unq, err := strconv.Unquote(q)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: bad want pattern %s: %v", fname, pos.Line, q, err)
 					}
+					re, err := regexp.Compile(unq)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: bad want regexp %q: %v", fname, pos.Line, unq, err)
+					}
+					wants = append(wants, &want{file: pos.Filename, line: line, pattern: re})
 				}
 			}
 		}

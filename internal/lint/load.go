@@ -24,6 +24,10 @@ type Package struct {
 	Files []*ast.File
 	Types *types.Package
 	Info  *types.Info
+	// FactsOnly marks a dependency loaded so its fact exports are
+	// visible to the matched packages; Run analyzes it but discards its
+	// diagnostics.
+	FactsOnly bool
 }
 
 // LoadPackages resolves patterns with `go list` (so ./... behaves
@@ -32,20 +36,51 @@ type Package struct {
 // are not loaded: the invariants gate sim/production code, and tests
 // legitimately use wall time for harness timeouts.
 //
+// Packages are returned in dependency order (imports before
+// importers, ties broken by import path), and each matched package is
+// type-checked exactly once: when package B imports already-checked
+// package A, the loader hands the checker A's *types.Package instead
+// of letting the source importer re-check A from scratch. That both
+// halves the wall-clock of a module-wide sweep and gives every
+// declaration a single types.Object identity across packages — the
+// property the cross-package fact store (facts.go) relies on.
+//
+// Non-stdlib dependencies of the matched set are loaded too, marked
+// FactsOnly: a single-package run still sees the facts its imports
+// export (the registered mesh headers, the pooled types), exactly as
+// if the whole module had been analyzed — only the diagnostics are
+// scoped to what the patterns matched.
+//
 // The process working directory must be inside the module, because
-// both `go list` and the source importer resolve module-local import
-// paths through the go command.
+// both `go list` and the fallback source importer (stdlib, and any
+// dependency outside the loaded set) resolve import paths through
+// the go command.
 func LoadPackages(fset *token.FileSet, patterns ...string) ([]*Package, error) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	args := append([]string{"list", "-json=ImportPath,Name,Dir,GoFiles"}, patterns...)
+	// First resolve which import paths the patterns themselves match —
+	// those report diagnostics; everything -deps adds is facts-only.
+	matchCmd := exec.Command("go", append([]string{"list"}, patterns...)...)
+	var matchOut, errb bytes.Buffer
+	matchCmd.Stdout = &matchOut
+	matchCmd.Stderr = &errb
+	if err := matchCmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, errb.String())
+	}
+	matched := make(map[string]bool)
+	for _, p := range strings.Fields(matchOut.String()) {
+		matched[p] = true
+	}
+
+	args := append([]string{"list", "-deps", "-json=ImportPath,Name,Dir,GoFiles,Imports,Standard"}, patterns...)
 	cmd := exec.Command("go", args...)
-	var out, errb bytes.Buffer
+	var out bytes.Buffer
+	errb.Reset()
 	cmd.Stdout = &out
 	cmd.Stderr = &errb
 	if err := cmd.Run(); err != nil {
-		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, errb.String())
+		return nil, fmt.Errorf("go list -deps %s: %v\n%s", strings.Join(patterns, " "), err, errb.String())
 	}
 
 	type listPkg struct {
@@ -53,6 +88,8 @@ func LoadPackages(fset *token.FileSet, patterns ...string) ([]*Package, error) {
 		Name       string
 		Dir        string
 		GoFiles    []string
+		Imports    []string
+		Standard   bool
 	}
 	var metas []listPkg
 	dec := json.NewDecoder(&out)
@@ -61,16 +98,54 @@ func LoadPackages(fset *token.FileSet, patterns ...string) ([]*Package, error) {
 		if err := dec.Decode(&lp); err != nil {
 			return nil, fmt.Errorf("decoding go list output: %v", err)
 		}
-		metas = append(metas, lp)
+		if !lp.Standard && len(lp.GoFiles) > 0 {
+			metas = append(metas, lp)
+		}
 	}
 	sort.Slice(metas, func(i, j int) bool { return metas[i].ImportPath < metas[j].ImportPath })
 
-	imp := importer.ForCompiler(fset, "source", nil)
-	var pkgs []*Package
-	for _, m := range metas {
-		if len(m.GoFiles) == 0 {
-			continue
+	// Topological order over the matched set: depth-first over each
+	// package's in-set imports (already sorted by go list), roots in
+	// import-path order, so the result is deterministic.
+	index := make(map[string]int, len(metas))
+	for i, m := range metas {
+		index[m.ImportPath] = i
+	}
+	order := make([]int, 0, len(metas))
+	state := make([]int, len(metas)) // 0 unvisited, 1 visiting, 2 done
+	var visit func(i int) error
+	visit = func(i int) error {
+		switch state[i] {
+		case 2:
+			return nil
+		case 1:
+			return fmt.Errorf("import cycle through %s", metas[i].ImportPath)
 		}
+		state[i] = 1
+		for _, imp := range metas[i].Imports {
+			if j, ok := index[imp]; ok {
+				if err := visit(j); err != nil {
+					return err
+				}
+			}
+		}
+		state[i] = 2
+		order = append(order, i)
+		return nil
+	}
+	for i := range metas {
+		if err := visit(i); err != nil {
+			return nil, err
+		}
+	}
+
+	imp := &chainImporter{
+		loaded:   make(map[string]*types.Package, len(metas)),
+		fallback: importer.ForCompiler(fset, "source", nil),
+	}
+	var pkgs []*Package
+	for _, i := range order {
+		m := metas[i]
 		var files []*ast.File
 		for _, name := range m.GoFiles {
 			f, err := parser.ParseFile(fset, filepath.Join(m.Dir, name), nil, parser.ParseComments)
@@ -83,16 +158,43 @@ func LoadPackages(fset *token.FileSet, patterns ...string) ([]*Package, error) {
 		if err != nil {
 			return nil, fmt.Errorf("type-checking %s: %v", m.ImportPath, err)
 		}
+		imp.loaded[m.ImportPath] = pkg
 		pkgs = append(pkgs, &Package{
-			Path:  m.ImportPath,
-			Name:  m.Name,
-			Dir:   m.Dir,
-			Files: files,
-			Types: pkg,
-			Info:  info,
+			Path:      m.ImportPath,
+			Name:      m.Name,
+			Dir:       m.Dir,
+			Files:     files,
+			Types:     pkg,
+			Info:      info,
+			FactsOnly: !matched[m.ImportPath],
 		})
 	}
 	return pkgs, nil
+}
+
+// chainImporter serves already-type-checked packages from the current
+// load and defers everything else (the standard library; dependencies
+// outside the matched pattern set) to the source importer.
+type chainImporter struct {
+	loaded   map[string]*types.Package
+	fallback types.Importer
+}
+
+func (c *chainImporter) Import(path string) (*types.Package, error) {
+	if p := c.loaded[path]; p != nil {
+		return p, nil
+	}
+	return c.fallback.Import(path)
+}
+
+func (c *chainImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if p := c.loaded[path]; p != nil {
+		return p, nil
+	}
+	if from, ok := c.fallback.(types.ImporterFrom); ok {
+		return from.ImportFrom(path, dir, mode)
+	}
+	return c.fallback.Import(path)
 }
 
 // LoadDir parses and type-checks the single package rooted at dir

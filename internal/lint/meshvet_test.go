@@ -41,3 +41,19 @@ func TestCtlwrite(t *testing.T) {
 func TestDirectives(t *testing.T) {
 	linttest.Run(t, "testdata/directive", lint.All...)
 }
+
+func TestHeaderreg(t *testing.T) {
+	linttest.Run(t, "testdata/headerreg", lint.Headerreg)
+}
+
+func TestFluidstate(t *testing.T) {
+	linttest.Run(t, "testdata/fluidstate", lint.Fluidstate)
+}
+
+func TestMetricdecl(t *testing.T) {
+	linttest.Run(t, "testdata/metricdecl", lint.Metricdecl)
+}
+
+func TestTimerown(t *testing.T) {
+	linttest.Run(t, "testdata/timerown", lint.Timerown)
+}

@@ -1,0 +1,178 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// Metricdecl turns the metric naming convention — until now enforced
+// only at runtime by internal/mesh's TestMetricNamingConvention, and
+// only for the families that test happens to exercise — into a static
+// rule at every registration site:
+//
+//   - the name argument of Registry.Counter/Gauge/Histogram/
+//     ObserveDuration must be a named constant, not an inline literal
+//     or a computed string, so a family has exactly one authoritative
+//     spelling;
+//   - the constant's value must follow the convention: a subsystem
+//     prefix (mesh_, gateway_, ctrlplane_), lowercase snake_case,
+//     counters ending in _total, histograms in _duration or _seconds
+//     (gauges name a level and are suffix-exempt);
+//   - no double registration: the same name must not be registered as
+//     two different kinds, and two constants must not spell the same
+//     name.
+//
+// Each registration exports a MetricNameFact on the constant, so the
+// kind-conflict and duplicate-spelling checks see registrations made
+// by dependency packages (ctrlplane's families are visible while mesh
+// is being analyzed, and both while the root package is).
+var Metricdecl = &Analyzer{
+	Name: "metricdecl",
+	Doc:  "metric names are named constants at registration sites, follow the naming convention, and register as exactly one kind",
+	Run:  runMetricdecl,
+}
+
+// MetricNameFact records that a constant is used as a metric family
+// name of the given kind.
+type MetricNameFact struct {
+	Value string
+	Kind  string // "counter", "gauge", or "histogram"
+}
+
+func (*MetricNameFact) AFact() {}
+
+// metricRegMethods maps Registry method names to the family kind they
+// register.
+var metricRegMethods = map[string]string{
+	"Counter":         "counter",
+	"Gauge":           "gauge",
+	"Histogram":       "histogram",
+	"ObserveDuration": "histogram",
+}
+
+var metricNameRe = regexp.MustCompile(`^(mesh|gateway|ctrlplane)_[a-z0-9_]+$`)
+
+func metricRegistryType(t types.Type) bool {
+	for {
+		ptr, ok := t.(*types.Pointer)
+		if !ok {
+			break
+		}
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj == nil || obj.Name() != "Registry" || obj.Pkg() == nil {
+		return false
+	}
+	path := obj.Pkg().Path()
+	return path == "meshlayer/internal/metrics" || strings.HasPrefix(path, "meshvet/testdata/")
+}
+
+func runMetricdecl(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			// Registry's own methods forward a name parameter into each
+			// other (ObserveDuration calls Histogram); the const rule
+			// applies at their callers, not inside the implementation.
+			if fn.Recv != nil && len(fn.Recv.List) > 0 && metricRegistryType(pass.TypeOf(fn.Recv.List[0].Type)) {
+				continue
+			}
+			checkMetricFunc(pass, fn)
+		}
+	}
+}
+
+func checkMetricFunc(pass *Pass, fn *ast.FuncDecl) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		kind, ok := metricRegMethods[sel.Sel.Name]
+		if !ok || !metricRegistryType(pass.TypeOf(sel.X)) {
+			return true
+		}
+		checkMetricName(pass, call.Args[0], kind)
+		return true
+	})
+}
+
+func checkMetricName(pass *Pass, arg ast.Expr, kind string) {
+	obj := constObjectOf(pass, arg)
+	if obj == nil {
+		pass.Reportf(arg.Pos(),
+			"metric name must be a named constant (declare `const xyzTotal = \"...\"` next to the subsystem and register through it)")
+		return
+	}
+	v := constant.StringVal(obj.Val())
+
+	if !metricNameRe.MatchString(v) {
+		pass.Reportf(arg.Pos(),
+			"metric name %q breaks the naming convention: subsystem prefix (mesh_, gateway_, ctrlplane_) plus lowercase snake_case", v)
+	} else {
+		switch kind {
+		case "counter":
+			if !strings.HasSuffix(v, "_total") {
+				pass.Reportf(arg.Pos(), "counter %q must end in _total", v)
+			}
+		case "histogram":
+			if !strings.HasSuffix(v, "_duration") && !strings.HasSuffix(v, "_seconds") {
+				pass.Reportf(arg.Pos(), "histogram %q must end in _duration or _seconds", v)
+			}
+		}
+	}
+
+	// Registration bookkeeping via facts: one constant, one kind, one
+	// spelling.
+	for _, of := range pass.AllObjectFacts((*MetricNameFact)(nil)) {
+		fact := of.Fact.(*MetricNameFact)
+		if of.Object == obj {
+			if fact.Kind != kind {
+				pass.Reportf(arg.Pos(),
+					"metric %q already registered as a %s; a family has exactly one kind", v, fact.Kind)
+				return
+			}
+			return // same const, same kind: the normal repeat use
+		}
+		if fact.Value == v {
+			pass.Reportf(arg.Pos(),
+				"metric name %q is already registered through constant %s.%s; reuse that constant",
+				v, of.Object.Pkg().Name(), of.Object.Name())
+			return
+		}
+	}
+	pass.ExportObjectFact(obj, &MetricNameFact{Value: v, Kind: kind})
+}
+
+// constObjectOf resolves arg to a declared string constant, or nil.
+func constObjectOf(pass *Pass, arg ast.Expr) *types.Const {
+	var id *ast.Ident
+	switch e := arg.(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return nil
+	}
+	c, ok := pass.Info.ObjectOf(id).(*types.Const)
+	if !ok || c.Val().Kind() != constant.String {
+		return nil
+	}
+	return c
+}

@@ -7,30 +7,44 @@ import (
 // Run executes analyzers over pkgs and returns the surviving
 // diagnostics in deterministic (file, line, column, analyzer) order.
 //
+// pkgs must be in dependency order (LoadPackages returns them so):
+// facts exported while analyzing a package are imported by the same
+// analyzer when it later runs on a dependent package.
+//
 // It makes two passes: first every file's directives are parsed, which
-// both builds the per-file suppression tables and collects the
-// module-wide //meshvet:pooled type set (so poolescape sees pooled
-// types across package boundaries); then each analyzer runs on each
-// package and its reports are filtered through the suppression tables.
+// both builds the per-file suppression tables and exports a PooledFact
+// for every //meshvet:pooled type (so poolescape sees pooled types
+// across package boundaries); then each analyzer runs on each package
+// and its reports are filtered through the suppression tables.
 // Malformed-directive diagnostics carry the reserved analyzer name
 // "directive" and cannot be suppressed.
+//
+// Packages marked FactsOnly (dependencies of the requested patterns,
+// loaded so their fact exports are visible) are analyzed but report
+// nothing: their own diagnostics belong to runs that match them.
 func Run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	var diags []Diagnostic
-	pooled := map[string]bool{}
+	store := newFactStore()
 	directives := map[string]*fileDirectives{}
 
 	for _, pkg := range pkgs {
+		var sink []Diagnostic
 		for _, f := range pkg.Files {
-			fd, pooledNames := parseDirectives(fset, f, pkg.Path, &diags)
+			fd, pooledNames := parseDirectives(fset, f, pkg.Path, &sink)
 			directives[fset.Position(f.Pos()).Filename] = fd
-			for _, n := range pooledNames {
-				pooled[n] = true
+			for _, name := range pooledNames {
+				if obj := pkg.Types.Scope().Lookup(name); obj != nil {
+					store.export(pooledNS, obj, &PooledFact{})
+				}
 			}
+		}
+		if !pkg.FactsOnly {
+			diags = append(diags, sink...)
 		}
 	}
 
-	var raw []Diagnostic
 	for _, pkg := range pkgs {
+		var raw []Diagnostic
 		for _, a := range analyzers {
 			pass := &Pass{
 				Analyzer: a,
@@ -38,18 +52,20 @@ func Run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) []Diagnost
 				Files:    pkg.Files,
 				Pkg:      pkg.Types,
 				Info:     pkg.Info,
-				Pooled:   pooled,
+				store:    store,
 				diags:    &raw,
 			}
 			a.Run(pass)
 		}
-	}
-
-	for _, d := range raw {
-		if fd := directives[d.Pos.Filename]; fd.suppressed(d.Analyzer, d.Pos.Line) {
+		if pkg.FactsOnly {
 			continue
 		}
-		diags = append(diags, d)
+		for _, d := range raw {
+			if fd := directives[d.Pos.Filename]; fd.suppressed(d.Analyzer, d.Pos.Line) {
+				continue
+			}
+			diags = append(diags, d)
+		}
 	}
 	sortDiagnostics(diags)
 	return diags

@@ -41,6 +41,28 @@ func detachedPooled() {
 	// want@-1 "//meshvet:pooled must be attached to a type declaration"
 }
 
+// emptyVerb is the bare prefix with no verb at all.
+func emptyVerb() time.Time {
+	//meshvet:
+	// want@-1 "unknown meshvet directive"
+	return time.Now() // want "time.Now reads the wall clock"
+}
+
+// reasonIsMoreDirective: an allow whose "reason" is itself another
+// directive-looking token still counts as a reason — the validator
+// checks presence, not prose quality. Control case: no diagnostic.
+func reasonIsMoreDirective() time.Time {
+	//meshvet:allow walltime meshvet:allow is not recursive
+	return time.Now()
+}
+
+// v2AnalyzersKnown: the fact-era analyzers are valid allow targets and
+// must not trip the unknown-analyzer validation.
+func v2AnalyzersKnown() {
+	//meshvet:allow headerreg control case, the name must be recognized
+	//meshvet:allow timerown control case, the name must be recognized
+}
+
 // wellFormed is the control: a valid allow with analyzer and reason
 // suppresses the diagnostic on the next line, and a valid pooled
 // marker on a type produces nothing.

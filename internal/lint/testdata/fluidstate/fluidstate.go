@@ -1,0 +1,100 @@
+// Package fluidstatetest seeds violations for the fluidstate analyzer.
+// The type names mirror internal/simnet's fluid fast path (FlowEngine,
+// NIC, Timer) so the name-based scoping matches.
+package fluidstatetest
+
+type Timer struct{ gen int }
+
+func (t Timer) Cancel() {}
+
+// After stands in for Scheduler.After.
+func After(d int, f func()) Timer { return Timer{} }
+
+// NIC carries the per-link fluid scratch fields the engine's recompute
+// cycle owns.
+type NIC struct {
+	fluidRate float64
+	fluidCap  float64
+	fluidCnt  int
+	fluidSeen bool
+}
+
+// fluidFlow is a pooled flow record.
+type fluidFlow struct {
+	id     int
+	onDone func()
+}
+
+// FlowEngine mirrors the real engine: a flow pool and one completion
+// timer.
+type FlowEngine struct {
+	nics  []*NIC
+	pool  []*fluidFlow
+	timer Timer
+}
+
+func (e *FlowEngine) free(f *fluidFlow) { e.pool = append(e.pool, f) }
+func (e *FlowEngine) alloc() *fluidFlow { return &fluidFlow{} }
+func (e *FlowEngine) onTimer()          {}
+
+// Rule 1: scratch belongs to the engine; outside writers are flagged.
+func poke(n *NIC) {
+	n.fluidRate = 1 // want "outside a FlowEngine method"
+}
+
+// Rule 2 violation: rebuilds scratch with fluidSeen never reset.
+func (e *FlowEngine) recomputeStale(n *NIC) {
+	n.fluidRate = 0
+	n.fluidCap = 0
+	n.fluidCnt = 0
+	n.fluidCnt++ // want "without first resetting fluidSeen"
+}
+
+// Rule 2 satisfied: all four fields reset before the rebuild.
+func (e *FlowEngine) recompute(n *NIC) {
+	n.fluidRate = 0
+	n.fluidCap = 0
+	n.fluidCnt = 0
+	n.fluidSeen = false
+	n.fluidCnt++
+	n.fluidRate = 2.5
+}
+
+// Rule 3 violation: reading a pooled flow after freeing it.
+func (e *FlowEngine) complete(f *fluidFlow) {
+	cb := f.onDone
+	e.free(f)
+	cb()
+	_ = f.id // want "used after FlowEngine.free"
+}
+
+// Rule 3 satisfied: a whole-variable reassignment revalidates the
+// handle.
+func (e *FlowEngine) recycle(f *fluidFlow) {
+	e.free(f)
+	f = e.alloc()
+	f.id = 1
+}
+
+// Rule 4 violation: replacing the completion timer over a pending one.
+func (e *FlowEngine) rearmBad(d int) {
+	e.timer = After(d, e.onTimer) // want "re-armed without cancelling"
+}
+
+// Rule 4 satisfied: cancel, then re-arm.
+func (e *FlowEngine) rearmGood(d int) {
+	e.timer.Cancel()
+	e.timer = After(d, e.onTimer)
+}
+
+// Assigning the zero Timer is the consumed marker, always allowed.
+func (e *FlowEngine) consume() {
+	e.timer = Timer{}
+}
+
+// Sanctioned: a post-free audit that only logs the stale id.
+func (e *FlowEngine) audit(f *fluidFlow) {
+	e.free(f)
+	//meshvet:allow fluidstate audit log reads the recycled id only
+	_ = f.id
+}

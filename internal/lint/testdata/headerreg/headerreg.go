@@ -1,0 +1,28 @@
+// Package headerregtest seeds violations for the headerreg analyzer:
+// registrations outside the registry file, raw literals with and
+// without a registered constant to point at, and the sanctioned
+// suppression path.
+package headerregtest
+
+type headers map[string]string
+
+func (h headers) Set(k, v string)     { h[k] = v }
+func (h headers) Get(k string) string { return h[k] }
+
+// A registration that wandered out of headers.go.
+const strayHeader = "x-mesh-stray" // want "declared outside the header registry"
+
+func stamp(h headers) {
+	// Through the registry: fine.
+	h.Set(HeaderSource, "gateway")
+	// Raw spelling of a registered header: flagged, with a suggested
+	// fix pointing at the constant.
+	h.Set("x-mesh-source", "gateway") // want "use the registry constant HeaderSource"
+	// Raw header nobody registered: flagged without a fix.
+	h.Set("x-mesh-unregistered", "1") // want "not in the header registry"
+	// Sanctioned: a chaos probe stamping a header the mesh must ignore.
+	//meshvet:allow headerreg probe header must never match a real one
+	h.Set("x-mesh-hypothetical", "1")
+	// The bare prefix is a namespace, not a header name.
+	_ = h.Get("x-mesh-")
+}

@@ -1,0 +1,10 @@
+// headers.go is this package's header registry: x-mesh-* constants
+// declared here export MeshHeaderFact registrations; one header, one
+// constant.
+package headerregtest
+
+const (
+	HeaderSource   = "x-mesh-source"
+	HeaderPriority = "x-mesh-priority"
+	HeaderDup      = "x-mesh-source" // want "registered twice"
+)

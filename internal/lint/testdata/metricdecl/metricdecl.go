@@ -1,0 +1,55 @@
+// Package metricdecltest seeds violations for the metricdecl analyzer.
+// Registry mirrors internal/metrics.Registry so the name-based scoping
+// matches.
+package metricdecltest
+
+type Labels map[string]string
+
+type Registry struct{}
+
+func (r *Registry) Counter(name string, labels Labels) *Counter       { return &Counter{} }
+func (r *Registry) Gauge(name string, labels Labels) *Gauge           { return &Gauge{} }
+func (r *Registry) Histogram(name string, labels Labels) *Histogram   { return &Histogram{} }
+func (r *Registry) ObserveDuration(name string, labels Labels, d int) {}
+
+// observe forwards its name parameter — Registry's own methods are the
+// forwarding layer and are exempt from the const rule.
+func (r *Registry) observe(name string) { r.Counter(name, nil).Inc() }
+
+type Counter struct{}
+
+func (c *Counter) Inc() {}
+
+type Gauge struct{}
+
+func (g *Gauge) Set(v float64) {}
+
+type Histogram struct{}
+
+const (
+	reqTotal        = "mesh_requests_total"
+	reqTotalDup     = "mesh_requests_total"
+	badPrefix       = "svc_requests_total"
+	counterNoSuffix = "mesh_requests"
+	histNoSuffix    = "mesh_latency"
+	waitSeconds     = "mesh_wait_seconds"
+)
+
+func register(r *Registry) {
+	r.Counter(reqTotal, nil).Inc() // first registration: exports the fact
+	r.Counter(reqTotal, nil).Inc() // same constant, same kind: fine
+	r.ObserveDuration(waitSeconds, nil, 5)
+
+	r.Counter("mesh_inline_total", nil).Inc() // want "must be a named constant"
+	r.Counter(badPrefix, nil).Inc()           // want "naming convention"
+	r.Counter(counterNoSuffix, nil).Inc()     // want "must end in _total"
+	_ = r.Histogram(histNoSuffix, nil)        // want "must end in _duration or _seconds"
+
+	r.Gauge(reqTotal, nil).Set(1)     // want "already registered as a counter"
+	r.Counter(reqTotalDup, nil).Inc() // want "already registered through constant"
+
+	// Sanctioned: a migration shim keeps the literal until the old
+	// dashboard family is renamed.
+	//meshvet:allow metricdecl legacy dashboard still scrapes this name
+	r.Counter("mesh_legacy_total", nil).Inc()
+}

@@ -1,0 +1,74 @@
+// Package timerowntest seeds violations for the timerown analyzer:
+// the Timer type mirrors simnet.Timer so the name-based matching
+// applies.
+package timerowntest
+
+type Timer struct{ gen int }
+
+func (t Timer) Cancel() {}
+
+type sched struct{}
+
+func (s *sched) After(d int, f func()) Timer { return Timer{} }
+
+type conn struct {
+	retxTimer Timer
+	fbTimer   Timer
+	done      bool
+}
+
+// Arming straight into a field without cancelling the pending timer.
+func (c *conn) armBad(s *sched) {
+	c.retxTimer = s.After(1, func() {}) // want "without first cancelling"
+}
+
+// Cancel first (a no-op when the field is empty), then arm.
+func (c *conn) armGood(s *sched) {
+	c.retxTimer.Cancel()
+	c.retxTimer = s.After(1, func() {})
+}
+
+// Captured and dropped on the floor: nobody can ever cancel it.
+func leak(s *sched) {
+	t := s.After(1, func() {}) // want "captured but never cancelled"
+	_ = t
+}
+
+// The three sanctioned fates of a captured timer.
+func cancelled(s *sched) {
+	t := s.After(1, func() {})
+	t.Cancel()
+}
+
+func returned(s *sched) Timer {
+	t := s.After(1, func() {})
+	return t
+}
+
+func owned(s *sched, c *conn) {
+	t := s.After(1, func() {})
+	c.retxTimer = t
+}
+
+// Two owning fields race to cancel the same timer.
+func doubleOwner(s *sched, c *conn) {
+	t := s.After(1, func() {}) // want "stored into 2 fields"
+	c.retxTimer = t
+	c.fbTimer = t
+}
+
+// Discarding the result is the explicit fire-and-forget form; the
+// callback guards itself on the settled flag.
+func fireAndForget(s *sched, c *conn) {
+	s.After(1, func() { c.done = true })
+}
+
+// Sanctioned: the timer is handed to a registry that cancels it at
+// teardown, which the analyzer cannot see.
+func sanctioned(s *sched) {
+	//meshvet:allow timerown teardown registry cancels every enrolled timer
+	t := s.After(1, func() {})
+	enroll(t)
+}
+
+func enroll(Timer) {}

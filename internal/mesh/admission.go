@@ -158,7 +158,7 @@ func (sc *Sidecar) applyOutboundDeadline(c *call) bool {
 		return true
 	}
 	if rem <= 0 {
-		sc.mesh.metrics.Counter("mesh_admission_cancelled_total",
+		sc.mesh.metrics.Counter(MetricAdmissionCancelledTotal,
 			metrics.Labels{"service": sc.service, "upstream": c.service}).Inc()
 		c.finish(httpsim.NewResponse(httpsim.StatusGatewayTimeout), nil)
 		return false
@@ -175,9 +175,9 @@ func (sc *Sidecar) shedInbound(cls admission.Class, why admission.Reason, respon
 		status = httpsim.StatusGatewayTimeout
 	}
 	m := sc.mesh
-	m.metrics.Counter("mesh_admission_shed_total",
+	m.metrics.Counter(MetricAdmissionShedTotal,
 		metrics.Labels{"service": sc.service, "class": cls.String(), "reason": why.String()}).Inc()
-	m.metrics.Counter("mesh_requests_total",
+	m.metrics.Counter(MetricRequestsTotal,
 		metrics.Labels{"service": sc.service, "direction": "inbound", "code": fmt.Sprint(status)}).Inc()
 	respond(httpsim.NewResponse(status))
 }
@@ -187,11 +187,11 @@ func (sc *Sidecar) shedInbound(cls admission.Class, why admission.Reason, respon
 func (sc *Sidecar) observeAdmission(ctl *admission.Controller) {
 	m := sc.mesh
 	for _, cls := range []admission.Class{admission.LS, admission.LI} {
-		m.metrics.Gauge("mesh_admission_queue_depth",
+		m.metrics.Gauge(MetricAdmissionQueueDepth,
 			metrics.Labels{"service": sc.service, "class": cls.String()}).
 			Set(float64(ctl.Queue().Depth(cls)))
 	}
-	m.metrics.Gauge("mesh_admission_limit",
+	m.metrics.Gauge(MetricAdmissionLimit,
 		metrics.Labels{"service": sc.service}).Set(float64(ctl.Limiter().Limit()))
 }
 

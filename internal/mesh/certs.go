@@ -27,9 +27,8 @@ func (c *Cert) Valid(service string, now time.Duration) bool {
 	return c.NotAfter == 0 || now < c.NotAfter
 }
 
-// headerCertSerial carries the presented certificate's serial — the
-// wire form of the mTLS handshake in this model.
-const headerCertSerial = "x-mesh-cert"
+// HeaderCert (the certificate-serial header) lives in headers.go, the
+// header registry.
 
 // DefaultCertTTL is the issued-certificate lifetime (Istio default:
 // 24h; scaled down so rotation is observable in short simulations).
@@ -80,7 +79,7 @@ func (sc *Sidecar) cert() *Cert {
 		return sc.identity
 	}
 	sc.identity = sc.mesh.cp.IssueCert(sc.service)
-	sc.mesh.metrics.Counter("mesh_certs_issued_total", metrics.Labels{"service": sc.service}).Inc()
+	sc.mesh.metrics.Counter(MetricCertsIssuedTotal, metrics.Labels{"service": sc.service}).Inc()
 	return sc.identity
 }
 
@@ -88,7 +87,7 @@ func (sc *Sidecar) cert() *Cert {
 // outbound request.
 func (sc *Sidecar) stampIdentity(req *httpsim.Request) {
 	req.Headers.Set(HeaderSource, sc.service)
-	req.Headers.Set(headerCertSerial, fmt.Sprintf("%d", sc.cert().Serial))
+	req.Headers.Set(HeaderCert, fmt.Sprintf("%d", sc.cert().Serial))
 }
 
 // verifyPeer authenticates an inbound request's claimed identity under
@@ -100,10 +99,10 @@ func (sc *Sidecar) verifyPeer(req *httpsim.Request) bool {
 	}
 	src := req.Headers.Get(HeaderSource)
 	var serial uint64
-	fmt.Sscanf(req.Headers.Get(headerCertSerial), "%d", &serial)
+	fmt.Sscanf(req.Headers.Get(HeaderCert), "%d", &serial)
 	if sc.mesh.cp.VerifyCert(serial, src, sc.mesh.sched.Now()) {
 		return true
 	}
-	sc.mesh.metrics.Counter("mesh_mtls_denied_total", metrics.Labels{"service": sc.service}).Inc()
+	sc.mesh.metrics.Counter(MetricMTLSDeniedTotal, metrics.Labels{"service": sc.service}).Inc()
 	return false
 }

@@ -135,7 +135,7 @@ func (c *call) maybeFallback(resp *httpsim.Response, err error) (*httpsim.Respon
 			resp.BodyBytes = p.BodyBytes
 			resp.Headers.Set(HeaderDegraded, c.service)
 			err = nil
-			m.metrics.Counter("mesh_fallback_served_total",
+			m.metrics.Counter(MetricFallbackServedTotal,
 				metrics.Labels{"service": c.service}).Inc()
 			if c.span != nil {
 				c.span.SetTag("degraded", c.service)

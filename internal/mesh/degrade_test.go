@@ -29,7 +29,7 @@ func TestFallbackSynthesizesOnTerminalFailure(t *testing.T) {
 		t.Fatalf("resp=%v err=%v, want synthesized 200", got, gotErr)
 	}
 	if got.Headers.Get(HeaderDegraded) != "backend" {
-		t.Fatalf("x-mesh-degraded = %q, want backend", got.Headers.Get(HeaderDegraded))
+		t.Fatalf("%s = %q, want backend", HeaderDegraded, got.Headers.Get(HeaderDegraded))
 	}
 	if n := tb.m.Metrics().CounterTotal("mesh_fallback_served_total"); n != 1 {
 		t.Fatalf("fallbacks = %d, want 1", n)

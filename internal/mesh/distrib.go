@@ -13,13 +13,7 @@ import (
 	"meshlayer/internal/transport"
 )
 
-// HeaderCtrl marks a control-plane push request; its value is the push
-// id the receiving sidecar uses to fetch the decoded update.
-const HeaderCtrl = "x-mesh-ctrl"
-
-// HeaderFed marks a control-plane-to-control-plane summary exchange
-// request (federated mode); its value is the message id.
-const HeaderFed = "x-mesh-fed"
+// HeaderCtrl and HeaderFed live in headers.go, the header registry.
 
 // CtrlPlanePod names the pod hosting the distributing control plane.
 // Federated mode runs one per region, named CtrlPlanePod + "-" + region.

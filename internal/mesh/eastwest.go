@@ -24,25 +24,8 @@ import (
 // identities stay inside their region, which is what lets each region
 // run its own control plane (distrib.go).
 
-// Federation header names.
-const (
-	// HeaderEWService names the real destination service of a request
-	// transiting the east-west gateway pair (the host header is the
-	// next-hop gateway service on the egress->ingress leg).
-	HeaderEWService = "x-mesh-ew-service"
-	// HeaderEWRegion names the target region. A gateway receiving a
-	// request for its own region is the ingress half; any other region
-	// makes it the egress half, forwarding across the WAN.
-	HeaderEWRegion = "x-mesh-ew-region"
-	// HeaderLocalOnly restricts the failover ladder to the local region
-	// for this request — stamped by the ingress gateway on the final leg
-	// so a request cannot bounce between regions.
-	HeaderLocalOnly = "x-mesh-local-only"
-	// HeaderRegion is response provenance: the region whose ingress
-	// gateway served a cross-region request, carried end-to-end so the
-	// edge can tell where traffic actually landed during a failover.
-	HeaderRegion = "x-mesh-region"
-)
+// Federation header names (HeaderEWService, HeaderEWRegion,
+// HeaderLocalOnly, HeaderRegion) live in headers.go, the registry.
 
 // EWServicePrefix prefixes the per-region east-west gateway services.
 const EWServicePrefix = "eastwest-"
@@ -194,7 +177,7 @@ func (g *EastWestGateway) handle(req *httpsim.Request, respond func(*httpsim.Res
 	if target == g.region {
 		// Ingress half: strip the federation headers, pin the final leg
 		// to this region, and call the real service.
-		m.metrics.Counter("gateway_eastwest_ingress_total",
+		m.metrics.Counter(MetricEWIngressTotal,
 			metrics.Labels{"region": g.region, "service": service}).Inc()
 		fwd := req.Clone()
 		fwd.Headers.Del(HeaderEWService)
@@ -215,7 +198,7 @@ func (g *EastWestGateway) handle(req *httpsim.Request, respond func(*httpsim.Res
 	// Egress half: one WAN crossing to the target region's gateway. The
 	// federation headers ride along; the host header points the mesh
 	// routing machinery at the peer gateway service.
-	m.metrics.Counter("gateway_eastwest_egress_total",
+	m.metrics.Counter(MetricEWEgressTotal,
 		metrics.Labels{"region": g.region, "service": service}).Inc()
 	fwd := req.Clone()
 	fwd.Headers.Set(HeaderHost, EWGatewayService(target))

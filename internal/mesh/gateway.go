@@ -88,12 +88,12 @@ func (g *Gateway) Serve(req *httpsim.Request, cb func(*httpsim.Response, error))
 		if p := req.Headers.Get(HeaderPriority); p != "" {
 			labels["priority"] = p
 		}
-		m.metrics.ObserveDuration("gateway_request_duration", labels, m.sched.Now()-start)
+		m.metrics.ObserveDuration(MetricGatewayRequestDuration, labels, m.sched.Now()-start)
 		// Degraded-but-served accounting at the edge: the provenance
 		// header distinguishes a full success from a response some
 		// fallback papered over (E17's degraded-response fraction).
 		if err == nil && resp.Headers.Get(HeaderDegraded) != "" {
-			m.metrics.Counter("gateway_degraded_total",
+			m.metrics.Counter(MetricGatewayDegradedTotal,
 				metrics.Labels{"origin": resp.Headers.Get(HeaderDegraded)}).Inc()
 		}
 		cb(resp, err)

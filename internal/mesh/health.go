@@ -98,7 +98,7 @@ func (sc *Sidecar) probeResult(service string, addr simnet.Addr, ok bool, p Heal
 	if ok {
 		result = "ok"
 	}
-	m.metrics.Counter("mesh_health_probe_total",
+	m.metrics.Counter(MetricHealthProbeTotal,
 		metrics.Labels{"service": service, "result": result}).Inc()
 	if ok {
 		st.hcFails = 0
@@ -109,7 +109,7 @@ func (sc *Sidecar) probeResult(service string, addr simnet.Addr, ok bool, p Heal
 				now := m.sched.Now()
 				st.warmSince, st.warmUntil = now, now+p.SlowStart
 			}
-			m.metrics.Counter("mesh_health_transitions_total",
+			m.metrics.Counter(MetricHealthTransitionsTotal,
 				metrics.Labels{"service": service, "to": "healthy"}).Inc()
 		}
 		return
@@ -118,7 +118,7 @@ func (sc *Sidecar) probeResult(service string, addr simnet.Addr, ok bool, p Heal
 	st.hcFails++
 	if !st.unhealthy && st.hcFails >= p.UnhealthyThreshold {
 		st.unhealthy = true
-		m.metrics.Counter("mesh_health_transitions_total",
+		m.metrics.Counter(MetricHealthTransitionsTotal,
 			metrics.Labels{"service": service, "to": "unhealthy"}).Inc()
 		// Envoy's close_connections_on_host_health_failure: tear down
 		// request connections to the failed host so in-flight attempts
@@ -140,7 +140,7 @@ func (sc *Sidecar) abortConnsTo(service string, addr simnet.Addr) {
 	}
 	sort.Strings(classes)
 	for _, class := range classes {
-		sc.mesh.metrics.Counter("mesh_health_conn_aborts_total",
+		sc.mesh.metrics.Counter(MetricHealthConnAbortsTotal,
 			metrics.Labels{"service": service}).Inc()
 		sc.pools[poolKey{addr: addr, class: class}].Conn().Abort()
 	}
@@ -226,13 +226,13 @@ func (sc *Sidecar) sweepOutliers(service string, eps []*cluster.Pod, p OutlierPo
 			continue
 		}
 		if p.PanicThreshold > 0 && available-1 < floor {
-			m.metrics.Counter("mesh_outlier_panic_total",
+			m.metrics.Counter(MetricOutlierPanicTotal,
 				metrics.Labels{"service": service}).Inc()
 			continue
 		}
 		st.ejectedUntil = now + p.BaseEjection
 		available--
-		m.metrics.Counter("mesh_outlier_ejections_total",
+		m.metrics.Counter(MetricOutlierEjectionsTotal,
 			metrics.Labels{"service": service, "reason": reason}).Inc()
 	}
 }

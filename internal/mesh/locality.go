@@ -165,7 +165,7 @@ func (sc *Sidecar) localitySelect(service string, eps []*cluster.Pod) []*cluster
 	case sc.mesh.rng.Float64() < wLocal:
 		return local
 	}
-	sc.mesh.metrics.Counter("mesh_lb_cross_zone_total",
+	sc.mesh.metrics.Counter(MetricLBCrossZoneTotal,
 		metrics.Labels{"service": service}).Inc()
 	return remote
 }
@@ -219,7 +219,7 @@ func (sc *Sidecar) pickTarget(service string, req *httpsim.Request, eps []*clust
 	}
 	tierEps, via, panicOpen := sc.ladderSelect(service, req, eps)
 	if via != "" {
-		sc.mesh.metrics.Counter("mesh_cross_region_total",
+		sc.mesh.metrics.Counter(MetricCrossRegionTotal,
 			metrics.Labels{"service": service, "region": via}).Inc()
 		return nil, via
 	}
@@ -313,7 +313,7 @@ func (sc *Sidecar) ladderSelect(service string, req *httpsim.Request, eps []*clu
 		return nil, sc.pickRemoteRegion(t.remote), false
 	}
 	if idx > 0 && len(zoneEps) > 0 {
-		sc.mesh.metrics.Counter("mesh_lb_cross_zone_total",
+		sc.mesh.metrics.Counter(MetricLBCrossZoneTotal,
 			metrics.Labels{"service": service}).Inc()
 	}
 	return t.eps, "", pol.PanicThreshold > 0 && t.frac < pol.PanicThreshold

@@ -24,36 +24,7 @@ import (
 // 15006 virtual-inbound listener.
 const InboundPort = 15006
 
-// Well-known header names (beyond the trace package's).
-const (
-	// HeaderHost names the destination service of a request.
-	HeaderHost = "host"
-	// HeaderSource carries the caller's verified service identity —
-	// the stand-in for the mTLS peer certificate.
-	HeaderSource = "x-mesh-source"
-	// HeaderPriority is the paper's custom priority header: the
-	// classification assigned at ingress and carried with the request
-	// through the whole call tree (§4.3 component 1-2).
-	HeaderPriority = "x-mesh-priority"
-	// HeaderHealth marks a request as an active health-check probe.
-	// The destination sidecar answers probes itself (Envoy's health
-	// check filter), so they test the pod's reachability and proxy
-	// liveness without exercising — or being fooled by — the
-	// application.
-	HeaderHealth = "x-mesh-health"
-	// HeaderDegraded marks a degraded (fallback) response and names the
-	// service whose failure was papered over. Sidecars carry it back
-	// through the call tree with the same provenance mechanism the
-	// paper uses for priorities, so the edge can tell "served in full"
-	// from "served degraded".
-	HeaderDegraded = "x-mesh-degraded"
-	// HeaderBudget carries the request's remaining end-to-end deadline
-	// budget in integer microseconds. The gateway stamps the total;
-	// each sidecar rewrites it on the outbound path net of its own
-	// queueing and service time, and cancels child calls once it hits
-	// zero.
-	HeaderBudget = "x-mesh-budget"
-)
+// Header names live in headers.go, the mesh header registry.
 
 // Priority header values.
 const (

@@ -113,7 +113,7 @@ func (sc *Sidecar) applyInboundRateLimit(respond func(*httpsim.Response)) bool {
 	if sc.bucket.admit(p, sc.mesh.sched.Now()) {
 		return true
 	}
-	sc.mesh.metrics.Counter("mesh_requests_total",
+	sc.mesh.metrics.Counter(MetricRequestsTotal,
 		metrics.Labels{"service": sc.service, "direction": "inbound", "code": "429"}).Inc()
 	respond(httpsim.NewResponse(httpsim.StatusTooManyRequests))
 	return false
@@ -127,7 +127,7 @@ func (sc *Sidecar) maybeMirror(service string, req *httpsim.Request) {
 	}
 	shadow := req.Clone()
 	shadow.Headers.Set(HeaderHost, p.To)
-	shadow.Headers.Set("x-mesh-shadow", "true")
-	sc.mesh.metrics.Counter("mesh_mirrored_total", metrics.Labels{"service": service, "to": p.To}).Inc()
+	shadow.Headers.Set(HeaderShadow, "true")
+	sc.mesh.metrics.Counter(MetricMirroredTotal, metrics.Labels{"service": service, "to": p.To}).Inc()
 	sc.Call(shadow, func(*httpsim.Response, error) {})
 }

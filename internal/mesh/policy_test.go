@@ -68,7 +68,7 @@ func TestMirroringShadowsTraffic(t *testing.T) {
 	tb.cl.AddService("shadow", 9080, map[string]string{"app": "shadow"})
 	ssc := tb.m.InjectSidecar(shadowPod)
 	ssc.RegisterApp(func(req *httpsim.Request, respond func(*httpsim.Response)) {
-		if req.Headers.Get("x-mesh-shadow") != "true" {
+		if req.Headers.Get(HeaderShadow) != "true" {
 			t.Fatal("shadow header missing")
 		}
 		shadowSeen++

@@ -176,7 +176,7 @@ func (sc *Sidecar) handleInbound(ctx httpsim.Ctx, req *httpsim.Request, respond 
 		// Health probes are answered by the proxy itself: they prove
 		// the pod is reachable and its sidecar alive, nothing more.
 		if req.Headers.Get(HeaderHealth) != "" {
-			m.metrics.Counter("mesh_health_probe_answered_total",
+			m.metrics.Counter(MetricHealthProbeAnswered,
 				metrics.Labels{"service": sc.service}).Inc()
 			respond(httpsim.NewResponse(httpsim.StatusOK))
 			return
@@ -186,7 +186,7 @@ func (sc *Sidecar) handleInbound(ctx httpsim.Ctx, req *httpsim.Request, respond 
 		// passing — exactly the failure shape outlier detection exists
 		// to catch.
 		if sf := sc.serverFault; sf != nil && sf.rng.Float64() < sf.cfg.Prob {
-			m.metrics.Counter("mesh_server_fault_injected_total",
+			m.metrics.Counter(MetricServerFaultInjected,
 				metrics.Labels{"service": sc.service}).Inc()
 			resp := httpsim.NewResponse(sf.status())
 			if sf.cfg.Delay > 0 {
@@ -201,7 +201,7 @@ func (sc *Sidecar) handleInbound(ctx httpsim.Ctx, req *httpsim.Request, respond 
 		}
 		src := req.Headers.Get(HeaderSource)
 		if !sc.verifyPeer(req) || !sc.authorized(src) {
-			m.metrics.Counter("mesh_requests_total",
+			m.metrics.Counter(MetricRequestsTotal,
 				metrics.Labels{"service": sc.service, "direction": "inbound", "code": "403"}).Inc()
 			resp := httpsim.NewResponse(httpsim.StatusForbidden)
 			respond(resp)
@@ -252,7 +252,7 @@ func (sc *Sidecar) handleInbound(ctx httpsim.Ctx, req *httpsim.Request, respond 
 					span.SetTag("status", fmt.Sprint(resp.Status))
 					m.tracer.Record(span)
 				}
-				m.metrics.ObserveDuration("mesh_request_duration",
+				m.metrics.ObserveDuration(MetricRequestDuration,
 					metrics.Labels{"service": sc.service, "direction": "inbound"},
 					m.sched.Now()-start)
 				respond(resp)
@@ -261,7 +261,7 @@ func (sc *Sidecar) handleInbound(ctx httpsim.Ctx, req *httpsim.Request, respond 
 
 		app := sc.app
 		if app == nil {
-			m.metrics.Counter("mesh_requests_total",
+			m.metrics.Counter(MetricRequestsTotal,
 				metrics.Labels{"service": sc.service, "direction": "inbound", "code": "ok"}).Inc()
 			respond(httpsim.NewResponse(httpsim.StatusNotFound))
 			return
@@ -269,7 +269,7 @@ func (sc *Sidecar) handleInbound(ctx httpsim.Ctx, req *httpsim.Request, respond 
 
 		ctl := sc.admissionFor(sc.admissionPolicyFor(sc.service))
 		if ctl == nil {
-			m.metrics.Counter("mesh_requests_total",
+			m.metrics.Counter(MetricRequestsTotal,
 				metrics.Labels{"service": sc.service, "direction": "inbound", "code": "ok"}).Inc()
 			app(req, respondFinal)
 			return
@@ -284,7 +284,7 @@ func (sc *Sidecar) handleInbound(ctx httpsim.Ctx, req *httpsim.Request, respond 
 			Enqueued: m.sched.Now(),
 			Expiry:   expiry,
 			Run: func() {
-				m.metrics.Counter("mesh_requests_total",
+				m.metrics.Counter(MetricRequestsTotal,
 					metrics.Labels{"service": sc.service, "direction": "inbound", "code": "ok"}).Inc()
 				sc.observeAdmission(ctl)
 				dispatched := m.sched.Now()
@@ -388,6 +388,7 @@ func (sc *Sidecar) Call(req *httpsim.Request, cb func(*httpsim.Response, error))
 		// against a dead upstream outlast the callers' own timeouts;
 		// serving degraded at the deadline keeps the whole tree alive.
 		if p := sc.fallbackFor(service); !p.IsZero() {
+			c.fbTimer.Cancel() // no-op on a fresh call; meshvet: cancel before re-arm
 			c.fbTimer = m.sched.After(p.after(), func() {
 				if !c.done {
 					c.finish(nil, ErrTimeout)
@@ -537,7 +538,7 @@ func (c *call) launch() {
 				return // a concurrent attempt already charged and scheduled this retry
 			}
 			if !sc.spendRetryToken(c.service, c.retry) {
-				m.metrics.Counter("mesh_retry_budget_exhausted_total",
+				m.metrics.Counter(MetricRetryBudgetExhausted,
 					metrics.Labels{"service": c.service}).Inc()
 				c.finish(resp, err)
 				return
@@ -586,7 +587,7 @@ func (c *call) shouldRetry(resp *httpsim.Response, err error) bool {
 // immediate otherwise, the legacy behaviour).
 func (c *call) scheduleRetry() {
 	m := c.sc.mesh
-	m.metrics.Counter("mesh_retries_total",
+	m.metrics.Counter(MetricRetriesTotal,
 		metrics.Labels{"service": c.service}).Inc()
 	d := c.retry.backoffFor(c.attempts)
 	if d <= 0 {
@@ -615,9 +616,9 @@ func (c *call) finish(resp *httpsim.Response, err error) {
 	if err == nil {
 		code = fmt.Sprintf("%dxx", resp.Status/100)
 	}
-	m.metrics.Counter("mesh_requests_total",
+	m.metrics.Counter(MetricRequestsTotal,
 		metrics.Labels{"service": c.service, "direction": "outbound", "code": code}).Inc()
-	m.metrics.ObserveDuration("mesh_request_duration",
+	m.metrics.ObserveDuration(MetricRequestDuration,
 		metrics.Labels{"service": c.service, "direction": "outbound"},
 		m.sched.Now()-c.start)
 	if c.span != nil {

@@ -138,6 +138,7 @@ func (h *Host) sendSYN(c *Conn) {
 	}
 	c.emit(c.seg(SegSYN), 0)
 	backoff := time.Second << uint(c.synTries-1)
+	c.synTimer.Cancel() // fired (we are its callback) or zero; cancel before re-arm
 	c.synTimer = h.sched.After(backoff, func() { h.sendSYN(c) })
 }
 
