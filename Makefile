@@ -1,8 +1,8 @@
 # Developer entry points. CI (.github/workflows/ci.yml) runs `make check`.
 
-.PHONY: check build vet lint test race bench bench-json chaos-smoke ctrlplane-smoke federation-smoke hybrid-smoke
+.PHONY: check build vet lint test race bench bench-json chaos-smoke ctrlplane-smoke federation-smoke hybrid-smoke ctrlscale-smoke
 
-check: build vet lint test chaos-smoke ctrlplane-smoke federation-smoke hybrid-smoke
+check: build vet lint test chaos-smoke ctrlplane-smoke federation-smoke hybrid-smoke ctrlscale-smoke
 
 build:
 	go build ./...
@@ -49,7 +49,7 @@ bench-json:
 	@echo "wrote BENCH_engine.json"
 	go test . -run '^$$' -bench 'ZoneFail' -benchtime 3x | go run ./cmd/benchjson > BENCH_zonefail.json
 	@echo "wrote BENCH_zonefail.json"
-	go test . -run '^$$' -bench 'CtrlPlane' -benchtime 3x | go run ./cmd/benchjson > BENCH_ctrlplane.json
+	go test . -run '^$$' -bench 'CtrlPlane|CtrlScale' -benchtime 3x | go run ./cmd/benchjson > BENCH_ctrlplane.json
 	@echo "wrote BENCH_ctrlplane.json"
 	go test . -run '^$$' -bench 'Federation' -benchtime 3x | go run ./cmd/benchjson > BENCH_federation.json
 	@echo "wrote BENCH_federation.json"
@@ -87,6 +87,17 @@ federation-smoke:
 	go run ./cmd/meshbench -exp federation -warmup 1s -measure 4s -seed 7 > $$b && \
 	go run ./cmd/meshbench -exp federation -warmup 1s -measure 4s -seed 7 -parallel 1 > $$c && \
 	cmp $$a $$b && cmp $$a $$c && echo "federation-smoke: federation deterministic (parallel == sequential)" ; \
+	rc=$$? ; rm -f $$a $$b $$c ; exit $$rc
+
+# Same golden property for E21 at its smoke scale (1000 subscribers):
+# crash/recovery epochs, backoff jitter, admission queues, and the
+# convergence probe must replay byte-for-byte at any -parallel.
+ctrlscale-smoke:
+	@a=$$(mktemp) && b=$$(mktemp) && c=$$(mktemp) && \
+	go run ./cmd/meshbench -exp ctrlscale -subs 1000 -warmup 1s -measure 12s -seed 7 > $$a && \
+	go run ./cmd/meshbench -exp ctrlscale -subs 1000 -warmup 1s -measure 12s -seed 7 > $$b && \
+	go run ./cmd/meshbench -exp ctrlscale -subs 1000 -warmup 1s -measure 12s -seed 7 -parallel 1 > $$c && \
+	cmp $$a $$b && cmp $$a $$c && echo "ctrlscale-smoke: ctrlscale deterministic (parallel == sequential)" ; \
 	rc=$$? ; rm -f $$a $$b $$c ; exit $$rc
 
 # Determinism golden for the fluid fast path (E20 and -fidelity): the

@@ -230,6 +230,28 @@ func BenchmarkCtrlPlane(b *testing.B) {
 	}
 }
 
+// BenchmarkCtrlScale reproduces E21 at bench scale (1000 subscribers):
+// a deploy storm with a mid-storm control-plane crash, undefended
+// stampede vs the full defense ladder.
+func BenchmarkCtrlScale(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := RunCtrlScale(1, 1000, time.Second, 12*time.Second)
+		l0, l3 := rows[0], rows[3]
+		recovered := -1.0 // DNF sentinel
+		if l3.Recovered {
+			recovered = msf(l3.RecoveredIn)
+		}
+		b.ReportMetric(float64(l0.Timeouts), "l0_push_timeouts")
+		b.ReportMetric(float64(l0.ResyncBytes)/(1<<20), "l0_resync_mb")
+		b.ReportMetric(float64(l0.PeakInflight), "l0_peak_inflight")
+		b.ReportMetric(recovered, "l3_recovery_ms")
+		b.ReportMetric(float64(l3.Timeouts), "l3_push_timeouts")
+		b.ReportMetric(float64(l3.PeakInflight), "l3_peak_inflight")
+		b.ReportMetric(float64(l3.PeakResyncs), "l3_peak_resyncs")
+		b.ReportMetric(100*l3.TailAvail, "l3_tail_avail_pct")
+	}
+}
+
 // BenchmarkFederation reproduces E19: region evacuation plus a WAN
 // partition against the failover-ladder sweep.
 func BenchmarkFederation(b *testing.B) {

@@ -23,7 +23,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: fig4|licost|overhead|ablation|scavenger|adaptivelb|redundant|hops|bottleneck|skew|resilience|qdisc|overload|chaos|zonefail|ctrlplane|federation|engine|fidelity|all (engine and fidelity are never part of all)")
+		exp      = flag.String("exp", "all", "experiment: fig4|licost|overhead|ablation|scavenger|adaptivelb|redundant|hops|bottleneck|skew|resilience|qdisc|overload|chaos|zonefail|ctrlplane|federation|engine|fidelity|ctrlscale|all (engine, fidelity, and ctrlscale are never part of all)")
 		seed     = flag.Int64("seed", 1, "random seed (same seed = identical run)")
 		rps      = flag.Float64("rps", 40, "per-workload RPS for the ablation experiment")
 		levels   = flag.String("levels", "10,20,30,40,50", "comma-separated RPS levels for the fig4 sweep")
@@ -35,6 +35,7 @@ func main() {
 		parallel = flag.Int("parallel", meshlayer.MaxParallel, "max concurrent simulation runs per sweep (1 = sequential; output is identical either way)")
 		fidelity = flag.String("fidelity", "packet", "simulation fidelity for every experiment: packet|flow|hybrid (E20 compares all three itself, regardless)")
 		zones    = flag.Int("zones", 0, "E20 fan-in zone count, 100 pods each (0 = the full 100-zone, 10k-pod sweep)")
+		subs     = flag.Int("subs", 0, "E21 subscriber (worker sidecar) count (0 = the full 10k fleet)")
 	)
 	flag.Parse()
 	if *parallel > 0 {
@@ -157,6 +158,12 @@ func main() {
 	if *exp == "fidelity" {
 		ran = true
 		fmt.Println(meshlayer.FormatFidelity(meshlayer.RunFidelityBench(*zones, 0)))
+	}
+	// E21 runs a 10k-sidecar fleet under hybrid fidelity (its own
+	// per-network setting); explicit-only for the same reason as E20.
+	if *exp == "ctrlscale" {
+		ran = true
+		fmt.Println(meshlayer.FormatCtrlScale(meshlayer.RunCtrlScale(*seed, *subs, *warmup, *measure)))
 	}
 	if !ran {
 		fmt.Fprintf(os.Stderr, "meshbench: unknown experiment %q\n", *exp)

@@ -223,6 +223,12 @@ type Restart struct {
 	Pod string
 	// Grace is the drain window between readiness-off and the kill.
 	Grace time.Duration
+	// Resubscribe re-registers the pod's sidecar with the distributing
+	// control plane when the pod comes back — the fresh proxy process
+	// of a real restart rejoins instead of riding the old subscription.
+	// Off by default (pre-survivability behavior); a no-op in
+	// instant-propagation mode.
+	Resubscribe bool
 }
 
 // Name implements Fault.
@@ -246,9 +252,38 @@ func (f Restart) Revert(t *Target) {
 	pod := t.Cluster.Pod(f.Pod)
 	pod.Partition(false)
 	pod.SetReady(true)
+	if f.Resubscribe {
+		t.Mesh.ControlPlane().ResubscribePod(f.Pod)
+	}
 }
 
 func (f Restart) validate(t *Target) error { return needPod(t, f.Pod) }
+
+// ControlPlaneCrash kills the distributing control plane for the
+// event's duration: the control-plane pod partitions, in-flight
+// pushes die with its sockets, and the server process loses all
+// volatile push state. Sidecars keep routing on their last-good
+// snapshots — static stability, the property that makes this fault
+// survivable at all. On revert the control plane restarts into a new
+// epoch and every subscriber must full-resync: the resync storm the
+// ctrlplane backoff/backpressure/admission knobs exist to suppress.
+type ControlPlaneCrash struct{}
+
+// Name implements Fault.
+func (f ControlPlaneCrash) Name() string { return "ctrlplane-crash" }
+
+// Inject implements Fault.
+func (f ControlPlaneCrash) Inject(t *Target) { t.Mesh.ControlPlane().CrashDistribution() }
+
+// Revert implements Fault.
+func (f ControlPlaneCrash) Revert(t *Target) { t.Mesh.ControlPlane().RecoverDistribution() }
+
+func (f ControlPlaneCrash) validate(t *Target) error {
+	if !t.Mesh.ControlPlane().Distributed() {
+		return fmt.Errorf("ctrlplane-crash: distribution not enabled")
+	}
+	return nil
+}
 
 // CPStale delays control-plane configuration propagation — the stale
 // xDS failure where operators' pushes take effect long after they were

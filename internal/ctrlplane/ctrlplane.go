@@ -82,6 +82,29 @@ type Config struct {
 	// ResyncDelay is the backoff before re-pushing after a NACK or a
 	// lost connection (default 500ms).
 	ResyncDelay time.Duration
+	// ResyncMax, when positive, turns the fixed ResyncDelay into an
+	// exponential backoff: consecutive failed retries double the delay
+	// from ResyncDelay up to ResyncMax. Zero keeps the fixed delay.
+	ResyncMax time.Duration
+	// ResyncJitter, when positive, adds up to ResyncJitter*delay of
+	// deterministic per-subscriber jitter (FNV-1a over name+attempt) to
+	// each retry so desynced subscribers do not stampede back at the
+	// same virtual instant. Zero means no jitter.
+	ResyncJitter float64
+	// MaxInflightPushes caps updates concurrently handed to the
+	// transport; excess subscribers queue and are admitted
+	// oldest-lag-first as pushes settle. Zero means unlimited (every
+	// flush fans out in one pass).
+	MaxInflightPushes int
+	// MaxConcurrentResyncs caps subscribers concurrently performing a
+	// full resync: the rest wait in FIFO order for an admission slot.
+	// Zero means unlimited.
+	MaxConcurrentResyncs int
+	// ResyncLease bounds how long one subscriber may hold a resync
+	// admission slot; a stuck resync is sent to the back of the queue
+	// when the lease expires (default 10s; used only when
+	// MaxConcurrentResyncs > 0).
+	ResyncLease time.Duration
 	// OnSynced, when set, fires each time a subscriber catches up to the
 	// current server version through the push path (ack or empty-delta
 	// fast-forward). The mesh uses it to gate pod readiness on config
@@ -98,11 +121,18 @@ type Stats struct {
 	// Acks, Nacks, and Timeouts count push outcomes.
 	Acks, Nacks, Timeouts uint64
 	// Resyncs counts full updates sent to recover a desynced subscriber
-	// (after its initial sync).
-	Resyncs uint64
+	// (after its initial sync); ResyncBytes sums their wire size.
+	Resyncs     uint64
+	ResyncBytes uint64
 	// MaxLag is the widest server-to-subscriber version gap observed at
-	// any flush.
+	// any flush, desync, or ack.
 	MaxLag uint64
+	// Crashes counts Crash calls (server process deaths).
+	Crashes uint64
+	// PeakInflight and PeakResyncs are high-water marks for pushes
+	// concurrently in the transport and subscribers concurrently
+	// holding a resync admission slot.
+	PeakInflight, PeakResyncs int
 }
 
 // Pushes returns the total update count.
@@ -110,14 +140,30 @@ func (s Stats) Pushes() uint64 { return s.DeltaPushes + s.FullPushes }
 
 type subscriber struct {
 	name string
+	// idx is the subscription sequence number (stable priority tiebreak).
+	idx int
+	// gen guards callbacks captured before an Unsubscribe: a done or
+	// timer closure from a previous registration must not touch the
+	// replacement subscriber's state.
+	gen uint64
 	// version is the last acknowledged server version.
 	version uint64
 	// synced is false until the first ack and after any NACK or lost
 	// connection; the next update is then a full resync.
 	synced   bool
 	inflight bool
-	// retryArmed marks a pending resync backoff timer.
+	// retryArmed marks a pending resync backoff timer; attempts counts
+	// consecutive failures since the last ack (the backoff exponent).
 	retryArmed bool
+	retryTimer simnet.Timer
+	attempts   int
+	// queued marks membership in pushQ; resyncWait membership in
+	// resyncQ; resyncHeld a held resync admission slot (leaseTimer
+	// reclaims it if the resync wedges).
+	queued     bool
+	resyncWait bool
+	resyncHeld bool
+	leaseTimer simnet.Timer
 }
 
 // Server is the distribution side of the simulated control plane.
@@ -131,10 +177,26 @@ type Server struct {
 	subs    map[string]*subscriber
 	// subOrder fixes push order to subscription order (determinism).
 	subOrder   []string
+	nextIdx    int
 	hold       time.Duration
 	flushArmed bool
 	flushTimer simnet.Timer
-	stats      Stats
+	// epoch increments on every Crash; down marks a crashed process.
+	// Push done-callbacks capture the epoch they were sent under and
+	// are ignored if the server died in between.
+	epoch uint64
+	down  bool
+	// pushQ holds subscribers awaiting a transport slot; resyncQ holds
+	// unsynced subscribers awaiting a resync admission slot (FIFO).
+	pushQ     []*subscriber
+	resyncQ   []*subscriber
+	inflightN int
+	resyncN   int
+	// fullCache shares one state-of-the-world Update per version across
+	// subscribers (resync waves would otherwise copy the whole resource
+	// set once per subscriber).
+	fullCache *Update
+	stats     Stats
 }
 
 // NewServer validates cfg and returns an empty server.
@@ -147,6 +209,9 @@ func NewServer(cfg Config) *Server {
 	}
 	if cfg.ResyncDelay <= 0 {
 		cfg.ResyncDelay = 500 * time.Millisecond
+	}
+	if cfg.ResyncLease <= 0 {
+		cfg.ResyncLease = 10 * time.Second
 	}
 	return &Server{
 		cfg:       cfg,
@@ -165,16 +230,62 @@ func (s *Server) Stats() Stats { return s.stats }
 // Subscribe registers a sidecar and returns its bootstrap update: the
 // current full state, which the caller applies synchronously (a proxy
 // blocks on its initial xDS fetch before serving). Later changes
-// arrive as debounced pushes.
+// arrive as debounced pushes. Re-subscribing an existing name replaces
+// the old registration — a chaos-restarted pod rejoining — dropping
+// its pending retries, queue entries, and in-flight callbacks. While
+// the server is down, Subscribe registers the name but returns nil (no
+// bootstrap is available); the caller keeps routing on whatever
+// snapshot it has and is full-resynced after Recover.
 func (s *Server) Subscribe(name string) *Update {
-	if _, dup := s.subs[name]; dup {
-		panic("ctrlplane: duplicate subscriber " + name)
+	if old := s.subs[name]; old != nil {
+		s.Unsubscribe(name)
 	}
-	sub := &subscriber{name: name, version: s.version, synced: true}
+	sub := &subscriber{name: name, idx: s.nextIdx}
+	s.nextIdx++
 	s.subs[name] = sub
 	s.subOrder = append(s.subOrder, name)
+	if s.down {
+		s.sampleLag(sub)
+		return nil
+	}
+	sub.version = s.version
+	sub.synced = true
 	s.setLagGauge(sub)
 	return s.fullUpdate()
+}
+
+// Unsubscribe removes a subscriber: pending retry and lease timers are
+// cancelled, queued pushes dropped, held slots released, and any
+// in-flight done callback ignored. Unknown names are a no-op.
+func (s *Server) Unsubscribe(name string) {
+	sub := s.subs[name]
+	if sub == nil {
+		return
+	}
+	sub.gen++ // in-flight done and timer closures check this and bail
+	sub.retryTimer.Cancel()
+	sub.leaseTimer.Cancel()
+	sub.retryArmed = false
+	sub.queued = false // lazily skipped when popped from pushQ
+	sub.resyncWait = false
+	if sub.inflight {
+		sub.inflight = false
+		s.inflightN--
+	}
+	if sub.resyncHeld {
+		sub.resyncHeld = false
+		s.resyncN--
+	}
+	delete(s.subs, name)
+	for i, n := range s.subOrder {
+		if n == name {
+			s.subOrder = append(s.subOrder[:i], s.subOrder[i+1:]...)
+			break
+		}
+	}
+	if !s.down {
+		s.admitResyncs()
+	}
 }
 
 // SubscriberVersion returns a subscriber's last acknowledged version.
@@ -249,6 +360,74 @@ func (s *Server) SetHold(d time.Duration) {
 // Flush pushes pending state now, bypassing the debounce window.
 func (s *Server) Flush() { s.flush() }
 
+// Down reports whether the server is crashed (between Crash and
+// Recover); Epoch counts completed recoveries.
+func (s *Server) Down() bool    { return s.down }
+func (s *Server) Epoch() uint64 { return s.epoch }
+
+// UnsyncedCount returns how many subscribers have not completed their
+// (re)sync — the convergence probe experiments poll after a crash.
+func (s *Server) UnsyncedCount() int {
+	n := 0
+	for _, name := range s.subOrder {
+		if !s.subs[name].synced {
+			n++
+		}
+	}
+	return n
+}
+
+// Crash simulates control-plane process death. The resource store and
+// subscriber registrations survive (they model the config source of
+// truth and the set of connected proxies, both of which outlive one
+// server process), but all volatile push state is lost: pending
+// flushes, retry backoffs, admission queues, and in-flight pushes —
+// whose done callbacks, keyed to the old epoch, are ignored when the
+// transport eventually settles them. Subscribers keep routing on their
+// last acknowledged snapshots (static stability).
+func (s *Server) Crash() {
+	if s.down {
+		return
+	}
+	s.down = true
+	s.epoch++ // pushes sent under the old epoch settle into the void
+	s.stats.Crashes++
+	s.flushTimer.Cancel()
+	s.flushArmed = false
+	for _, name := range s.subOrder {
+		sub := s.subs[name]
+		sub.retryTimer.Cancel()
+		sub.leaseTimer.Cancel()
+		sub.retryArmed = false
+		sub.inflight = false
+		sub.queued = false
+		sub.resyncWait = false
+		sub.resyncHeld = false
+		sub.attempts = 0
+	}
+	s.pushQ = nil
+	s.resyncQ = nil
+	s.inflightN = 0
+	s.resyncN = 0
+}
+
+// Recover restarts a crashed server into a new epoch. Every subscriber
+// is considered unsynced — its last ack belonged to the dead process —
+// and must full-resync through the admission window; a flush is staged
+// to start the wave after the debounce.
+func (s *Server) Recover() {
+	if !s.down {
+		return
+	}
+	s.down = false
+	for _, name := range s.subOrder {
+		sub := s.subs[name]
+		sub.synced = false
+		s.sampleLag(sub)
+	}
+	s.stage()
+}
+
 // MaxLag returns the current widest version gap across subscribers.
 func (s *Server) MaxLag() uint64 {
 	var max uint64
@@ -261,7 +440,7 @@ func (s *Server) MaxLag() uint64 {
 }
 
 func (s *Server) stage() {
-	if s.flushArmed {
+	if s.flushArmed || s.down {
 		return
 	}
 	s.flushArmed = true
@@ -271,17 +450,145 @@ func (s *Server) stage() {
 
 func (s *Server) flush() {
 	s.flushArmed = false
+	if s.down {
+		return
+	}
 	for _, name := range s.subOrder {
 		sub := s.subs[name]
-		if lag := s.version - sub.version; lag > s.stats.MaxLag {
-			s.stats.MaxLag = lag
+		s.sampleLag(sub)
+		s.schedulePush(sub)
+	}
+	s.admit()
+}
+
+// schedulePush queues sub for a push if it is behind and not already
+// pending somewhere (in flight, backing off, queued, or waiting for a
+// resync slot). Unsynced subscribers acquire a resync admission slot
+// first when MaxConcurrentResyncs caps them. Callers follow up with
+// admit().
+func (s *Server) schedulePush(sub *subscriber) {
+	if s.down || sub.inflight || sub.retryArmed || sub.queued || sub.resyncWait {
+		return
+	}
+	if sub.synced && sub.version == s.version {
+		return
+	}
+	if !sub.synced && !sub.resyncHeld && s.cfg.MaxConcurrentResyncs > 0 {
+		if s.resyncN >= s.cfg.MaxConcurrentResyncs {
+			sub.resyncWait = true
+			s.resyncQ = append(s.resyncQ, sub)
+			return
 		}
+		s.grantResync(sub)
+	}
+	sub.queued = true
+	s.pushQ = append(s.pushQ, sub)
+}
+
+// admit drains pushQ into the transport up to MaxInflightPushes.
+// Uncapped, admission order is queue order — flush enqueues in
+// subscription order, preserving the classic fan-out. Capped, the
+// oldest lag goes first (lowest subscription index breaks ties).
+func (s *Server) admit() {
+	for len(s.pushQ) > 0 && (s.cfg.MaxInflightPushes == 0 || s.inflightN < s.cfg.MaxInflightPushes) {
+		var sub *subscriber
+		if s.cfg.MaxInflightPushes == 0 {
+			sub = s.pushQ[0]
+			s.pushQ = s.pushQ[1:]
+		} else {
+			best := -1
+			var bestLag uint64
+			for i, cand := range s.pushQ {
+				if !cand.queued {
+					continue // dropped while queued (unsubscribe, lease revoke)
+				}
+				lag := s.version - cand.version
+				if best == -1 || lag > bestLag ||
+					(lag == bestLag && cand.idx < s.pushQ[best].idx) {
+					best, bestLag = i, lag
+				}
+			}
+			if best == -1 {
+				s.pushQ = s.pushQ[:0]
+				return
+			}
+			sub = s.pushQ[best]
+			s.pushQ = append(s.pushQ[:best], s.pushQ[best+1:]...)
+		}
+		if !sub.queued {
+			continue
+		}
+		sub.queued = false
 		s.pushTo(sub)
+	}
+	if len(s.pushQ) == 0 && s.pushQ != nil {
+		s.pushQ = nil // release the drained backing array
 	}
 }
 
+// grantResync hands sub a resync admission slot and arms the lease
+// that reclaims it if the resync wedges (e.g. a subscriber that stays
+// partitioned through every retry).
+func (s *Server) grantResync(sub *subscriber) {
+	sub.resyncHeld = true
+	s.resyncN++
+	if s.resyncN > s.stats.PeakResyncs {
+		s.stats.PeakResyncs = s.resyncN
+	}
+	gen := sub.gen
+	sub.leaseTimer.Cancel() // fired or cancelled when !resyncHeld; cancel before re-arm
+	sub.leaseTimer = s.cfg.Sched.After(s.cfg.ResyncLease, func() {
+		if sub.gen != gen || !sub.resyncHeld || sub.synced {
+			return
+		}
+		// Stuck resync: free the slot and send the subscriber to the
+		// back of the admission queue. An in-flight push is left to
+		// settle on its own; its failure path re-queues the subscriber.
+		sub.resyncHeld = false
+		s.resyncN--
+		if sub.queued {
+			sub.queued = false // lazily skipped in admit
+		}
+		if !sub.inflight && !sub.retryArmed {
+			sub.resyncWait = true
+			s.resyncQ = append(s.resyncQ, sub)
+		}
+		s.admitResyncs()
+	})
+}
+
+// releaseResync returns sub's admission slot (if held) and admits the
+// next waiter.
+func (s *Server) releaseResync(sub *subscriber) {
+	if !sub.resyncHeld {
+		return
+	}
+	sub.resyncHeld = false
+	sub.leaseTimer.Cancel()
+	s.resyncN--
+	s.admitResyncs()
+}
+
+// admitResyncs grants freed resync slots to the FIFO queue, then lets
+// the push queue admit any newly eligible work.
+func (s *Server) admitResyncs() {
+	for len(s.resyncQ) > 0 && (s.cfg.MaxConcurrentResyncs == 0 || s.resyncN < s.cfg.MaxConcurrentResyncs) {
+		sub := s.resyncQ[0]
+		s.resyncQ = s.resyncQ[1:]
+		if !sub.resyncWait {
+			continue
+		}
+		sub.resyncWait = false
+		s.schedulePush(sub)
+	}
+	if len(s.resyncQ) == 0 && s.resyncQ != nil {
+		s.resyncQ = nil
+	}
+	s.admit()
+}
+
 func (s *Server) pushTo(sub *subscriber) {
-	if sub.inflight || sub.retryArmed {
+	if s.down || sub.inflight || sub.retryArmed {
 		return // the ack/retry path re-pushes if still behind
 	}
 	if sub.synced && sub.version == s.version {
@@ -290,7 +597,7 @@ func (s *Server) pushTo(sub *subscriber) {
 	u := s.buildUpdate(sub)
 	if u == nil { // nothing changed from this subscriber's view
 		sub.version = s.version
-		s.setLagGauge(sub)
+		s.sampleLag(sub)
 		if s.cfg.OnSynced != nil {
 			s.cfg.OnSynced(sub.name)
 		}
@@ -302,6 +609,7 @@ func (s *Server) pushTo(sub *subscriber) {
 		s.stats.FullPushes++
 		if sub.version > 0 && !s.cfg.FullState {
 			s.stats.Resyncs++
+			s.stats.ResyncBytes += uint64(u.WireBytes)
 		}
 	} else {
 		s.stats.DeltaPushes++
@@ -311,8 +619,17 @@ func (s *Server) pushTo(sub *subscriber) {
 		s.cfg.Metrics.Counter(MetricPushBytesTotal, nil).Add(uint64(u.WireBytes))
 	}
 	sub.inflight = true
+	s.inflightN++
+	if s.inflightN > s.stats.PeakInflight {
+		s.stats.PeakInflight = s.inflightN
+	}
+	epoch, gen := s.epoch, sub.gen
 	s.cfg.Transport.Push(sub.name, u, func(ack bool, err error) {
+		if s.epoch != epoch || sub.gen != gen {
+			return // the server crashed or the subscriber re-registered since
+		}
 		sub.inflight = false
+		s.inflightN--
 		switch {
 		case err != nil:
 			s.stats.Timeouts++
@@ -328,28 +645,88 @@ func (s *Server) pushTo(sub *subscriber) {
 			s.observeStaleness(u, sub.version)
 			sub.version = u.Version
 			sub.synced = true
-			s.setLagGauge(sub)
+			sub.attempts = 0
+			s.releaseResync(sub)
+			s.sampleLag(sub)
 			if sub.version != s.version {
-				s.pushTo(sub) // changes accumulated while in flight
+				// Changes accumulated while in flight: catch up now —
+				// unless a hold is suppressing pushes, in which case the
+				// catch-up rides the held flush like any staged change.
+				if s.hold > 0 {
+					s.stage()
+				} else {
+					s.schedulePush(sub)
+				}
 			} else if s.cfg.OnSynced != nil {
 				s.cfg.OnSynced(sub.name)
 			}
 		}
+		s.admit() // a transport slot settled; admit queued work
 	})
 }
 
 // desync marks the subscriber for a full resync-on-reconnect and arms
-// the backoff before retrying.
+// the backoff before retrying: fixed ResyncDelay by default, doubling
+// up to ResyncMax with deterministic per-subscriber jitter when the
+// storm-suppression knobs are set.
 func (s *Server) desync(sub *subscriber) {
 	sub.synced = false
-	if sub.retryArmed {
+	s.sampleLag(sub)
+	if s.down || sub.retryArmed {
 		return
 	}
+	sub.attempts++
 	sub.retryArmed = true
-	s.cfg.Sched.After(s.cfg.ResyncDelay, func() {
+	gen := sub.gen
+	sub.retryTimer.Cancel() // fired or cancelled when !retryArmed; cancel before re-arm
+	sub.retryTimer = s.cfg.Sched.After(s.retryDelay(sub), func() {
+		if sub.gen != gen {
+			return
+		}
 		sub.retryArmed = false
-		s.pushTo(sub)
+		s.schedulePush(sub)
+		s.admit()
 	})
+}
+
+// retryDelay computes the backoff for sub's next resync attempt.
+func (s *Server) retryDelay(sub *subscriber) time.Duration {
+	d := s.cfg.ResyncDelay
+	if s.cfg.ResyncMax > 0 {
+		for i := 1; i < sub.attempts && d < s.cfg.ResyncMax; i++ {
+			d *= 2
+		}
+		if d > s.cfg.ResyncMax {
+			d = s.cfg.ResyncMax
+		}
+	}
+	if s.cfg.ResyncJitter > 0 {
+		d += time.Duration(s.cfg.ResyncJitter * float64(d) * jitterFrac(sub.name, sub.attempts))
+	}
+	return d
+}
+
+// jitterFrac maps (subscriber, attempt) to a uniform value in [0,1)
+// via FNV-1a — deterministic spread with no global randomness.
+func jitterFrac(name string, attempt int) float64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	h ^= uint64(attempt)
+	h *= 1099511628211
+	return float64(h>>11) / float64(1<<53)
+}
+
+// sampleLag records sub's current version gap in Stats.MaxLag and the
+// per-subscriber lag gauge. Called on flush, desync, and ack so lag
+// built up between flushes (holds, crashes) is not under-reported.
+func (s *Server) sampleLag(sub *subscriber) {
+	if lag := s.version - sub.version; lag > s.stats.MaxLag {
+		s.stats.MaxLag = lag
+	}
+	s.setLagGauge(sub)
 }
 
 // buildUpdate encodes sub's catch-up: full state for unsynced
@@ -383,13 +760,22 @@ func (s *Server) buildUpdate(sub *subscriber) *Update {
 	return u
 }
 
+// fullUpdate returns the state-of-the-world update for the current
+// version. The result is shared across callers (and cached until the
+// next version bump): a 10k-subscriber resync wave references one
+// Update instead of 10k copies of the entire resource set. Updates are
+// immutable once built — receivers only read them.
 func (s *Server) fullUpdate() *Update {
+	if s.fullCache != nil && s.fullCache.Version == s.version {
+		return s.fullCache
+	}
 	u := &Update{Full: true, Version: s.version, WireBytes: updateHeaderBytes}
 	for _, name := range s.resOrder {
 		res := s.resources[name]
 		u.Resources = append(u.Resources, *res)
 		u.WireBytes += resourceHeaderBytes + res.Bytes
 	}
+	s.fullCache = u
 	return u
 }
 

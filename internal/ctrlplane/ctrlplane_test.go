@@ -272,3 +272,374 @@ func (o orderedTransport) Push(sub string, u *Update, done func(bool, error)) {
 	*o.order = append(*o.order, sub)
 	o.inner.Push(sub, u, done)
 }
+
+// timedTransport records the virtual send time of every push.
+type timedTransport struct {
+	inner *fakeTransport
+	times *[]time.Duration
+}
+
+func (o timedTransport) Push(sub string, u *Update, done func(bool, error)) {
+	*o.times = append(*o.times, o.inner.sched.Now())
+	o.inner.Push(sub, u, done)
+}
+
+// The full NACK recovery sequence, with exact virtual timings: delta ->
+// NACK -> exponential backoff (200, 400, 800ms) -> full resync -> ack,
+// and the attempt counter resets on ack so the next failure backs off
+// from the base delay again.
+func TestNackBackoffResyncAckSequence(t *testing.T) {
+	sched := simnet.NewScheduler()
+	tr := newFakeTransport(sched, 10*time.Millisecond)
+	var times []time.Duration
+	srv := NewServer(Config{
+		Sched: sched, Transport: timedTransport{tr, &times},
+		Debounce: 50 * time.Millisecond, ResyncDelay: 200 * time.Millisecond,
+		ResyncMax: 1600 * time.Millisecond,
+	})
+	srv.SetResource("a", "a1", 100)
+	snap := subscribe(tr, srv, "s1") // bootstraps at v1: later fulls are resyncs
+	tr.nack["s1"] = true
+	srv.SetResource("a", "a2", 100)
+	sched.RunFor(time.Second)
+	tr.nack["s1"] = false
+	sched.RunFor(time.Second)
+
+	// Delta departs at the debounce edge (50ms) and NACKs at 60ms; the
+	// retries back off 200, 400, 800ms from each failure.
+	want := []time.Duration{
+		50 * time.Millisecond,   // delta -> NACK at 60ms
+		260 * time.Millisecond,  // full resync -> NACK at 270ms
+		670 * time.Millisecond,  // backoff doubled -> NACK at 680ms
+		1480 * time.Millisecond, // doubled again -> ack
+	}
+	if len(times) != len(want) {
+		t.Fatalf("push times = %v, want %v", times, want)
+	}
+	for i := range want {
+		if times[i] != want[i] {
+			t.Fatalf("push %d at %v, want %v (all: %v)", i, times[i], want[i], times)
+		}
+	}
+	if tr.pushes[0].Full || !tr.pushes[len(tr.pushes)-1].Full {
+		t.Fatalf("want delta first and full resync last: %+v", tr.pushes)
+	}
+	if snap.Get("a") != "a2" || !srv.Current("s1") {
+		t.Fatalf("not converged after recovery: a=%v", snap.Get("a"))
+	}
+
+	// The ack reset the attempt counter: the next failure's retry uses
+	// the base 200ms delay, not the backed-off 1600ms.
+	tr.nack["s1"] = true
+	srv.SetResource("a", "a3", 100)
+	sched.RunFor(70 * time.Millisecond) // delta departs + NACKs
+	tr.nack["s1"] = false
+	sched.RunFor(time.Second)
+	n := len(times)
+	if gap := times[n-1] - times[n-2]; gap != 210*time.Millisecond {
+		t.Fatalf("post-ack retry gap = %v, want 210ms (base delay again)", gap)
+	}
+	st := srv.Stats()
+	if st.Nacks != 4 || st.Resyncs != 4 || st.Acks != 2 {
+		t.Fatalf("stats = %+v, want 4 nacks, 4 resyncs, 2 acks", st)
+	}
+}
+
+// SetHold mid-flight must not disturb the in-flight push, and changes
+// staged under the hold stay unpushed until it lifts.
+func TestHoldDuringInflightPush(t *testing.T) {
+	sched, tr, srv := newTestServer(t, false)
+	srv.SetResource("a", "a1", 100)
+	snap := subscribe(tr, srv, "s1")
+
+	srv.SetResource("a", "a2", 100)
+	sched.RunFor(55 * time.Millisecond) // delta in flight (50ms..60ms)
+	srv.SetHold(10 * time.Second)
+	srv.SetResource("b", "b1", 100)
+	sched.RunFor(2 * time.Second)
+	if len(tr.pushes) != 1 {
+		t.Fatalf("pushes under hold = %d, want just the in-flight delta", len(tr.pushes))
+	}
+	if snap.Get("a") != "a2" || snap.Get("b") != nil {
+		t.Fatalf("in-flight delta lost or held change leaked: a=%v b=%v", snap.Get("a"), snap.Get("b"))
+	}
+	srv.SetHold(0)
+	sched.RunFor(time.Second)
+	if snap.Get("b") != "b1" || !srv.Current("s1") {
+		t.Fatalf("held change not delivered after release: b=%v", snap.Get("b"))
+	}
+}
+
+// OnSynced fires exactly once per catch-up: not on the bootstrap, not
+// on an ack that leaves the subscriber behind, once when it reaches the
+// current version.
+func TestOnSyncedExactlyOncePerCatchup(t *testing.T) {
+	sched := simnet.NewScheduler()
+	tr := newFakeTransport(sched, 10*time.Millisecond)
+	synced := make(map[string]int)
+	srv := NewServer(Config{
+		Sched: sched, Transport: tr, Debounce: 50 * time.Millisecond,
+		ResyncDelay: 200 * time.Millisecond,
+		OnSynced:    func(name string) { synced[name]++ },
+	})
+	subscribe(tr, srv, "s1")
+	if len(synced) != 0 {
+		t.Fatalf("OnSynced fired on bootstrap: %v", synced)
+	}
+	srv.SetResource("a", "a1", 100)
+	sched.RunFor(time.Second)
+	if synced["s1"] != 1 {
+		t.Fatalf("OnSynced count = %d after one push, want 1", synced["s1"])
+	}
+	// A change staged while the push is in flight: the first ack leaves
+	// the subscriber behind (no OnSynced), the follow-up completes the
+	// catch-up (one OnSynced).
+	srv.SetResource("a", "a2", 100)
+	sched.RunFor(55 * time.Millisecond)
+	srv.SetResource("b", "b1", 100)
+	sched.RunFor(time.Second)
+	if synced["s1"] != 2 {
+		t.Fatalf("OnSynced count = %d after coalesced catch-up, want 2", synced["s1"])
+	}
+}
+
+// A version bump with nothing to deliver (every change already seen
+// from this subscriber's view) fast-forwards the subscriber without a
+// push and still fires OnSynced.
+func TestEmptyDeltaFastForwards(t *testing.T) {
+	sched := simnet.NewScheduler()
+	tr := newFakeTransport(sched, 10*time.Millisecond)
+	synced := 0
+	srv := NewServer(Config{
+		Sched: sched, Transport: tr, Debounce: 50 * time.Millisecond,
+		OnSynced: func(string) { synced++ },
+	})
+	srv.SetResource("a", "a1", 100)
+	subscribe(tr, srv, "s1")
+
+	// A version advance with no resource payload from s1's view (a
+	// change staged and reverted within one epoch of history).
+	srv.version++
+	srv.stage()
+	sched.RunFor(time.Second)
+	if len(tr.pushes) != 0 {
+		t.Fatalf("empty delta was pushed: %+v", tr.pushes)
+	}
+	if !srv.Current("s1") || srv.SubscriberVersion("s1") != srv.Version() {
+		t.Fatalf("subscriber not fast-forwarded: at %d, server %d", srv.SubscriberVersion("s1"), srv.Version())
+	}
+	if synced != 1 {
+		t.Fatalf("OnSynced count = %d, want 1", synced)
+	}
+}
+
+// Crash/recovery: in-flight acks from the dead process's epoch are
+// ignored, Subscribe while down returns no bootstrap, and Recover
+// full-resyncs every subscriber — including the one that joined during
+// the outage.
+func TestCrashRecoveryResyncsEveryone(t *testing.T) {
+	sched, tr, srv := newTestServer(t, false)
+	srv.SetResource("a", "a1", 100)
+	s1 := subscribe(tr, srv, "s1")
+	s2 := subscribe(tr, srv, "s2")
+
+	srv.SetResource("a", "a2", 100)
+	sched.RunFor(55 * time.Millisecond) // both deltas in flight
+	srv.Crash()
+	if !srv.Down() || srv.Epoch() != 1 {
+		t.Fatalf("down=%v epoch=%d after crash", srv.Down(), srv.Epoch())
+	}
+	sched.RunFor(time.Second) // transport settles into the dead epoch
+	if st := srv.Stats(); st.Acks != 0 {
+		t.Fatalf("ack from the pre-crash epoch was counted: %+v", st)
+	}
+
+	// A pod restarted during the outage: registered, no bootstrap, and
+	// it keeps whatever snapshot it had (static stability).
+	s3 := NewSnapshot()
+	tr.snaps["s3"] = s3
+	if u := srv.Subscribe("s3"); u != nil {
+		t.Fatalf("Subscribe while down returned a bootstrap: %+v", u)
+	}
+	// Changes staged while down stay local.
+	srv.SetResource("b", "b1", 100)
+	sched.RunFor(time.Second)
+	if got := len(tr.pushes); got != 2 {
+		t.Fatalf("pushes while down: %d, want the 2 pre-crash deltas", got)
+	}
+
+	srv.Recover()
+	if srv.UnsyncedCount() != 3 {
+		t.Fatalf("unsynced after recover = %d, want all 3", srv.UnsyncedCount())
+	}
+	sched.RunFor(time.Second)
+	for name, snap := range map[string]*Snapshot{"s1": s1, "s2": s2, "s3": s3} {
+		if !srv.Current(name) || snap.Get("a") != "a2" || snap.Get("b") != "b1" {
+			t.Fatalf("%s not resynced: a=%v b=%v", name, snap.Get("a"), snap.Get("b"))
+		}
+	}
+	st := srv.Stats()
+	// s1 and s2 resynced (they had acked state from the old process);
+	// s3's full push is its delayed bootstrap, not a resync.
+	if st.Crashes != 1 || st.Resyncs != 2 || st.FullPushes != 3 {
+		t.Fatalf("stats = %+v, want 1 crash, 2 resyncs, 3 full pushes", st)
+	}
+	if st.MaxLag == 0 {
+		t.Fatal("lag built up during the outage was not sampled")
+	}
+}
+
+// retryDelay doubles from ResyncDelay up to ResyncMax, and jitter is a
+// deterministic function of (subscriber, attempt) bounded by
+// ResyncJitter*delay.
+func TestRetryDelayBackoffAndJitter(t *testing.T) {
+	srv := NewServer(Config{
+		Sched: simnet.NewScheduler(), Transport: newFakeTransport(nil, 0),
+		ResyncDelay: 100 * time.Millisecond, ResyncMax: 800 * time.Millisecond,
+	})
+	want := []time.Duration{
+		100 * time.Millisecond, 200 * time.Millisecond, 400 * time.Millisecond,
+		800 * time.Millisecond, 800 * time.Millisecond,
+	}
+	for i, w := range want {
+		if got := srv.retryDelay(&subscriber{name: "s1", attempts: i + 1}); got != w {
+			t.Fatalf("attempt %d delay = %v, want %v", i+1, got, w)
+		}
+	}
+
+	srv.cfg.ResyncJitter = 0.5
+	seen := make(map[time.Duration]bool)
+	for _, name := range []string{"s1", "s2", "s3"} {
+		sub := &subscriber{name: name, attempts: 2}
+		d1 := srv.retryDelay(sub)
+		d2 := srv.retryDelay(sub)
+		if d1 != d2 {
+			t.Fatalf("%s jittered delay not deterministic: %v then %v", name, d1, d2)
+		}
+		if d1 < 200*time.Millisecond || d1 >= 300*time.Millisecond {
+			t.Fatalf("%s attempt-2 delay %v outside [200ms, 300ms)", name, d1)
+		}
+		seen[d1] = true
+	}
+	if len(seen) < 2 {
+		t.Fatalf("per-subscriber jitter did not spread the fleet: %v", seen)
+	}
+}
+
+// Under MaxInflightPushes, admission is oldest-lag-first with the
+// subscription index breaking ties — not queue order.
+func TestAdmitPrefersOldestLag(t *testing.T) {
+	sched := simnet.NewScheduler()
+	tr := newFakeTransport(sched, 10*time.Millisecond)
+	var order []string
+	srv := NewServer(Config{
+		Sched: sched, Transport: orderedTransport{tr, &order},
+		Debounce: 50 * time.Millisecond, FullState: true, MaxInflightPushes: 1,
+	})
+	subscribe(tr, srv, "a")
+	subscribe(tr, srv, "b")
+	subscribe(tr, srv, "c")
+	srv.SetResource("r", 1, 100) // arms the flush
+	// Skew the acknowledged versions before the flush fires: b is three
+	// versions behind, a and c one.
+	srv.version = 4
+	srv.subs["a"].version = 3
+	srv.subs["b"].version = 1
+	srv.subs["c"].version = 3
+	sched.RunFor(time.Second)
+
+	if len(order) != 3 || order[0] != "b" || order[1] != "a" || order[2] != "c" {
+		t.Fatalf("admission order = %v, want [b a c] (oldest lag, then index)", order)
+	}
+	if st := srv.Stats(); st.PeakInflight != 1 {
+		t.Fatalf("peak inflight = %d, want 1 under the cap", st.PeakInflight)
+	}
+}
+
+// MaxConcurrentResyncs bounds concurrent full resyncs, and the lease
+// reclaims the slot from a subscriber whose resync wedges so waiters
+// are not starved.
+func TestResyncAdmissionCapAndLease(t *testing.T) {
+	sched := simnet.NewScheduler()
+	tr := newFakeTransport(sched, 10*time.Millisecond)
+	srv := NewServer(Config{
+		Sched: sched, Transport: tr, Debounce: 50 * time.Millisecond,
+		ResyncDelay:          100 * time.Millisecond,
+		MaxConcurrentResyncs: 1, ResyncLease: time.Second,
+	})
+	srv.SetResource("a", "a1", 100)
+	subscribe(tr, srv, "s1")
+	s2 := subscribe(tr, srv, "s2")
+
+	tr.down["s1"] = true
+	tr.down["s2"] = true
+	srv.SetResource("a", "a2", 100)
+	sched.RunFor(300 * time.Millisecond) // deltas time out; s1 grabs the one slot
+	tr.down["s2"] = false
+
+	// s2 is healthy but waits: s1 holds the only resync slot through its
+	// endless retries.
+	sched.RunFor(800 * time.Millisecond) // t=1.1s, lease expires at ~1.16s
+	if srv.Current("s2") {
+		t.Fatal("s2 resynced while s1 held the only admission slot")
+	}
+	// Lease expiry reclaims s1's slot; s2 is admitted and completes.
+	sched.RunFor(400 * time.Millisecond)
+	if !srv.Current("s2") || s2.Get("a") != "a2" {
+		t.Fatalf("s2 not resynced after lease reclaim: a=%v", s2.Get("a"))
+	}
+	if srv.Current("s1") {
+		t.Fatal("s1 synced while still partitioned")
+	}
+
+	tr.down["s1"] = false
+	sched.RunFor(2 * time.Second)
+	if srv.UnsyncedCount() != 0 {
+		t.Fatalf("unsynced = %d after s1 healed, want 0", srv.UnsyncedCount())
+	}
+	st := srv.Stats()
+	if st.PeakResyncs != 1 {
+		t.Fatalf("peak concurrent resyncs = %d, want 1 (the cap)", st.PeakResyncs)
+	}
+	if st.Resyncs < 2 || st.ResyncBytes == 0 {
+		t.Fatalf("stats = %+v, want >=2 resyncs with bytes", st)
+	}
+}
+
+// Re-subscribing an existing name replaces the registration (the
+// restart path) instead of panicking: the old in-flight callback is
+// ignored and pushes flow to the new registration.
+func TestResubscribeReplacesRegistration(t *testing.T) {
+	sched, tr, srv := newTestServer(t, false)
+	srv.SetResource("a", "a1", 100)
+	subscribe(tr, srv, "s1")
+
+	srv.SetResource("a", "a2", 100)
+	sched.RunFor(55 * time.Millisecond) // delta in flight to the old registration
+	snap2 := subscribe(tr, srv, "s1")   // the restarted proxy rejoins
+	if snap2.Get("a") != "a2" || len(srv.subOrder) != 1 {
+		t.Fatalf("re-subscribe bootstrap: a=%v, %d registrations", snap2.Get("a"), len(srv.subOrder))
+	}
+	sched.RunFor(time.Second)
+	if st := srv.Stats(); st.Acks != 0 {
+		t.Fatalf("the dead registration's ack was counted: %+v", st)
+	}
+
+	srv.SetResource("b", "b1", 100)
+	sched.RunFor(time.Second)
+	if snap2.Get("b") != "b1" || !srv.Current("s1") {
+		t.Fatalf("new registration not receiving pushes: b=%v", snap2.Get("b"))
+	}
+	if st := srv.Stats(); st.Acks != 1 {
+		t.Fatalf("stats = %+v, want exactly the new registration's ack", st)
+	}
+
+	srv.Unsubscribe("s1")
+	srv.Unsubscribe("s1") // unknown name: no-op
+	before := len(tr.pushes)
+	srv.SetResource("c", "c1", 100)
+	sched.RunFor(time.Second)
+	if len(tr.pushes) != before {
+		t.Fatalf("push sent to an unsubscribed name")
+	}
+}

@@ -63,6 +63,37 @@ func fireAndForget(s *sched, c *conn) {
 	s.After(1, func() { c.done = true })
 }
 
+// The backoff re-arm shape (the control plane's retry timer): the
+// cancel may be separated from the arm by bookkeeping statements — the
+// discipline is positional within the function, not adjacency.
+func (c *conn) backoffRearm(s *sched) {
+	c.retxTimer.Cancel()
+	c.done = false
+	c.retxTimer = s.After(2, func() {})
+}
+
+// The lease shape gone wrong: a slot-grant arms its lease behind a
+// guard without cancelling the previous grant's timer — the pending
+// lease is orphaned and fires into the next holder's state.
+func (c *conn) leaseBad(s *sched, held bool) {
+	if held {
+		c.fbTimer = s.After(3, func() { c.done = true }) // want "without first cancelling"
+	}
+}
+
+// Lease done right: every re-grant cancels before arming, and the
+// callback guards itself on owner state (the generation-check idiom).
+func (c *conn) leaseGood(s *sched, held bool) {
+	if held {
+		c.fbTimer.Cancel()
+		c.fbTimer = s.After(3, func() {
+			if c.done {
+				return
+			}
+		})
+	}
+}
+
 // Sanctioned: the timer is handed to a registry that cancels it at
 // teardown, which the analyzer cannot see.
 func sanctioned(s *sched) {

@@ -318,6 +318,47 @@ func (cp *ControlPlane) SetPushDelay(d time.Duration) {
 	cp.pushDelay = d
 }
 
+// Distributed reports whether simulated config distribution is
+// enabled (single or federated).
+func (cp *ControlPlane) Distributed() bool { return len(cp.distributors()) > 0 }
+
+// CrashDistribution kills every distributing control-plane process:
+// the pod drops off the network, in-flight push connections die with
+// its sockets, and the ctrlplane server loses all volatile push state
+// (ctrlplane.Server.Crash). Sidecars keep routing on their
+// last-acknowledged snapshots — static stability — while
+// configuration changes made during the outage accumulate in the
+// resource store for the recovery resync.
+func (cp *ControlPlane) CrashDistribution() {
+	for _, d := range cp.distributors() {
+		d.crash()
+	}
+}
+
+// RecoverDistribution restarts crashed control-plane processes into a
+// new epoch: the pods rejoin the network and every subscriber is
+// full-resynced through the admission window.
+func (cp *ControlPlane) RecoverDistribution() {
+	for _, d := range cp.distributors() {
+		d.recover()
+	}
+}
+
+// ResubscribePod re-registers a restarted pod's sidecar with its
+// distributing control plane — the fresh proxy process of a real
+// restart re-subscribes (idempotently replacing the old registration)
+// and blocks on a new bootstrap fetch. When the control plane is down
+// the proxy comes up on the sidecar's last-good snapshot instead and
+// is resynced after recovery. No-op in instant-propagation mode or
+// for pods without sidecars.
+func (cp *ControlPlane) ResubscribePod(name string) {
+	sc := cp.mesh.sidecars[name]
+	if sc == nil || !cp.Distributed() {
+		return
+	}
+	cp.distributorFor(sc.pod).reregister(sc)
+}
+
 // apply runs a validated mutation for service now or after the push
 // delay, then redistributes the service's resource when distribution
 // is enabled.

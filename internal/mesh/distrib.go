@@ -83,6 +83,22 @@ type DistributionConfig struct {
 	// ResyncDelay is the backoff before re-pushing after a NACK or a
 	// lost connection (default 500ms).
 	ResyncDelay time.Duration
+	// ResyncMax, ResyncJitter, MaxInflightPushes, MaxConcurrentResyncs,
+	// and ResyncLease are the control-plane survivability knobs, passed
+	// through to ctrlplane.Config: exponential resync backoff with
+	// deterministic per-subscriber jitter, a cap on pushes concurrently
+	// in the transport, and an admission window (with slot lease) on
+	// concurrent full resyncs. Zero values keep the classic behavior.
+	ResyncMax            time.Duration
+	ResyncJitter         float64
+	MaxInflightPushes    int
+	MaxConcurrentResyncs int
+	ResyncLease          time.Duration
+	// Link overrides the control-plane pod's uplink (rate, delay). The
+	// zero value uses the cluster default — at 10k subscribers the CP
+	// egress link is the resource resync storms contend for, so E21
+	// provisions it explicitly.
+	Link simnet.LinkConfig
 	// Zone places the control-plane pod ("" = the root bridge). Ignored
 	// in PerRegion mode, where each control-plane pod sits on its
 	// region's spine.
@@ -249,6 +265,7 @@ func newDistributor(cp *ControlPlane, cfg DistributionConfig, region string) *di
 		Labels: map[string]string{"app": name},
 		Zone:   zone,
 		Region: region,
+		Link:   cfg.Link,
 	})
 	d := &distributor{
 		cp:          cp,
@@ -264,13 +281,18 @@ func newDistributor(cp *ControlPlane, cfg DistributionConfig, region string) *di
 		lastReady:   make(map[string]bool),
 	}
 	d.srv = ctrlplane.NewServer(ctrlplane.Config{
-		Sched:       m.sched,
-		Transport:   d,
-		Metrics:     m.metrics,
-		Debounce:    cfg.Debounce,
-		FullState:   cfg.FullState,
-		ResyncDelay: cfg.ResyncDelay,
-		OnSynced:    d.subscriberSynced,
+		Sched:                m.sched,
+		Transport:            d,
+		Metrics:              m.metrics,
+		Debounce:             cfg.Debounce,
+		FullState:            cfg.FullState,
+		ResyncDelay:          cfg.ResyncDelay,
+		ResyncMax:            cfg.ResyncMax,
+		ResyncJitter:         cfg.ResyncJitter,
+		MaxInflightPushes:    cfg.MaxInflightPushes,
+		MaxConcurrentResyncs: cfg.MaxConcurrentResyncs,
+		ResyncLease:          cfg.ResyncLease,
+		OnSynced:             d.subscriberSynced,
 	})
 	if region != "" {
 		d.fed = cp.fed
@@ -434,6 +456,42 @@ func (d *distributor) register(sc *Sidecar) {
 	// The bootstrap fetch is synchronous, so a pod gated at AddPod time
 	// becomes routable the moment its sidecar comes up synced.
 	d.subscriberSynced(sc.pod.Name())
+}
+
+// reregister re-subscribes a restarted pod's sidecar. With the
+// control plane up, the fresh proxy process bootstraps a new snapshot
+// synchronously; with it down, the proxy comes up on the sidecar's
+// last-good snapshot (static stability) and full-resyncs after
+// recovery.
+func (d *distributor) reregister(sc *Sidecar) {
+	u := d.srv.Subscribe(sc.pod.Name())
+	if u == nil {
+		return // control plane down: keep routing on the last-good snapshot
+	}
+	agent := &sidecarAgent{snap: ctrlplane.NewSnapshot(), dist: d}
+	agent.applyUpdate(u)
+	//meshvet:allow ctlwrite re-registration installs the fresh bootstrap snapshot
+	sc.ctrl = agent
+	d.subscriberSynced(sc.pod.Name())
+}
+
+// crash models control-plane process death: the pod partitions from
+// the network, its connections die, and the server drops all volatile
+// push state. Decoded updates pending delivery die with the process —
+// a sidecar answering a crashed server's push gets a 404 either way.
+func (d *distributor) crash() {
+	d.pod.Partition(true)
+	d.pod.Host().ResetConns()
+	d.clients = make(map[string]*httpsim.Client)
+	d.pending = make(map[uint64]*ctrlplane.Update)
+	d.srv.Crash()
+}
+
+// recover rejoins the pod to the network and restarts the server into
+// a new epoch (every subscriber full-resyncs).
+func (d *distributor) recover() {
+	d.pod.Partition(false)
+	d.srv.Recover()
 }
 
 // subscriberSynced lifts the config-sync readiness gate once the pod's
